@@ -1,0 +1,103 @@
+//! Microbenchmarks of the hot data structures: the intrusive LRU, the
+//! migration bitmaps, YCSB's zipfian generator, and the page-table touch
+//! path. These are the per-event costs that bound simulation throughput.
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use agile_memory::{LruLinks, LruList, Touch, VmMemory, VmMemoryConfig};
+use agile_migration::Bitmap;
+use agile_sim_core::DetRng;
+use agile_workload::Zipfian;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_lru(c: &mut Criterion) {
+    let n: u32 = 100_000;
+    c.bench_function("lru/push_remove_cycle", |b| {
+        let mut links = LruLinks::new(n as usize);
+        let mut list = LruList::new();
+        for p in 0..n {
+            list.push_front(&mut links, p);
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            let victim = list.pop_back(&mut links).unwrap();
+            list.push_front(&mut links, victim);
+            i = i.wrapping_add(1);
+            black_box(victim)
+        });
+    });
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    // A 10 GiB VM's bitmap: 2.6 M pages.
+    let n: u32 = 2_621_440;
+    let mut b10 = Bitmap::zeros(n);
+    for p in (0..n).step_by(97) {
+        b10.set(p);
+    }
+    c.bench_function("bitmap/scan_sparse_2.6M", |b| {
+        b.iter(|| {
+            let mut count = 0u32;
+            let mut cursor = 0;
+            while let Some(p) = b10.next_set(cursor) {
+                count += 1;
+                cursor = p + 1;
+            }
+            black_box(count)
+        });
+    });
+    c.bench_function("bitmap/set_clear", |b| {
+        let mut bm = Bitmap::zeros(n);
+        let mut p = 0u32;
+        b.iter(|| {
+            bm.set(p % n);
+            bm.clear(p % n);
+            p = p.wrapping_add(7919);
+        });
+    });
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    let z = Zipfian::ycsb(9_437_184); // the paper's 9 GB / 1 KB records
+    let mut rng = DetRng::seed_from(7);
+    c.bench_function("zipfian/sample_9.4M_keys", |b| {
+        b.iter(|| black_box(z.sample(&mut rng)));
+    });
+}
+
+fn bench_touch_path(c: &mut Criterion) {
+    // Steady-state touch/fault cycle under a reservation.
+    let mut mem = VmMemory::new(VmMemoryConfig {
+        pages: 65_536,
+        page_size: 4096,
+        limit_pages: 32_768,
+    });
+    let mut evs = Vec::new();
+    for p in 0..65_536u32 {
+        mem.touch(p, true);
+        mem.fault_in(p, true, &mut evs);
+        evs.clear();
+    }
+    let mut rng = DetRng::seed_from(3);
+    c.bench_function("vmmemory/touch_fault_evict_cycle", |b| {
+        b.iter(|| {
+            let p = rng.index(65_536) as u32;
+            match mem.touch(p, false) {
+                Touch::Hit => {}
+                Touch::MajorFault { .. } => {
+                    mem.begin_swap_in(p);
+                    mem.fault_in(p, false, &mut evs);
+                    evs.clear();
+                }
+                Touch::MinorFault => {
+                    mem.fault_in(p, false, &mut evs);
+                    evs.clear();
+                }
+                Touch::InFlight => unreachable!(),
+            }
+            black_box(p)
+        });
+    });
+}
+
+criterion_group!(benches, bench_lru, bench_bitmap, bench_zipfian, bench_touch_path);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! End-to-end technique comparison at miniature scale: one pressured VM
+//! migrated with pre-copy, post-copy, and Agile. Criterion's comparison
+//! output is the quick regression check that the orderings of Tables II
+//! and III still hold after a change.
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use agile_cluster::build::{ClusterBuilder, SwapKind};
+use agile_cluster::{migrate, ClusterConfig};
+use agile_migration::{SourceConfig, Technique};
+use agile_sim_core::{SimDuration, SimTime, GIB, MIB};
+use agile_vm::VmConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Run one idle pressured migration to completion; returns simulated
+/// seconds (the figure of merit) — wall time is what criterion measures.
+fn migrate_once(technique: Technique, seed: u64) -> f64 {
+    let cfg = ClusterConfig {
+        seed,
+        ..ClusterConfig::default()
+    };
+    let mut b = ClusterBuilder::new(cfg);
+    let src = b.add_host("source", 96 * MIB, 8 * MIB, true);
+    let dst = b.add_host("dest", 96 * MIB, 8 * MIB, true);
+    if technique == Technique::Agile {
+        let im = b.add_host("intermediate", 2 * GIB, 8 * MIB, false);
+        b.add_vmd_server(im, GIB, 0);
+        b.ensure_vmd_client(dst);
+    }
+    let kind = if technique == Technique::Agile {
+        SwapKind::PerVmVmd
+    } else {
+        SwapKind::HostSsd
+    };
+    let vm = b.add_vm(
+        src,
+        VmConfig {
+            mem_bytes: 64 * MIB,
+            page_size: 4096,
+            vcpus: 2,
+            reservation_bytes: 40 * MIB,
+            guest_os_bytes: 4 * MIB,
+        },
+        kind,
+    );
+    b.preload_pages(vm, 0, (64 * MIB / 4096) as u32);
+    let mut sim = b.build();
+    let mig = migrate::start_migration(
+        &mut sim,
+        vm,
+        dst,
+        SourceConfig {
+            precopy_threshold_pages: 64,
+            ..SourceConfig::new(technique)
+        },
+        64 * MIB,
+    );
+    while !sim.state().migrations[mig].finished {
+        let next = sim.now() + SimDuration::from_secs(1);
+        sim.run_until(next);
+        assert!(sim.now() < SimTime::from_secs(300), "stuck migration");
+    }
+    sim.state().migrations[mig]
+        .src
+        .metrics()
+        .total_time()
+        .unwrap()
+        .as_secs_f64()
+}
+
+fn bench_techniques(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migrate_64MiB_pressured");
+    g.sample_size(10);
+    for technique in [Technique::PreCopy, Technique::PostCopy, Technique::Agile] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(technique),
+            &technique,
+            |b, &t| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    migrate_once(t, seed)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_techniques);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Runs every figure/table experiment in sequence, writing all CSVs under
+//! `--out` (default `target/experiments`). This is the one-command
+//! regeneration entry point behind `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release -p agile-bench --bin run_all -- --scale 8
+//! ```
+
+use std::process::Command;
+
+use agile_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale().to_string();
+    let out = args.out_dir();
+    let out_s = out.display().to_string();
+    let me = std::env::current_exe().expect("current exe");
+    let bin_dir = me.parent().expect("bin dir");
+    for bin in [
+        "fig4_6_ycsb_timeline",
+        "fig7_8_single_vm_sweep",
+        "table1_3_app_perf",
+        "fig9_10_wss_tracking",
+        "ablations",
+    ] {
+        println!("\n================ {bin} ================");
+        let status = Command::new(bin_dir.join(bin))
+            .args(["--scale", &scale, "--out", &out_s])
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall experiments done; CSVs under {out_s}");
+}

@@ -1,0 +1,110 @@
+//! # agile-bench
+//!
+//! The benchmark harness: one binary per paper figure/table (see
+//! `src/bin/`) plus Criterion micro- and ablation benches (`benches/`).
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `fig4_6_ycsb_timeline` | Figures 4–6 (YCSB throughput timelines) |
+//! | `fig7_8_single_vm_sweep` | Figures 7–8 (migration time / data vs VM size) |
+//! | `table1_3_app_perf` | Tables I–III (app perf, migration time, data) |
+//! | `fig9_10_wss_tracking` | Figures 9–10 (WSS tracking) |
+//! | `run_all` | everything above, writing CSVs under `--out` |
+//!
+//! All binaries accept `--scale N` (divide the paper's byte sizes by `N`;
+//! default 8 — qualitatively identical in a fraction of the wall time) and
+//! `--out DIR` for CSV output.
+
+use std::path::{Path, PathBuf};
+
+/// Minimal CLI argument scraper shared by the experiment binaries.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Parse the process arguments.
+    pub fn parse() -> Self {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Value of `--name <v>`, parsed.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        let flag = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    }
+
+    /// The scale divisor (default 8).
+    pub fn scale(&self) -> u64 {
+        self.get("scale").unwrap_or(8)
+    }
+
+    /// The output directory for CSVs (default `target/experiments`).
+    pub fn out_dir(&self) -> PathBuf {
+        self.get::<String>("out")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/experiments"))
+    }
+
+    /// Presence of a bare `--name` flag.
+    pub fn flag(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.raw.iter().any(|a| a == &flag)
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self::parse()
+    }
+}
+
+/// Write a CSV file, creating the directory as needed.
+pub fn write_csv(dir: &Path, name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Render a `(seconds, value)` series as CSV text.
+pub fn series_csv(header: &str, series: &[(u64, f64)]) -> String {
+    let mut s = String::with_capacity(series.len() * 12 + header.len() + 1);
+    s.push_str(header);
+    s.push('\n');
+    for (t, v) in series {
+        s.push_str(&format!("{t},{v:.2}\n"));
+    }
+    s
+}
+
+/// Format seconds for table cells.
+pub fn fmt_secs(s: Option<f64>) -> String {
+    match s {
+        Some(v) => format!("{v:.1}"),
+        None => "—".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_csv_renders() {
+        let csv = series_csv("t,ops", &[(0, 1.0), (1, 2.5)]);
+        assert_eq!(csv, "t,ops\n0,1.00\n1,2.50\n");
+    }
+
+    #[test]
+    fn fmt_secs_handles_none() {
+        assert_eq!(fmt_secs(None), "—");
+        assert_eq!(fmt_secs(Some(1.25)), "1.2");
+    }
+}

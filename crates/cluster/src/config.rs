@@ -1,0 +1,61 @@
+//! Cluster-wide simulation configuration.
+//!
+//! Defaults reproduce the paper's testbed (§V): 1 Gbps Ethernet behind a
+//! ToR switch, SATA-SSD swap, 4 KB pages, Linux-like swap readahead.
+
+use agile_sim_core::{Bandwidth, BlockDeviceSpec, SimDuration};
+
+/// Static parameters of a simulated cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Guest/host page size.
+    pub page_size: u64,
+    /// NIC bandwidth (full duplex, per direction).
+    pub link_bw: Bandwidth,
+    /// One-way propagation delay through the switch.
+    pub prop_delay: SimDuration,
+    /// Swap-device spec for host SSD swap partitions.
+    pub ssd_spec: BlockDeviceSpec,
+    /// Pages read from swap per guest major fault (Linux `page-cluster`
+    /// readahead: 1 wanted + N-1 speculative; speculative reads are wasted
+    /// IOPS under random access). VMD reads are always exact (KV store).
+    pub guest_readahead_pages: u32,
+    /// Migration-channel flow-control window, in chunks.
+    pub migration_window: usize,
+    /// VMD server request-processing delay (kernel TCP receive + hash
+    /// lookup + page copy on the paper's 2.1 GHz Xeons).
+    pub vmd_server_delay: SimDuration,
+    /// Per-minor-fault CPU cost (zero-fill).
+    pub minor_fault_cost: SimDuration,
+    /// Master seed for all RNG streams.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            page_size: 4096,
+            link_bw: Bandwidth::gbps(1.0),
+            prop_delay: SimDuration::from_micros(50),
+            ssd_spec: BlockDeviceSpec::sata_ssd(),
+            guest_readahead_pages: 8,
+            migration_window: 4,
+            vmd_server_delay: SimDuration::from_micros(40),
+            minor_fault_cost: SimDuration::from_micros(2),
+            seed: 42,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_testbed() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.page_size, 4096);
+        assert!((c.link_bw.as_bytes_per_sec() - 125e6).abs() < 1.0);
+        assert!(c.guest_readahead_pages >= 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # agile-cluster
+//!
+//! The cluster executor: connects every sans-IO component — migration
+//! sessions ([`agile_migration`]), the VMD ([`agile_vmd`]), workload
+//! models ([`agile_workload`]), and the WSS controller ([`agile_wss`]) —
+//! to the simulated network, block devices, and VM memory of
+//! [`agile_sim_core`]/[`agile_memory`], and provides the scenario library
+//! that reproduces each of the paper's experiments.
+//!
+//! Layers:
+//!
+//! * [`build::ClusterBuilder`] — assemble hosts, the VMD pool, VMs with
+//!   their swap bindings, and workloads.
+//! * [`guest`] — the request engine: closed-loop clients, server worker
+//!   queues, page-touch execution with fault parking, vCPU contention.
+//! * [`migrate`] — drives pre-copy / post-copy / Agile migrations
+//!   end-to-end, including the suspend/resume handover.
+//! * [`wssctl`] — transparent working-set tracking and the watermark
+//!   trigger.
+//! * [`scenario`] — ready-made reproductions of Figures 4–10 and
+//!   Tables I–III.
+
+pub mod build;
+pub mod config;
+pub mod guest;
+pub mod migrate;
+pub mod netdrv;
+pub mod report;
+pub mod scenario;
+pub mod vmdio;
+pub mod world;
+pub mod wssctl;
+
+pub use build::{start_all_workloads, ClusterBuilder, SwapKind};
+pub use config::ClusterConfig;
+pub use world::{World, WorkloadKind};

@@ -1,0 +1,599 @@
+//! Migration executor: drives the source/destination protocol sessions
+//! against the simulated network, swap devices, and VM memory images.
+//!
+//! The executor owns the operational concerns the sans-IO sessions left
+//! out: flow control (a window of chunks in flight on the bulk stream),
+//! charging Migration-Manager swap-ins to the source swap device (where
+//! they contend with the guest's own paging — the §V-B thrashing), the
+//! suspend/resume choreography (memory image and swap-device handover,
+//! client-connection limbo), and end-of-migration accounting.
+
+use agile_memory::{SwapIssue, VmMemory, VmMemoryConfig};
+use agile_migration::{DestSession, SourceCmd, SourceConfig, SourceEvent, SourceSession};
+use agile_sim_core::{SimTime, Simulation};
+use agile_vm::{HostId, VmState};
+use agile_vmd::VmdSwapDevice;
+use agile_memory::SsdSwap;
+
+use crate::guest::{self, charge_evictions, EvictTarget};
+use crate::netdrv::touch_net;
+use crate::world::{MigrationExec, NetPayload, SwapDev, SwapReqCtx, World};
+
+/// Begin migrating `vm_idx` to `dest_host`. Returns the migration index.
+///
+/// `dest_reservation_bytes` is the cgroup reservation the VM receives at
+/// the destination (the paper's YCSB experiment gives the migrated VM the
+/// whole free destination host).
+pub fn start_migration(
+    sim: &mut Simulation<World>,
+    vm_idx: usize,
+    dest_host: usize,
+    src_cfg: SourceConfig,
+    dest_reservation_bytes: u64,
+) -> usize {
+    let now = sim.now();
+    let mig = {
+        let w = sim.state_mut();
+        let source_host = w.vms[vm_idx].host;
+        assert_ne!(source_host, dest_host, "migration to the same host");
+        assert!(
+            w.vms[vm_idx].migration.is_none(),
+            "VM already migrating"
+        );
+        let src_node = w.hosts[source_host].node;
+        let dst_node = w.hosts[dest_host].node;
+        let stream_ch = w.net.open_channel(src_node, dst_node);
+        let demand_ch = w.net.open_channel(src_node, dst_node);
+        let req_ch = w.net.open_channel(dst_node, src_node);
+        let n_pages = w.vms[vm_idx].vm.memory().pages();
+        let page_size = w.cfg.page_size;
+        let mut dest_mem = VmMemory::new(VmMemoryConfig {
+            pages: n_pages,
+            page_size,
+            limit_pages: (dest_reservation_bytes / page_size) as u32,
+        });
+        // The portable namespace's slot space is shared metadata: the
+        // arriving image allocates/frees from the same allocator as the
+        // departing one. Baseline images join the destination host's
+        // shared partition slot space instead.
+        match w.vms[vm_idx].swap.namespace() {
+            Some(ns) => {
+                dest_mem.use_shared_slots(std::rc::Rc::clone(&w.vmd.allocators[&ns]));
+            }
+            None => {
+                let alloc = w.hosts[dest_host]
+                    .swap_slots
+                    .as_ref()
+                    .expect("destination host swap partition has an allocator");
+                dest_mem.use_shared_slots(std::rc::Rc::clone(alloc));
+            }
+        }
+        // The destination-side swap binding: the portable VMD namespace
+        // re-bound through the destination's client (Agile), or the
+        // destination host's own SSD partition (baselines).
+        let dest_swap = match &w.vms[vm_idx].swap {
+            SwapDev::Vmd(v) => {
+                let client_idx = *w
+                    .vmd
+                    .host_client
+                    .get(&dest_host)
+                    .expect("destination host has no VMD client");
+                let client = std::rc::Rc::clone(&w.vmd.clients[client_idx].client);
+                SwapDev::Vmd(VmdSwapDevice::new(
+                    client,
+                    std::rc::Rc::clone(&w.vmd.directory),
+                    v.namespace(),
+                    page_size,
+                ))
+            }
+            SwapDev::Ssd(_) => {
+                let dev = w.hosts[dest_host]
+                    .ssd
+                    .as_ref()
+                    .expect("destination host has no swap SSD");
+                SwapDev::Ssd(SsdSwap::new(std::rc::Rc::clone(dev), page_size))
+            }
+        };
+        let technique = src_cfg.technique;
+        let src = SourceSession::new(src_cfg, n_pages, now);
+        let dst = DestSession::new(technique, n_pages);
+        if !matches!(technique, agile_migration::Technique::PostCopy) {
+            w.vms[vm_idx].vm.begin_precopy(HostId(dest_host as u32));
+        }
+        let idx = w.migrations.len();
+        w.migrations.push(MigrationExec {
+            vm: vm_idx,
+            source_host,
+            dest_host,
+            src,
+            dst,
+            stream_ch,
+            demand_ch,
+            req_ch,
+            in_flight: 0,
+            demand_in_flight: 0,
+            src_done: false,
+            finished: false,
+            dest_mem: Some(dest_mem),
+            source_mem: None,
+            dest_swap: Some(dest_swap),
+            source_swap: None,
+            swapin_remaining: std::collections::HashMap::new(),
+            verify_content: false,
+        });
+        w.vms[vm_idx].migration = Some(idx);
+        idx
+    };
+    let cmds = drive_src(sim, mig, SourceEvent::Start);
+    process_cmds(sim, mig, cmds);
+    pump(sim, mig);
+    mig
+}
+
+/// Feed one event to the source session against the right memory image.
+fn drive_src(sim: &mut Simulation<World>, mig: usize, ev: SourceEvent) -> Vec<SourceCmd> {
+    let now = sim.now();
+    let World {
+        vms, migrations, ..
+    } = sim.state_mut();
+    let m = &mut migrations[mig];
+    let mem: &VmMemory = match &m.source_mem {
+        Some(x) => x,
+        None => vms[m.vm].vm.memory(),
+    };
+    m.src.on_event(now, ev, mem)
+}
+
+/// Keep the bulk stream's window full.
+fn pump(sim: &mut Simulation<World>, mig: usize) {
+    loop {
+        let proceed = {
+            let w = sim.state();
+            let m = &w.migrations[mig];
+            !m.src_done && !m.finished && m.in_flight < w.cfg.migration_window
+        };
+        if !proceed {
+            return;
+        }
+        let cmds = drive_src(sim, mig, SourceEvent::ChannelReady);
+        if cmds.is_empty() {
+            return;
+        }
+        process_cmds(sim, mig, cmds);
+    }
+}
+
+/// Execute a batch of source commands.
+fn process_cmds(sim: &mut Simulation<World>, mig: usize, cmds: Vec<SourceCmd>) {
+    let now = sim.now();
+    for cmd in cmds {
+        match cmd {
+            SourceCmd::SendChunk { chunk, priority } => {
+                let w = sim.state_mut();
+                let wire = chunk.wire_bytes(w.cfg.page_size);
+                let key = w.stash_chunk(chunk);
+                let m = &mut w.migrations[mig];
+                let ch = if priority { m.demand_ch } else { m.stream_ch };
+                if priority {
+                    m.demand_in_flight += 1;
+                } else {
+                    m.in_flight += 1;
+                }
+                let tag = w.tag(NetPayload::MigChunk {
+                    mig,
+                    chunk: key,
+                    priority,
+                });
+                w.net.send(now, ch, wire, tag);
+                touch_net(sim);
+            }
+            SourceCmd::SwapIn { batch, pages } => exec_swapin(sim, mig, batch, pages),
+            SourceCmd::Suspend => {
+                let vm_idx = sim.state().migrations[mig].vm;
+                suspend_vm(sim, vm_idx, mig);
+            }
+            SourceCmd::SendHandoff { wire_bytes } => {
+                let w = sim.state_mut();
+                let ch = w.migrations[mig].stream_ch;
+                let tag = w.tag(NetPayload::MigHandoff { mig });
+                w.net.send(now, ch, wire_bytes, tag);
+                touch_net(sim);
+            }
+            SourceCmd::Done => {
+                sim.state_mut().migrations[mig].src_done = true;
+                maybe_finalize(sim, mig);
+            }
+        }
+    }
+}
+
+/// Longest slot-consecutive run the device coalesces into one command
+/// (the kernel's swap read/write clustering window).
+const MAX_RUN_PAGES: usize = 64;
+
+/// Group `(key, slot)` items into slot-consecutive runs of at most
+/// [`MAX_RUN_PAGES`]. Input order is not assumed; output is slot-sorted.
+pub(crate) fn slot_runs<T: Copy>(mut items: Vec<(T, u32)>) -> Vec<Vec<(T, u32)>> {
+    items.sort_by_key(|&(_, slot)| slot);
+    let mut runs: Vec<Vec<(T, u32)>> = Vec::new();
+    for (key, slot) in items {
+        match runs.last_mut() {
+            Some(run)
+                if run.len() < MAX_RUN_PAGES
+                    && run.last().map(|&(_, s)| s + 1) == Some(slot) =>
+            {
+                run.push((key, slot));
+            }
+            _ => runs.push(vec![(key, slot)]),
+        }
+    }
+    runs
+}
+
+/// Execute a Migration-Manager swap-in batch against the source image and
+/// its swap device. Slot-consecutive pages coalesce into streaming runs —
+/// an idle VM's sequentially-evicted memory reads back at device bandwidth
+/// while a busy VM's churned slots pay per-command overhead (the idle/busy
+/// gap of Fig. 7).
+fn exec_swapin(sim: &mut Simulation<World>, mig: usize, batch: u64, pages: Vec<(u32, u32)>) {
+    let now = sim.now();
+    let mut remaining = 0u32;
+    let mut pending_vmd = false;
+    let mut ssd_reads: Vec<(u32, u32)> = Vec::new(); // (pfn, slot) to read from SSD
+    let mut scheduled: Vec<(SimTime, u64)> = Vec::new();
+    {
+        let World {
+            vms,
+            migrations,
+            swap_reqs,
+            next_req,
+            swapin_piggyback,
+            ..
+        } = sim.state_mut();
+        let m = &mut migrations[mig];
+        let vm_idx = m.vm;
+        let resumed = m.source_mem.is_some();
+        for (pfn, slot) in pages {
+            let mem: &mut VmMemory = match m.source_mem.as_mut() {
+                Some(x) => x,
+                None => vms[vm_idx].vm.memory_mut(),
+            };
+            let flags = mem.page_flags(pfn);
+            if flags.present() {
+                continue; // already resident; nothing to read
+            }
+            if flags.any(agile_memory::PageFlags::IO_INFLIGHT) {
+                // A guest fault already reads this page: piggyback.
+                swapin_piggyback
+                    .entry((vm_idx, pfn))
+                    .or_default()
+                    .push((mig, batch));
+                remaining += 1;
+                continue;
+            }
+            debug_assert!(flags.swapped(), "swap-in of an untracked page");
+            mem.begin_swap_in(pfn);
+            if !resumed {
+                // The guest may touch the page while the read is in
+                // flight; give it an entry to park on.
+                vms[vm_idx]
+                    .pending_faults
+                    .entry(pfn)
+                    .or_insert_with(|| crate::world::FaultEntry {
+                        waiters: Vec::new(),
+                        issued: true,
+                    });
+            }
+            remaining += 1;
+            let dev: &mut SwapDev = match m.source_swap.as_mut() {
+                Some(d) => d,
+                None => &mut vms[vm_idx].swap,
+            };
+            match dev {
+                SwapDev::Ssd(_) => ssd_reads.push((pfn, slot)),
+                SwapDev::Vmd(v) => {
+                    let req = *next_req;
+                    *next_req += 1;
+                    swap_reqs.insert(req, SwapReqCtx::MigrationSwapIn { mig, batch, pfn });
+                    match agile_memory::SwapBackend::read(v, now, slot, req) {
+                        SwapIssue::CompleteAt(t) => scheduled.push((t, req)),
+                        SwapIssue::Pending => pending_vmd = true,
+                    }
+                }
+            }
+        }
+        // Coalesce the SSD reads into streaming runs.
+        if !ssd_reads.is_empty() {
+            let dev: &mut SwapDev = match m.source_swap.as_mut() {
+                Some(d) => d,
+                None => &mut vms[vm_idx].swap,
+            };
+            let SwapDev::Ssd(ssd) = dev else { unreachable!() };
+            for run in slot_runs(ssd_reads) {
+                let done = ssd.read_run(now, run.len() as u64);
+                for (pfn, _) in run {
+                    let req = *next_req;
+                    *next_req += 1;
+                    swap_reqs.insert(req, SwapReqCtx::MigrationSwapIn { mig, batch, pfn });
+                    scheduled.push((done, req));
+                }
+            }
+            ssd_reads = Vec::new();
+        }
+        let _ = ssd_reads;
+        if remaining > 0 {
+            m.swapin_remaining.insert(batch, remaining);
+        }
+    }
+    for (t, req) in scheduled {
+        sim.schedule_at(t, move |sim| crate::vmdio::resolve_swap_completion(sim, req));
+    }
+    if pending_vmd {
+        guest::flush_all_clients(sim);
+    }
+    if remaining == 0 {
+        // Everything was already resident: complete the batch instantly.
+        let cmds = drive_src(sim, mig, SourceEvent::SwapInDone { batch });
+        process_cmds(sim, mig, cmds);
+        pump(sim, mig);
+    }
+}
+
+/// One page of a Migration-Manager swap-in batch finished reading.
+pub fn complete_migration_swapin(sim: &mut Simulation<World>, mig: usize, batch: u64, pfn: u32) {
+    let mut buf = std::mem::take(&mut sim.state_mut().evict_buf);
+    buf.clear();
+    let (vm_idx, applied_to_vm) = {
+        let World {
+            vms, migrations, ..
+        } = sim.state_mut();
+        let m = &mut migrations[mig];
+        let vm_idx = m.vm;
+        match m.source_mem.as_mut() {
+            Some(mem) => {
+                mem.fault_in(pfn, false, &mut buf);
+                (vm_idx, false)
+            }
+            None => {
+                vms[vm_idx].vm.memory_mut().fault_in(pfn, false, &mut buf);
+                (vm_idx, true)
+            }
+        }
+    };
+    let target = if applied_to_vm {
+        EvictTarget::Vm(vm_idx)
+    } else {
+        EvictTarget::MigSource(mig)
+    };
+    charge_evictions(sim, target, &buf);
+    buf.clear();
+    sim.state_mut().evict_buf = buf;
+    if applied_to_vm {
+        guest::wake_page(sim, vm_idx, pfn);
+    }
+    credit_swapin(sim, mig, batch);
+}
+
+/// Credit one completed page toward a swap-in batch; fires `SwapInDone`
+/// when the batch drains.
+pub fn credit_swapin(sim: &mut Simulation<World>, mig: usize, batch: u64) {
+    let done = {
+        let w = sim.state_mut();
+        let m = &mut w.migrations[mig];
+        let rem = m
+            .swapin_remaining
+            .get_mut(&batch)
+            .expect("unknown swap-in batch");
+        *rem -= 1;
+        if *rem == 0 {
+            m.swapin_remaining.remove(&batch);
+            true
+        } else {
+            false
+        }
+    };
+    if done {
+        let cmds = drive_src(sim, mig, SourceEvent::SwapInDone { batch });
+        process_cmds(sim, mig, cmds);
+        pump(sim, mig);
+    }
+}
+
+/// A chunk arrived at the destination.
+pub fn on_chunk_delivered(sim: &mut Simulation<World>, mig: usize, chunk_key: u64, priority: bool) {
+    let chunk = sim
+        .state_mut()
+        .chunks
+        .remove(&chunk_key)
+        .expect("unknown chunk");
+    let mut buf = std::mem::take(&mut sim.state_mut().evict_buf);
+    buf.clear();
+    let (vm_idx, resumed) = {
+        let World {
+            vms, migrations, ..
+        } = sim.state_mut();
+        let m = &mut migrations[mig];
+        let vm_idx = m.vm;
+        let resumed = m.dst.resumed();
+        let mem: &mut VmMemory = match m.dest_mem.as_mut() {
+            Some(x) => x,
+            None => vms[vm_idx].vm.memory_mut(),
+        };
+        m.dst.on_chunk(&chunk, mem, &mut buf);
+        if priority {
+            m.demand_in_flight = m.demand_in_flight.saturating_sub(1);
+            m.dst.note_demand_served();
+        } else {
+            m.in_flight = m.in_flight.saturating_sub(1);
+        }
+        (vm_idx, resumed)
+    };
+    let target = if sim.state().migrations[mig].dest_mem.is_some() {
+        EvictTarget::MigDest(mig)
+    } else {
+        EvictTarget::Vm(vm_idx)
+    };
+    charge_evictions(sim, target, &buf);
+    buf.clear();
+    sim.state_mut().evict_buf = buf;
+    // Wake ops parked on any page this chunk just installed (or declared
+    // zero — their retry will zero-fill locally).
+    if resumed {
+        let mut to_wake: Vec<u32> = Vec::new();
+        {
+            let w = sim.state();
+            let slot = &w.vms[vm_idx];
+            for fp in &chunk.full {
+                if slot.pending_faults.contains_key(&fp.pfn) {
+                    to_wake.push(fp.pfn);
+                }
+            }
+            for z in &chunk.zero {
+                if slot.pending_faults.contains_key(z) {
+                    to_wake.push(*z);
+                }
+            }
+        }
+        for pfn in to_wake {
+            guest::wake_page(sim, vm_idx, pfn);
+        }
+    }
+    pump(sim, mig);
+    maybe_finalize(sim, mig);
+}
+
+/// The handoff message arrived: the VM resumes at the destination.
+pub fn on_handoff_delivered(sim: &mut Simulation<World>, mig: usize) {
+    // Give the destination its dirty bitmap.
+    {
+        let World {
+            vms, migrations, ..
+        } = sim.state_mut();
+        let m = &mut migrations[mig];
+        let n_pages = vms[m.vm].vm.memory().pages();
+        let dirty = m
+            .src
+            .handoff_dirty()
+            .cloned()
+            .unwrap_or_else(|| agile_migration::Bitmap::zeros(n_pages));
+        let mem: &mut VmMemory = match m.dest_mem.as_mut() {
+            Some(x) => x,
+            None => vms[m.vm].vm.memory_mut(),
+        };
+        m.dst.on_handoff(dirty, mem);
+    }
+    resume_vm_at_dest(sim, mig);
+    let cmds = drive_src(sim, mig, SourceEvent::HandoffDelivered);
+    process_cmds(sim, mig, cmds);
+    pump(sim, mig);
+    maybe_finalize(sim, mig);
+}
+
+/// A demand-page request arrived at the source.
+pub fn on_demand_request(sim: &mut Simulation<World>, mig: usize, pfn: u32) {
+    let cmds = drive_src(sim, mig, SourceEvent::DemandRequest { pfn });
+    process_cmds(sim, mig, cmds);
+}
+
+/// Suspend the VM at the source (downtime begins).
+fn suspend_vm(sim: &mut Simulation<World>, vm_idx: usize, mig: usize) {
+    {
+        let w = sim.state_mut();
+        let dest = HostId(w.migrations[mig].dest_host as u32);
+        match w.vms[vm_idx].vm.state() {
+            VmState::Running { .. } => w.vms[vm_idx].vm.suspend_for(dest),
+            VmState::PreCopy { .. } => w.vms[vm_idx].vm.suspend(),
+            other => panic!("suspend from {other:?}"),
+        }
+    }
+    guest::suspend_guest(sim, vm_idx);
+}
+
+/// The handoff arrived: swap images/devices and resume at the destination.
+fn resume_vm_at_dest(sim: &mut Simulation<World>, mig: usize) {
+    let vm_idx = {
+        let w = sim.state_mut();
+        let (vm_idx, dest_host, source_host) = {
+            let m = &w.migrations[mig];
+            (m.vm, m.dest_host, m.source_host)
+        };
+        w.vms[vm_idx].vm.resume_at_destination();
+        let dest_mem = w.migrations[mig].dest_mem.take().expect("dest image");
+        let dest_limit = dest_mem.limit_bytes();
+        let old_mem = w.vms[vm_idx].vm.replace_memory(dest_mem);
+        w.migrations[mig].source_mem = Some(old_mem);
+        let dest_swap = w.migrations[mig].dest_swap.take().expect("dest swap");
+        let old_swap = std::mem::replace(&mut w.vms[vm_idx].swap, dest_swap);
+        w.migrations[mig].source_swap = Some(old_swap);
+        w.vms[vm_idx].mem_epoch += 1;
+        w.vms[vm_idx].host = dest_host;
+        w.vms[vm_idx].pending_faults.clear();
+        // Host ledgers: the reservation moves with the VM.
+        w.hosts[source_host].mem.remove_reservation(vm_idx as u64);
+        w.hosts[dest_host].mem.set_reservation(vm_idx as u64, dest_limit);
+        vm_idx
+    };
+    guest::resume_guest(sim, vm_idx);
+}
+
+/// Complete the migration once the source is done and the pipes drained.
+fn maybe_finalize(sim: &mut Simulation<World>, mig: usize) {
+    let now = sim.now();
+    let vm_idx = {
+        let w = sim.state_mut();
+        let ready = {
+            let m = &w.migrations[mig];
+            m.src_done && !m.finished && m.in_flight == 0 && m.demand_in_flight == 0
+        };
+        if !ready {
+            return;
+        }
+        if w.migrations[mig].verify_content {
+            verify_content(w, mig);
+        }
+        let m = &mut w.migrations[mig];
+        m.finished = true;
+        m.src.metrics_mut().completed_at = Some(now);
+        // Free the source copy; disconnect the per-VM swap device from the
+        // source host (§IV-B) — the destination binding lives on.
+        m.source_mem = None;
+        m.source_swap = None;
+        m.vm
+    };
+    let w = sim.state_mut();
+    w.vms[vm_idx].vm.complete_migration();
+    w.vms[vm_idx].migration = None;
+}
+
+/// End-to-end content check: for every guest page, the destination must
+/// hold a version at least as new as the source's final (frozen) version.
+/// A violation means some dirty page was lost by the protocol.
+fn verify_content(w: &World, mig: usize) {
+    let m = &w.migrations[mig];
+    let src = m
+        .source_mem
+        .as_ref()
+        .expect("source image retained until finalize");
+    let dst = w.vms[m.vm].vm.memory();
+    let mut checked = 0u32;
+    for pfn in 0..src.pages() {
+        let sv = src.version(pfn);
+        let dv = dst.version(pfn);
+        if dv < sv {
+            panic!(
+                "migration lost content: page {pfn} source v{sv} > dest v{dv} ({:?}); \
+                 src_pagemap={:?} dst_pagemap={:?} dst_received={} dst_swapped={:?} \
+                 handoff_dirty={:?} remaining_in_pass={}",
+                m.src.metrics().technique,
+                src.pagemap(pfn),
+                dst.pagemap(pfn),
+                m.dst.received_pages(),
+                m.dst.classify_fault(pfn),
+                m.src.handoff_dirty().map(|b| b.get(pfn)),
+                m.src.remaining_in_pass(),
+            );
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, src.pages());
+}

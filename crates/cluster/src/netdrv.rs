@@ -1,0 +1,73 @@
+//! Network driver: the glue between the sans-scheduler fluid network and
+//! the event queue.
+//!
+//! After any network mutation the driver re-arms a poll event at
+//! [`agile_sim_core::Network::next_event_time`]; the poll collects due
+//! deliveries and dispatches each to the subsystem its payload belongs to.
+//! Superseded poll events fire harmlessly (they poll, find little, and
+//! re-arm), which keeps the bookkeeping to a single `Option<SimTime>`.
+
+use agile_sim_core::{Delivery, Simulation};
+
+use crate::world::{NetPayload, World};
+use crate::{guest, migrate, vmdio};
+
+/// Re-arm the poll event if the network's next event precedes the armed
+/// one; the superseded event is cancelled so exactly one poll event is
+/// ever pending. Call after every send/open/close.
+pub fn touch_net(sim: &mut Simulation<World>) {
+    let Some(next) = sim.state().net.next_event_time() else {
+        return;
+    };
+    if let Some((t, _)) = sim.state().net_armed {
+        if t <= next {
+            return;
+        }
+    }
+    if let Some((_, old)) = sim.state_mut().net_armed.take() {
+        sim.cancel(old);
+    }
+    let id = sim.schedule_at(next, poll_net);
+    sim.state_mut().net_armed = Some((next, id));
+}
+
+/// The poll event: drain due deliveries, dispatch, re-arm.
+fn poll_net(sim: &mut Simulation<World>) {
+    sim.state_mut().net_armed = None;
+    let now = sim.now();
+    let deliveries = sim.state_mut().net.poll(now);
+    for d in deliveries {
+        dispatch(sim, d);
+    }
+    touch_net(sim);
+}
+
+/// Route one delivery to its handler.
+fn dispatch(sim: &mut Simulation<World>, d: Delivery) {
+    let payload = sim
+        .state_mut()
+        .payloads
+        .remove(&d.tag)
+        .expect("delivery with unknown tag");
+    match payload {
+        NetPayload::Request { vm, op, counts } => guest::on_request(sim, vm, op, counts),
+        NetPayload::Response { vm, counts } => guest::on_response(sim, vm, counts),
+        NetPayload::MigChunk {
+            mig,
+            chunk,
+            priority,
+        } => migrate::on_chunk_delivered(sim, mig, chunk, priority),
+        NetPayload::MigHandoff { mig } => migrate::on_handoff_delivered(sim, mig),
+        NetPayload::DemandReq { mig, pfn } => migrate::on_demand_request(sim, mig, pfn),
+        NetPayload::VmdToServer {
+            server,
+            client,
+            msg,
+        } => vmdio::on_server_recv(sim, server, client, msg),
+        NetPayload::VmdToClient {
+            client,
+            server,
+            msg,
+        } => vmdio::on_client_recv(sim, client, server, msg),
+    }
+}

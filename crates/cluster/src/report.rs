@@ -1,0 +1,90 @@
+//! Result extraction and analysis helpers for the paper's figures/tables.
+
+use agile_sim_core::{SimTime, ThroughputMeter};
+
+use crate::world::World;
+
+/// Throughput time series averaged across a set of VMs (the y-axis of
+/// Figures 4–6): per-second mean completions/s per VM.
+pub fn average_throughput_series(world: &World, vms: &[usize]) -> Vec<(u64, f64)> {
+    assert!(!vms.is_empty());
+    let meters: Vec<&ThroughputMeter> = vms.iter().map(|&v| &world.vms[v].meter).collect();
+    let merged = ThroughputMeter::merged(&meters);
+    merged
+        .rates()
+        .into_iter()
+        .map(|(t, r)| (t, r / vms.len() as f64))
+        .collect()
+}
+
+/// Mean per-VM throughput over `[from, to)` seconds (Table I).
+pub fn average_throughput_in_window(world: &World, vms: &[usize], from: u64, to: u64) -> f64 {
+    assert!(!vms.is_empty());
+    let total: f64 = vms
+        .iter()
+        .map(|&v| world.vms[v].meter.rate_in_window(from, to))
+        .sum();
+    total / vms.len() as f64
+}
+
+/// First time after `after` at which the smoothed (window `smooth` s)
+/// average throughput across `vms` recovers to `fraction` of `reference`.
+/// Returns seconds since t = 0, or `None` if it never recovers.
+pub fn recovery_time(
+    world: &World,
+    vms: &[usize],
+    after: SimTime,
+    reference: f64,
+    fraction: f64,
+    smooth: u64,
+) -> Option<u64> {
+    let series = average_throughput_series(world, vms);
+    if series.is_empty() {
+        return None;
+    }
+    let target = reference * fraction;
+    let start = after.as_secs();
+    let last = series.last().map(|(t, _)| *t).unwrap_or(0);
+    for t in start..last.saturating_sub(smooth) {
+        let window: Vec<f64> = series
+            .iter()
+            .filter(|(s, _)| *s >= t && *s < t + smooth)
+            .map(|(_, r)| *r)
+            .collect();
+        if window.is_empty() {
+            continue;
+        }
+        let mean = window.iter().sum::<f64>() / window.len() as f64;
+        if mean >= target {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// The completed migration metrics of migration `mig`.
+pub fn migration_metrics(world: &World, mig: usize) -> &agile_migration::MigrationMetrics {
+    world.migrations[mig].src.metrics()
+}
+
+/// Render a `(seconds, value)` series as CSV.
+pub fn series_to_csv(header: &str, series: &[(u64, f64)]) -> String {
+    let mut s = String::with_capacity(series.len() * 12 + header.len() + 1);
+    s.push_str(header);
+    s.push('\n');
+    for (t, v) in series {
+        s.push_str(&format!("{t},{v:.2}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_to_csv_renders() {
+        let csv = series_to_csv("t,v", &[(0, 1.0), (5, 2.25)]);
+        assert_eq!(csv, "t,v\n0,1.00\n5,2.25\n");
+    }
+}

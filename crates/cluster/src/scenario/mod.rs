@@ -1,0 +1,118 @@
+//! Ready-made reproductions of the paper's experiments.
+//!
+//! | module | paper content |
+//! |--------|---------------|
+//! | [`ycsb`] | §V-A Figures 4–6 (YCSB timeline under pre/post/Agile) and the YCSB rows of Tables I–III |
+//! | [`sysbench`] | §V-C Sysbench/MySQL rows of Tables I–III |
+//! | [`single_vm`] | §V-B Figures 7–8 (single-VM sweep: migration time & data vs VM size, idle & busy) |
+//! | [`wss`] | §V-D Figures 9–10 (transparent WSS tracking) |
+//!
+//! Every scenario takes a config with the paper's numbers as defaults plus
+//! a `scale` divisor: `scale = 1` is paper scale (10 GB VMs); integration
+//! tests use `scale = 32`+ so they run in milliseconds. Scaling divides
+//! every byte quantity, which preserves the *ratios* that drive the
+//! qualitative results.
+
+pub mod single_vm;
+pub mod sysbench;
+pub mod wss;
+pub mod ycsb;
+
+use agile_sim_core::Simulation;
+
+use crate::guest::{charge_evictions, EvictTarget};
+use crate::world::{World, WorkloadKind};
+
+/// Change a VM's cgroup reservation at runtime (evictions are charged to
+/// its swap device) and update the host ledger.
+pub fn set_reservation(sim: &mut Simulation<World>, vm_idx: usize, bytes: u64) {
+    let mut buf = std::mem::take(&mut sim.state_mut().evict_buf);
+    buf.clear();
+    {
+        let w = sim.state_mut();
+        let slot = &mut w.vms[vm_idx];
+        slot.vm.memory_mut().set_limit_bytes(bytes, &mut buf);
+        let host = slot.host;
+        w.hosts[host].mem.set_reservation(vm_idx as u64, bytes);
+    }
+    charge_evictions(sim, EvictTarget::Vm(vm_idx), &buf);
+    buf.clear();
+    sim.state_mut().evict_buf = buf;
+}
+
+/// What a VM currently *needs* resident: its active working set plus
+/// guest-OS overhead plus slack. Used by the scripted reservation
+/// adjustments that stand in for the paper's "we manually adjust the VMs'
+/// memory reservation to reflect its working set size".
+pub fn desired_reservation(world: &World, vm_idx: usize, slack: u64) -> u64 {
+    let slot = &world.vms[vm_idx];
+    let os = slot.vm.config().guest_os_bytes;
+    let page = world.cfg.page_size;
+    let ws = match &slot.workload {
+        Some(WorkloadKind::Ycsb(y)) => {
+            let index_bytes = slot
+                .vm
+                .layout()
+                .region("redis-index")
+                .map(|r| r.len as u64 * page)
+                .unwrap_or(0);
+            y.active_bytes() + index_bytes
+        }
+        Some(WorkloadKind::Oltp(_)) => {
+            // The OLTP buffer pool wants the whole dataset + index + log.
+            slot.vm
+                .layout()
+                .regions()
+                .map(|(_, r)| r.len as u64 * page)
+                .sum()
+        }
+        None => 0,
+    };
+    (ws + os + slack).min(slot.vm.config().mem_bytes)
+}
+
+/// Water-fill the host's VM-available memory across the VMs running on it
+/// according to their desired reservations: everyone gets
+/// `min(desired, fair share)`, with leftover from modest VMs flowing to
+/// hungry ones.
+pub fn rebalance_host(sim: &mut Simulation<World>, host: usize, slack: u64) {
+    let mut wants: Vec<(usize, u64)> = {
+        let w = sim.state();
+        (0..w.vms.len())
+            .filter(|&v| {
+                w.vms[v].host == host
+                    && w.vms[v].vm.state().can_execute()
+                    && w.vms[v].migration.is_none()
+            })
+            .map(|v| (v, desired_reservation(w, v, slack)))
+            .collect()
+    };
+    if wants.is_empty() {
+        return;
+    }
+    let avail = sim.state().hosts[host].mem.available_for_vms();
+    // Water-filling: satisfy the smallest demands first.
+    wants.sort_by_key(|&(_, d)| d);
+    let mut remaining = avail;
+    let mut grants: Vec<(usize, u64)> = Vec::with_capacity(wants.len());
+    for (i, &(vm, desired)) in wants.iter().enumerate() {
+        let left = wants.len() - i;
+        let fair = remaining / left as u64;
+        let grant = desired.min(fair);
+        remaining -= grant;
+        grants.push((vm, grant));
+    }
+    for (vm, grant) in grants {
+        set_reservation(sim, vm, grant);
+    }
+}
+
+/// Set a YCSB workload's active query window at runtime (the ramp knob of
+/// Fig. 4–6).
+pub fn set_ycsb_active_bytes(sim: &mut Simulation<World>, vm_idx: usize, bytes: u64) {
+    if let Some(WorkloadKind::Ycsb(y)) = sim.state_mut().vms[vm_idx].workload.as_mut() {
+        y.set_active_bytes(bytes);
+    } else {
+        panic!("VM {vm_idx} does not run YCSB");
+    }
+}

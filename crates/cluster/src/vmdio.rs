@@ -1,0 +1,170 @@
+//! VMD transport glue: moves protocol messages between client and server
+//! state machines over the simulated network, and resolves swap-I/O
+//! completions back into the guest/migration paths.
+
+use agile_sim_core::Simulation;
+use agile_vmd::{ClientMsg, ServerId, ServerMsg, Tier, VmdCompletion};
+
+use crate::netdrv::touch_net;
+use crate::world::{NetPayload, SwapReqCtx, World};
+use crate::{guest, migrate};
+
+/// Drain a client's outbox onto the network.
+pub fn flush_client(sim: &mut Simulation<World>, client_idx: usize) {
+    let now = sim.now();
+    let page_size = sim.state().cfg.page_size;
+    loop {
+        let batch: Vec<(ServerId, ClientMsg)> = {
+            let w = sim.state_mut();
+            let mut c = w.vmd.clients[client_idx].client.borrow_mut();
+            c.drain_outbox().collect()
+        };
+        if batch.is_empty() {
+            break;
+        }
+        for (server, msg) in batch {
+            let server_idx = server.0 as usize;
+            let bytes = msg.wire_bytes(page_size);
+            let w = sim.state_mut();
+            let &(to_server, _) = w
+                .vmd
+                .channels
+                .get(&(client_idx, server_idx))
+                .expect("no channel between VMD client and server");
+            let tag = w.tag(NetPayload::VmdToServer {
+                server: server_idx,
+                client: client_idx,
+                msg,
+            });
+            w.net.send(now, to_server, bytes, tag);
+        }
+    }
+    touch_net(sim);
+}
+
+/// A client message arrived at an intermediate host: process it after the
+/// server's lookup delay (plus disk time if the page sits on the spill
+/// tier), then transmit the reply.
+pub fn on_server_recv(
+    sim: &mut Simulation<World>,
+    server_idx: usize,
+    client_idx: usize,
+    msg: ClientMsg,
+) {
+    let delay = sim.state().cfg.vmd_server_delay;
+    sim.schedule_in(delay, move |sim| {
+        let now = sim.now();
+        let page_size = sim.state().cfg.page_size;
+        let (reply, tier) = {
+            let w = sim.state_mut();
+            let r = w.vmd.servers[server_idx].server.handle(msg);
+            (r.msg, r.tier)
+        };
+        let Some(reply) = reply else { return };
+        // Disk-tier requests pay the intermediate host's device time
+        // before the reply leaves (the HD/SSD-backed VMD extension).
+        let send_at = if tier == Tier::Disk {
+            let w = sim.state_mut();
+            let host = w.vmd.servers[server_idx].host;
+            match &w.hosts[host].ssd {
+                Some(dev) => {
+                    let kind = match msg {
+                        ClientMsg::ReadReq { .. } => agile_sim_core::IoKind::Read,
+                        _ => agile_sim_core::IoKind::Write,
+                    };
+                    dev.borrow_mut().submit(now, kind, page_size)
+                }
+                None => now,
+            }
+        } else {
+            now
+        };
+        sim.schedule_at(send_at, move |sim| {
+            let t = sim.now();
+            let page_size = sim.state().cfg.page_size;
+            let w = sim.state_mut();
+            let &(_, to_client) = w
+                .vmd
+                .channels
+                .get(&(client_idx, server_idx))
+                .expect("no channel between VMD client and server");
+            let bytes = reply.wire_bytes(page_size);
+            let tag = w.tag(NetPayload::VmdToClient {
+                client: client_idx,
+                server: server_idx,
+                msg: reply,
+            });
+            w.net.send(t, to_client, bytes, tag);
+            touch_net(sim);
+        });
+    });
+}
+
+/// A server reply arrived back at a client host.
+pub fn on_client_recv(
+    sim: &mut Simulation<World>,
+    client_idx: usize,
+    server_idx: usize,
+    msg: ServerMsg,
+) {
+    let completion = {
+        let w = sim.state_mut();
+        let mut c = w.vmd.clients[client_idx].client.borrow_mut();
+        c.on_server_msg(ServerId(server_idx as u32), msg)
+    };
+    match completion {
+        Some(VmdCompletion::ReadDone { req, .. }) => resolve_swap_completion(sim, req),
+        Some(VmdCompletion::WriteDone { req }) => {
+            // Eviction write-backs need no follow-up.
+            sim.state_mut().swap_reqs.remove(&req);
+        }
+        None => {}
+    }
+}
+
+/// Dispatch a completed swap read to its context.
+pub fn resolve_swap_completion(sim: &mut Simulation<World>, req: u64) {
+    let ctx = sim
+        .state_mut()
+        .swap_reqs
+        .remove(&req)
+        .expect("unknown swap request");
+    match ctx {
+        SwapReqCtx::GuestFault {
+            vm,
+            pfn,
+            epoch,
+            dest_stat,
+        } => guest::complete_guest_fault(sim, vm, pfn, epoch, dest_stat),
+        SwapReqCtx::MigrationSwapIn { mig, batch, pfn } => {
+            migrate::complete_migration_swapin(sim, mig, batch, pfn)
+        }
+        SwapReqCtx::EvictionWrite => {}
+    }
+}
+
+/// Broadcast every server's availability to every client (the periodic
+/// gossip of §IV-A). Returns `true` so `schedule_every` keeps running.
+pub fn gossip_availability(sim: &mut Simulation<World>) -> bool {
+    let now = sim.now();
+    let page_size = sim.state().cfg.page_size;
+    let n_servers = sim.state().vmd.servers.len();
+    let n_clients = sim.state().vmd.clients.len();
+    for s in 0..n_servers {
+        let msg = sim.state().vmd.servers[s].server.availability();
+        for c in 0..n_clients {
+            let w = sim.state_mut();
+            if let Some(&(_, to_client)) = w.vmd.channels.get(&(c, s)) {
+                let bytes = msg.wire_bytes(page_size);
+                let tag = w.tag(NetPayload::VmdToClient {
+                    client: c,
+                    server: s,
+                    msg,
+                });
+                w.net.send(now, to_client, bytes, tag);
+            }
+        }
+    }
+    touch_net(sim);
+    true
+}

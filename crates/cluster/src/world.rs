@@ -1,0 +1,528 @@
+//! The simulated world: hosts, VMs, network, VMD, migrations, clients.
+//!
+//! `World` is the state type of the discrete-event [`agile_sim_core::Simulation`]; all
+//! executor logic lives in sibling modules as free functions over
+//! `&mut Simulation<World>`. Cross-references use plain indices — the
+//! world is single-threaded and slab-structured (perf-book idiom: no
+//! `Rc` cycles, no per-event allocation beyond closures).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use agile_memory::{HostMemory, SsdSwap, SwapBackend, VmMemory};
+use agile_migration::{DestSession, SourceSession};
+use agile_sim_core::{
+    BlockDevice, ChannelId, DetRng, IoCounters, Network, NodeId, SeedSequence, SimDuration,
+    SimTime, ThroughputMeter, TimeSeries,
+};
+use agile_vm::Vm;
+use agile_vmd::{NamespaceId, VmdClient, VmdDirectory, VmdServer, VmdSwapDevice};
+use agile_workload::{OpSpec, OsBackground, SysbenchOltp, YcsbRedis};
+use agile_wss::{ReservationController, SwapActivityMonitor};
+
+use crate::config::ClusterConfig;
+
+/// A host in the cluster.
+pub struct Host {
+    /// Human-readable name ("source", "dest", "intermediate1", "client").
+    pub name: String,
+    /// This host's NIC in the fluid network.
+    pub node: NodeId,
+    /// Physical-memory ledger.
+    pub mem: HostMemory,
+    /// Local SSD used as the shared swap partition (baselines), if any.
+    pub ssd: Option<Rc<RefCell<BlockDevice>>>,
+    /// Slot allocator of the shared swap partition: every VM swapping to
+    /// this host's SSD draws from one slot space, so concurrent eviction
+    /// streams interleave — which is what destroys sequential layout for
+    /// the baselines' bulk swap-ins.
+    pub swap_slots: Option<Rc<RefCell<agile_memory::SlotAllocator>>>,
+}
+
+/// A VM's swap device binding.
+pub enum SwapDev {
+    /// Shared local SSD partition.
+    Ssd(SsdSwap),
+    /// Portable per-VM VMD namespace.
+    Vmd(VmdSwapDevice),
+}
+
+impl SwapDev {
+    /// Trait-object view.
+    pub fn backend(&mut self) -> &mut dyn SwapBackend {
+        match self {
+            SwapDev::Ssd(s) => s,
+            SwapDev::Vmd(v) => v,
+        }
+    }
+
+    /// Per-VM iostat counters.
+    pub fn counters(&self) -> IoCounters {
+        match self {
+            SwapDev::Ssd(s) => s.counters(),
+            SwapDev::Vmd(v) => v.counters(),
+        }
+    }
+
+    /// The VMD namespace, if network-backed.
+    pub fn namespace(&self) -> Option<NamespaceId> {
+        match self {
+            SwapDev::Ssd(_) => None,
+            SwapDev::Vmd(v) => Some(v.namespace()),
+        }
+    }
+
+    /// True for the VMD-backed (readahead-free, per-VM) device.
+    pub fn is_vmd(&self) -> bool {
+        matches!(self, SwapDev::Vmd(_))
+    }
+}
+
+/// The application served by a VM.
+pub enum WorkloadKind {
+    /// YCSB over Redis.
+    Ycsb(YcsbRedis),
+    /// Sysbench OLTP over MySQL.
+    Oltp(SysbenchOltp),
+}
+
+impl WorkloadKind {
+    /// Server-side request concurrency.
+    pub fn server_concurrency(&self) -> u32 {
+        match self {
+            WorkloadKind::Ycsb(y) => y.server_concurrency(),
+            WorkloadKind::Oltp(o) => o.server_concurrency(),
+        }
+    }
+
+    /// Closed-loop client threads.
+    pub fn client_threads(&self) -> u32 {
+        match self {
+            WorkloadKind::Ycsb(y) => y.client_threads(),
+            WorkloadKind::Oltp(o) => o.client_threads(),
+        }
+    }
+
+    /// Generate the next request; returns the op and whether its
+    /// completion counts as one application-level completion (YCSB op or
+    /// OLTP transaction commit).
+    pub fn next_op(&mut self, rng: &mut DetRng) -> (OpSpec, bool) {
+        match self {
+            WorkloadKind::Ycsb(y) => (y.next_op(rng), true),
+            WorkloadKind::Oltp(o) => o.next_op(rng),
+        }
+    }
+}
+
+/// An external client bound to one VM.
+pub struct ClientBinding {
+    /// Host the client runs on.
+    pub host: usize,
+    /// Closed-loop threads.
+    pub threads: u32,
+    /// Channel client → VM's execution host.
+    pub to_vm: ChannelId,
+    /// Channel VM's execution host → client.
+    pub from_vm: ChannelId,
+    /// Key/op selection stream.
+    pub rng: DetRng,
+}
+
+/// A pending fault on one guest page, with parked operations.
+pub struct FaultEntry {
+    /// Ops waiting for the page.
+    pub waiters: Vec<usize>,
+    /// Whether I/O / a demand request has been issued.
+    pub issued: bool,
+}
+
+/// One in-flight guest operation (request being served).
+pub struct OpExec {
+    /// Generation guard: bumped when the op is re-queued across a
+    /// suspension so stale scheduled callbacks become no-ops.
+    pub gen: u32,
+    /// VM index.
+    pub vm: usize,
+    /// Page touches.
+    pub touches: agile_workload::TouchList,
+    /// Next touch index.
+    pub idx: usize,
+    /// CPU burst after the touches.
+    pub cpu: SimDuration,
+    /// Response size.
+    pub response_bytes: u64,
+    /// Completion ticks the VM's throughput meter.
+    pub counts: bool,
+    /// Whether a response must be sent to the client (guest-internal work
+    /// like OS background has no client).
+    pub respond: bool,
+}
+
+/// The WSS tracking machinery attached to a VM.
+pub struct WssExec {
+    /// iostat sampler over the per-VM swap device.
+    pub monitor: SwapActivityMonitor,
+    /// α/β/τ controller.
+    pub controller: ReservationController,
+}
+
+/// A VM slot: the VM plus everything the executor needs around it.
+pub struct VmSlot {
+    /// The VM.
+    pub vm: Vm,
+    /// Host index the VM currently executes on (mirrors `vm.state()`).
+    pub host: usize,
+    /// Swap device binding.
+    pub swap: SwapDev,
+    /// Application model.
+    pub workload: Option<WorkloadKind>,
+    /// Guest-OS background generator.
+    pub os_bg: Option<OsBackground>,
+    /// Queued requests awaiting a server worker.
+    pub server_queue: VecDeque<usize>,
+    /// Requests being processed right now.
+    pub server_active: u32,
+    /// Pending page faults with parked ops.
+    pub pending_faults: HashMap<u32, FaultEntry>,
+    /// Requests held while the VM is suspended (connection limbo).
+    pub limbo: Vec<usize>,
+    /// Client binding (external load generator).
+    pub client: Option<ClientBinding>,
+    /// Application completions per second.
+    pub meter: ThroughputMeter,
+    /// Reservation over time (Fig. 9).
+    pub reservation_series: TimeSeries,
+    /// Active migration (index into `World::migrations`).
+    pub migration: Option<usize>,
+    /// WSS tracking, if enabled for this VM.
+    pub wss: Option<WssExec>,
+    /// RNG stream for guest-OS background activity.
+    pub os_rng: DetRng,
+    /// Generation of the OS-background burst chain (bumped at suspension
+    /// so superseded chains die).
+    pub os_bg_gen: u32,
+    /// Memory-image epoch: bumped when the destination image takes over,
+    /// so in-flight source-side I/O completions apply to the right image.
+    pub mem_epoch: u32,
+}
+
+/// One migration in progress (or finished).
+pub struct MigrationExec {
+    /// VM index.
+    pub vm: usize,
+    /// Source host index.
+    pub source_host: usize,
+    /// Destination host index.
+    pub dest_host: usize,
+    /// Source-side protocol session.
+    pub src: SourceSession,
+    /// Destination-side protocol session.
+    pub dst: DestSession,
+    /// Bulk stream channel (source → dest).
+    pub stream_ch: ChannelId,
+    /// Demand-response channel (source → dest).
+    pub demand_ch: ChannelId,
+    /// Demand-request channel (dest → source).
+    pub req_ch: ChannelId,
+    /// Chunks in flight on the bulk stream (flow control).
+    pub in_flight: usize,
+    /// Priority (demand-response) chunks in flight.
+    pub demand_in_flight: usize,
+    /// Source emitted `Done`.
+    pub src_done: bool,
+    /// Fully finished (metrics complete, source freed).
+    pub finished: bool,
+    /// The arriving VM's memory at the destination (until resume).
+    pub dest_mem: Option<VmMemory>,
+    /// The departing VM's memory at the source (after resume).
+    pub source_mem: Option<VmMemory>,
+    /// Swap device the VM will use at the destination (installed at
+    /// resume). For Agile this is the same portable namespace bound
+    /// through the destination's VMD client.
+    pub dest_swap: Option<SwapDev>,
+    /// The swap device the VM used at the source, retained after resume
+    /// so late source-side evictions/swap-ins still have a device.
+    pub source_swap: Option<SwapDev>,
+    /// Outstanding Migration-Manager swap-in batches: batch → pages left.
+    pub swapin_remaining: HashMap<u64, u32>,
+    /// When set, finalization verifies that the destination holds (at
+    /// least) the source's final content version of every page — the
+    /// end-to-end dirty-tracking check used by the integration tests.
+    pub verify_content: bool,
+}
+
+/// What a network delivery means.
+pub enum NetPayload {
+    /// A client request arriving at the VM's execution host.
+    Request {
+        /// VM index.
+        vm: usize,
+        /// The operation.
+        op: OpSpec,
+        /// Completion counts toward the meter.
+        counts: bool,
+    },
+    /// A response arriving back at the client.
+    Response {
+        /// VM index.
+        vm: usize,
+        /// Completion counts toward the meter.
+        counts: bool,
+    },
+    /// A migration chunk arriving at the destination.
+    MigChunk {
+        /// Migration index.
+        mig: usize,
+        /// Registry key of the chunk payload.
+        chunk: u64,
+        /// Arrived on the demand (priority) channel.
+        priority: bool,
+    },
+    /// The CPU-state + dirty-bitmap handoff arriving at the destination.
+    MigHandoff {
+        /// Migration index.
+        mig: usize,
+    },
+    /// A demand-page request arriving at the source.
+    DemandReq {
+        /// Migration index.
+        mig: usize,
+        /// Faulted page.
+        pfn: u32,
+    },
+    /// A VMD protocol message arriving at a server.
+    VmdToServer {
+        /// Server index.
+        server: usize,
+        /// Sending client index.
+        client: usize,
+        /// The message.
+        msg: agile_vmd::ClientMsg,
+    },
+    /// A VMD protocol message arriving back at a client.
+    VmdToClient {
+        /// Client index.
+        client: usize,
+        /// Replying server index.
+        server: usize,
+        /// The message.
+        msg: agile_vmd::ServerMsg,
+    },
+}
+
+/// Context of an outstanding swap I/O.
+pub enum SwapReqCtx {
+    /// A guest major fault; completion installs the page and wakes
+    /// waiters.
+    GuestFault {
+        /// VM index.
+        vm: usize,
+        /// Faulted page.
+        pfn: u32,
+        /// Memory-image epoch the I/O was issued against.
+        epoch: u32,
+        /// Count the completion as a destination fault-from-swap (Agile).
+        dest_stat: bool,
+    },
+    /// One page of a Migration-Manager swap-in batch.
+    MigrationSwapIn {
+        /// Migration index.
+        mig: usize,
+        /// Batch id for [`agile_migration::SourceEvent::SwapInDone`].
+        batch: u64,
+        /// Page being read.
+        pfn: u32,
+    },
+    /// An eviction write-back; nothing to do on completion.
+    EvictionWrite,
+}
+
+/// A VMD endpoint (client or server) placement.
+pub struct VmdClientEntry {
+    /// The protocol state machine.
+    pub client: Rc<RefCell<VmdClient>>,
+    /// Host it runs on.
+    pub host: usize,
+}
+
+/// A VMD server placement.
+pub struct VmdServerEntry {
+    /// The protocol state machine.
+    pub server: VmdServer,
+    /// Host it runs on.
+    pub host: usize,
+}
+
+/// The VMD subsystem.
+pub struct VmdSubsystem {
+    /// Shared namespace directory (portable-device metadata).
+    pub directory: Rc<RefCell<VmdDirectory>>,
+    /// Per-namespace slot allocators (namespace metadata, shared between
+    /// the source and destination images of a migrating VM).
+    pub allocators: HashMap<NamespaceId, Rc<RefCell<agile_memory::SlotAllocator>>>,
+    /// Clients, one per participating host.
+    pub clients: Vec<VmdClientEntry>,
+    /// Servers, one per intermediate host.
+    pub servers: Vec<VmdServerEntry>,
+    /// Host index → client index.
+    pub host_client: HashMap<usize, usize>,
+    /// (client, server) → (to-server channel, to-client channel).
+    pub channels: HashMap<(usize, usize), (ChannelId, ChannelId)>,
+}
+
+impl VmdSubsystem {
+    /// An empty subsystem.
+    pub fn new() -> Self {
+        VmdSubsystem {
+            directory: Rc::new(RefCell::new(VmdDirectory::new())),
+            allocators: HashMap::new(),
+            clients: Vec::new(),
+            servers: Vec::new(),
+            host_client: HashMap::new(),
+            channels: HashMap::new(),
+        }
+    }
+}
+
+impl Default for VmdSubsystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The whole simulated cluster.
+pub struct World {
+    /// Static configuration.
+    pub cfg: ClusterConfig,
+    /// Per-component RNG seed derivation.
+    pub seeds: SeedSequence,
+    /// The fluid-flow network.
+    pub net: Network,
+    /// The single armed network-poll event, if any (driver bookkeeping).
+    pub net_armed: Option<(SimTime, agile_sim_core::EventId)>,
+    /// Hosts.
+    pub hosts: Vec<Host>,
+    /// VM slots.
+    pub vms: Vec<VmSlot>,
+    /// VMD subsystem.
+    pub vmd: VmdSubsystem,
+    /// Migrations (active and completed).
+    pub migrations: Vec<MigrationExec>,
+    /// Delivery-tag registry.
+    pub payloads: HashMap<u64, NetPayload>,
+    /// Next delivery tag.
+    pub next_tag: u64,
+    /// Chunk payload registry (referenced by `NetPayload::MigChunk`).
+    pub chunks: HashMap<u64, agile_migration::Chunk>,
+    /// Next chunk key.
+    pub next_chunk: u64,
+    /// Outstanding swap I/Os.
+    pub swap_reqs: HashMap<u64, SwapReqCtx>,
+    /// Next swap request id.
+    pub next_req: u64,
+    /// In-flight op slab.
+    pub ops: Vec<Option<OpExec>>,
+    /// Free slots in the op slab.
+    pub free_ops: Vec<usize>,
+    /// Monotonic op-generation counter (uniqueness across slot reuse).
+    pub next_op_gen: u32,
+    /// Migration swap-in batches piggybacking on in-flight guest faults:
+    /// `(vm, pfn)` → batches to credit when the page read completes.
+    pub swapin_piggyback: HashMap<(usize, u32), Vec<(usize, u64)>>,
+    /// Scratch eviction buffer (reused; perf-book: no per-fault allocs).
+    pub evict_buf: Vec<agile_memory::Eviction>,
+}
+
+impl World {
+    /// Create an empty world.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        World {
+            cfg,
+            seeds: SeedSequence::new(cfg.seed),
+            net: Network::new(cfg.prop_delay),
+            net_armed: None,
+            hosts: Vec::new(),
+            vms: Vec::new(),
+            vmd: VmdSubsystem::new(),
+            migrations: Vec::new(),
+            payloads: HashMap::new(),
+            next_tag: 0,
+            chunks: HashMap::new(),
+            next_chunk: 0,
+            swap_reqs: HashMap::new(),
+            next_req: 0,
+            ops: Vec::new(),
+            free_ops: Vec::new(),
+            next_op_gen: 0,
+            swapin_piggyback: HashMap::new(),
+            evict_buf: Vec::new(),
+        }
+    }
+
+    /// Allocate a delivery tag for a payload.
+    pub fn tag(&mut self, payload: NetPayload) -> u64 {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        self.payloads.insert(t, payload);
+        t
+    }
+
+    /// Allocate a swap request id with its context.
+    pub fn swap_req(&mut self, ctx: SwapReqCtx) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        self.swap_reqs.insert(r, ctx);
+        r
+    }
+
+    /// Register a chunk payload, returning its key.
+    pub fn stash_chunk(&mut self, chunk: agile_migration::Chunk) -> u64 {
+        let k = self.next_chunk;
+        self.next_chunk += 1;
+        self.chunks.insert(k, chunk);
+        k
+    }
+
+    /// Allocate an op slab slot. The op's generation is overwritten with a
+    /// globally-unique value so stale scheduled callbacks (which capture
+    /// `(id, gen)`) can never act on a recycled slot.
+    pub fn alloc_op(&mut self, mut op: OpExec) -> usize {
+        op.gen = self.next_op_gen;
+        self.next_op_gen += 1;
+        if let Some(i) = self.free_ops.pop() {
+            self.ops[i] = Some(op);
+            i
+        } else {
+            self.ops.push(Some(op));
+            self.ops.len() - 1
+        }
+    }
+
+    /// Bump an op's generation (invalidating scheduled callbacks) and
+    /// return the new value.
+    pub fn bump_op_gen(&mut self, id: usize) -> u32 {
+        let gen = self.next_op_gen;
+        self.next_op_gen += 1;
+        let op = self.ops[id].as_mut().expect("live op");
+        op.gen = gen;
+        gen
+    }
+
+    /// Free an op slab slot.
+    pub fn free_op(&mut self, id: usize) {
+        debug_assert!(self.ops[id].is_some(), "double free of op {id}");
+        self.ops[id] = None;
+        self.free_ops.push(id);
+    }
+
+    /// The memory image the *source side* of migration `mig` operates on:
+    /// the VM's own memory until resume, then the retained source copy.
+    pub fn source_mem(&self, mig: usize) -> &VmMemory {
+        let m = &self.migrations[mig];
+        match &m.source_mem {
+            Some(mem) => mem,
+            None => self.vms[m.vm].vm.memory(),
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Working-set-tracking executor (§IV-D) and watermark trigger (§III-B).
+//!
+//! Per tracked VM, a sampling chain reads the per-VM swap device's
+//! cumulative counters (iostat), feeds the rate to the α/β/τ controller,
+//! applies the new reservation to the cgroup (evictions go to the swap
+//! device), and reschedules itself at the controller's chosen interval —
+//! 2 s while converging, 30 s once stable.
+
+use agile_sim_core::{SimTime, Simulation};
+use agile_wss::{ControllerParams, ReservationController, SwapActivityMonitor, VmWss, WatermarkTrigger};
+
+use crate::guest::{charge_evictions, EvictTarget};
+use crate::world::{World, WssExec};
+
+/// Enable WSS tracking on a VM and start the sampling chain at `at`.
+pub fn enable_tracking(
+    sim: &mut Simulation<World>,
+    vm_idx: usize,
+    params: ControllerParams,
+    at: SimTime,
+) {
+    {
+        let w = sim.state_mut();
+        w.vms[vm_idx].wss = Some(WssExec {
+            monitor: SwapActivityMonitor::new(),
+            controller: ReservationController::new(params),
+        });
+    }
+    sim.schedule_at(at, move |sim| sample(sim, vm_idx));
+}
+
+/// One sampling tick.
+fn sample(sim: &mut Simulation<World>, vm_idx: usize) {
+    let now = sim.now();
+    if sim.state().vms[vm_idx].wss.is_none() {
+        return;
+    }
+    let mut buf = std::mem::take(&mut sim.state_mut().evict_buf);
+    buf.clear();
+    let next = {
+        let w = sim.state_mut();
+        let slot = &mut w.vms[vm_idx];
+        if slot.migration.is_some() || !slot.vm.state().can_execute() {
+            // Tracking pauses during migration; resume sampling shortly.
+            Some(agile_sim_core::SimDuration::from_secs(2))
+        } else {
+            let counters = slot.swap.counters();
+            let wss = slot.wss.as_mut().expect("checked above");
+            match wss.monitor.sample(now, counters) {
+                Some(rate) => {
+                    let current = slot.vm.memory().limit_bytes();
+                    let adj = wss.controller.on_sample(current, rate);
+                    slot.vm
+                        .memory_mut()
+                        .set_limit_bytes(adj.new_reservation, &mut buf);
+                    slot.reservation_series
+                        .push(now, adj.new_reservation as f64);
+                    let host = slot.host;
+                    w.hosts[host]
+                        .mem
+                        .set_reservation(vm_idx as u64, adj.new_reservation);
+                    Some(adj.next_sample_in)
+                }
+                None => {
+                    // First sample only primes the window.
+                    slot.reservation_series
+                        .push(now, slot.vm.memory().limit_bytes() as f64);
+                    Some(wss.controller.params().fast_interval)
+                }
+            }
+        }
+    };
+    charge_evictions(sim, EvictTarget::Vm(vm_idx), &buf);
+    buf.clear();
+    sim.state_mut().evict_buf = buf;
+    if let Some(dt) = next {
+        sim.schedule_in(dt, move |sim| sample(sim, vm_idx));
+    }
+}
+
+/// The tracked working-set sizes of every running VM on `host`.
+pub fn host_wss(sim: &Simulation<World>, host: usize) -> Vec<VmWss> {
+    sim.state()
+        .vms
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.host == host && s.vm.state().can_execute() && s.migration.is_none())
+        .map(|(i, s)| VmWss {
+            vm: i as u32,
+            wss_bytes: s.vm.memory().limit_bytes(),
+        })
+        .collect()
+}
+
+/// Periodically check a host against the watermarks; when the aggregate
+/// tracked WSS crosses the high watermark, migrate the fewest VMs (largest
+/// first) to `dest_host` using `make_cfg` to build each migration's
+/// configuration. Returns the VMs selected on each firing via `on_select`.
+pub fn arm_watermark_trigger(
+    sim: &mut Simulation<World>,
+    host: usize,
+    dest_host: usize,
+    trigger: WatermarkTrigger,
+    period: agile_sim_core::SimDuration,
+    src_cfg: agile_migration::SourceConfig,
+    dest_reservation_bytes: u64,
+) {
+    sim.schedule_every(SimTime::ZERO + period, period, move |sim| {
+        let vms = host_wss(sim, host);
+        let selected = trigger.select_vms(&vms);
+        for vm in selected {
+            crate::migrate::start_migration(
+                sim,
+                vm as usize,
+                dest_host,
+                src_cfg,
+                dest_reservation_bytes,
+            );
+        }
+        true
+    });
+}

@@ -1,0 +1,137 @@
+//! Host physical-memory accounting.
+//!
+//! Tracks how much of a host's DRAM is spoken for: the host OS overhead
+//! (the paper measures ≈200 MB) plus the sum of VM reservations. The
+//! watermark-based migration trigger (§III-B) asks this ledger whether the
+//! aggregate working set still fits.
+
+/// Ledger of one host's physical memory.
+#[derive(Clone, Debug)]
+pub struct HostMemory {
+    total_bytes: u64,
+    os_overhead_bytes: u64,
+    reservations: Vec<(u64, u64)>, // (vm key, bytes)
+}
+
+impl HostMemory {
+    /// Create a ledger for a host with `total_bytes` DRAM, of which
+    /// `os_overhead_bytes` is consumed by the host OS itself.
+    pub fn new(total_bytes: u64, os_overhead_bytes: u64) -> Self {
+        assert!(os_overhead_bytes <= total_bytes);
+        HostMemory {
+            total_bytes,
+            os_overhead_bytes,
+            reservations: Vec::new(),
+        }
+    }
+
+    /// Total DRAM.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Memory usable by VMs (total minus host OS).
+    pub fn available_for_vms(&self) -> u64 {
+        self.total_bytes - self.os_overhead_bytes
+    }
+
+    /// Register or update a VM's reservation. Oversubscription is allowed —
+    /// that is precisely the memory-pressure condition the paper studies —
+    /// but [`HostMemory::pressure`] will exceed 1.
+    pub fn set_reservation(&mut self, vm: u64, bytes: u64) {
+        if let Some(r) = self.reservations.iter_mut().find(|(k, _)| *k == vm) {
+            r.1 = bytes;
+        } else {
+            self.reservations.push((vm, bytes));
+        }
+    }
+
+    /// Remove a VM's reservation (it migrated away or terminated).
+    pub fn remove_reservation(&mut self, vm: u64) -> bool {
+        let before = self.reservations.len();
+        self.reservations.retain(|(k, _)| *k != vm);
+        self.reservations.len() != before
+    }
+
+    /// A VM's current reservation, if registered.
+    pub fn reservation(&self, vm: u64) -> Option<u64> {
+        self.reservations
+            .iter()
+            .find(|(k, _)| *k == vm)
+            .map(|(_, b)| *b)
+    }
+
+    /// Sum of all VM reservations.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.reservations.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Unreserved memory still available to grow reservations into.
+    pub fn free_bytes(&self) -> u64 {
+        self.available_for_vms().saturating_sub(self.reserved_bytes())
+    }
+
+    /// Reserved / available ratio. Above 1.0 the host is oversubscribed and
+    /// per-cgroup limits will force swapping.
+    pub fn pressure(&self) -> f64 {
+        if self.available_for_vms() == 0 {
+            return f64::INFINITY;
+        }
+        self.reserved_bytes() as f64 / self.available_for_vms() as f64
+    }
+
+    /// Registered VM keys (insertion order).
+    pub fn vms(&self) -> impl Iterator<Item = u64> + '_ {
+        self.reservations.iter().map(|(k, _)| *k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agile_sim_core::GIB;
+
+    #[test]
+    fn ledger_basics() {
+        let mut h = HostMemory::new(23 * GIB, 200 * 1024 * 1024);
+        assert_eq!(h.total_bytes(), 23 * GIB);
+        h.set_reservation(1, 5 * GIB);
+        h.set_reservation(2, 5 * GIB);
+        assert_eq!(h.reserved_bytes(), 10 * GIB);
+        assert_eq!(h.reservation(1), Some(5 * GIB));
+        assert!(h.pressure() < 1.0);
+        assert_eq!(h.free_bytes(), h.available_for_vms() - 10 * GIB);
+    }
+
+    #[test]
+    fn update_replaces_not_duplicates() {
+        let mut h = HostMemory::new(8 * GIB, 0);
+        h.set_reservation(1, GIB);
+        h.set_reservation(1, 2 * GIB);
+        assert_eq!(h.reserved_bytes(), 2 * GIB);
+        assert_eq!(h.vms().count(), 1);
+    }
+
+    #[test]
+    fn oversubscription_shows_pressure() {
+        let mut h = HostMemory::new(6 * GIB, GIB / 2);
+        h.set_reservation(1, 12 * GIB);
+        assert!(h.pressure() > 2.0);
+        assert_eq!(h.free_bytes(), 0);
+    }
+
+    #[test]
+    fn removal() {
+        let mut h = HostMemory::new(8 * GIB, 0);
+        h.set_reservation(1, GIB);
+        assert!(h.remove_reservation(1));
+        assert!(!h.remove_reservation(1));
+        assert_eq!(h.reserved_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overhead_cannot_exceed_total() {
+        let _ = HostMemory::new(GIB, 2 * GIB);
+    }
+}

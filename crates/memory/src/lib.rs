@@ -1,0 +1,35 @@
+//! # agile-memory
+//!
+//! The host-side memory-management substrate of the Agile live-migration
+//! reproduction: everything the Linux kernel + cgroups would do for a
+//! KVM/QEMU process, at 4 KB page granularity.
+//!
+//! * [`VmMemory`] — one VM's guest pages: PTE-style flags, content
+//!   versions, a cgroup memory reservation, and a two-list (active /
+//!   inactive) second-chance reclaim machine with swap-cache reuse.
+//! * [`PagemapEntry`] — the `/proc/pid/pagemap` view the Migration Manager
+//!   reads to detect swapped-out pages and their swap offsets (§IV-C of
+//!   the paper).
+//! * [`SwapBackend`] / [`SsdSwap`] — pluggable swap devices; the VMD-backed
+//!   per-VM portable namespace lives in `agile-vmd` behind the same trait.
+//! * [`HostMemory`] — per-host reservation ledger feeding the watermark
+//!   migration trigger.
+//!
+//! All types are sans-IO: operations that imply device work return
+//! descriptions ([`Eviction`], [`Touch::MajorFault`]) and the simulation
+//! executor charges them to devices, so the semantics are unit-testable in
+//! isolation.
+
+pub mod host;
+pub mod lru;
+pub mod page;
+pub mod slots;
+pub mod swap;
+pub mod vmmem;
+
+pub use host::HostMemory;
+pub use lru::{LruLinks, LruList, NIL};
+pub use page::{PageFlags, PagemapEntry};
+pub use slots::{SlotAllocator, NO_SLOT};
+pub use swap::{SsdSwap, SwapBackend, SwapIssue};
+pub use vmmem::{Eviction, MemCounters, Slots, Touch, VmMemory, VmMemoryConfig};

@@ -1,0 +1,137 @@
+//! Per-page state flags and the pagemap view.
+//!
+//! The Migration Manager in the paper decides what to send by reading the
+//! KVM/QEMU process's `/proc/pid/pagemap`: for every guest page it learns
+//! whether the backing host page is *present*, *swapped out* (and at which
+//! swap offset), or neither. [`PageFlags`] is the PTE-equivalent bit set and
+//! [`PagemapEntry`] is the exact view `pagemap` exposes.
+
+/// Compact per-page flag byte (the simulated PTE + struct-page bits).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct PageFlags(u8);
+
+impl PageFlags {
+    /// Page is resident in host memory.
+    pub const PRESENT: u8 = 1 << 0;
+    /// Page content lives on the swap device (mutually exclusive with
+    /// PRESENT except while a swap-cache copy exists, see HAS_SWAP_COPY).
+    pub const SWAPPED: u8 = 1 << 1;
+    /// Hardware accessed bit: set on every touch, cleared by reclaim scans.
+    pub const ACCESSED: u8 = 1 << 2;
+    /// Page modified since last swap-out / fault-in.
+    pub const DIRTY: u8 = 1 << 3;
+    /// A clean, still-valid copy of this resident page exists in its swap
+    /// slot (Linux swap-cache): eviction can drop the page without a write.
+    pub const HAS_SWAP_COPY: u8 = 1 << 4;
+    /// A swap-in or swap-out for this page is in flight.
+    pub const IO_INFLIGHT: u8 = 1 << 5;
+
+    /// No flags set (a never-populated, zero page).
+    pub const fn empty() -> Self {
+        PageFlags(0)
+    }
+
+    /// Test any of the given bits.
+    #[inline]
+    pub const fn any(self, bits: u8) -> bool {
+        self.0 & bits != 0
+    }
+
+    /// Test that all given bits are set.
+    #[inline]
+    pub const fn all(self, bits: u8) -> bool {
+        self.0 & bits == bits
+    }
+
+    /// Set bits.
+    #[inline]
+    pub fn set(&mut self, bits: u8) {
+        self.0 |= bits;
+    }
+
+    /// Clear bits.
+    #[inline]
+    pub fn clear(&mut self, bits: u8) {
+        self.0 &= !bits;
+    }
+
+    /// Raw byte.
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// True when the page is resident.
+    #[inline]
+    pub const fn present(self) -> bool {
+        self.any(Self::PRESENT)
+    }
+
+    /// True when the page is swapped out.
+    #[inline]
+    pub const fn swapped(self) -> bool {
+        self.any(Self::SWAPPED)
+    }
+}
+
+/// What `/proc/pid/pagemap` reports for one virtual page.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PagemapEntry {
+    /// Backed by a resident host page frame.
+    Present,
+    /// Swapped out; the payload is the page's offset (slot) on its swap
+    /// device — exactly what Agile migration sends instead of the page.
+    Swapped {
+        /// Slot index on the per-VM swap device.
+        slot: u32,
+    },
+    /// Never populated (reads as zeros).
+    None,
+}
+
+impl PagemapEntry {
+    /// True for [`PagemapEntry::Present`].
+    pub fn is_present(self) -> bool {
+        matches!(self, PagemapEntry::Present)
+    }
+
+    /// True for [`PagemapEntry::Swapped`].
+    pub fn is_swapped(self) -> bool {
+        matches!(self, PagemapEntry::Swapped { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_clear() {
+        let mut f = PageFlags::empty();
+        assert!(!f.present());
+        f.set(PageFlags::PRESENT | PageFlags::ACCESSED);
+        assert!(f.present());
+        assert!(f.any(PageFlags::ACCESSED));
+        assert!(f.all(PageFlags::PRESENT | PageFlags::ACCESSED));
+        assert!(!f.all(PageFlags::PRESENT | PageFlags::DIRTY));
+        f.clear(PageFlags::ACCESSED);
+        assert!(!f.any(PageFlags::ACCESSED));
+        assert!(f.present());
+    }
+
+    #[test]
+    fn swapped_flag_independent_of_present() {
+        let mut f = PageFlags::empty();
+        f.set(PageFlags::SWAPPED);
+        assert!(f.swapped());
+        assert!(!f.present());
+    }
+
+    #[test]
+    fn pagemap_entry_predicates() {
+        assert!(PagemapEntry::Present.is_present());
+        assert!(!PagemapEntry::Present.is_swapped());
+        assert!(PagemapEntry::Swapped { slot: 7 }.is_swapped());
+        assert!(!PagemapEntry::None.is_present());
+    }
+}

@@ -1,0 +1,225 @@
+//! Property-based tests: bitmap algebra and protocol-session invariants
+//! under arbitrary write/migration interleavings.
+
+use agile_memory::{PagemapEntry, VmMemory, VmMemoryConfig};
+use agile_migration::{
+    Bitmap, DestSession, SourceCmd, SourceConfig, SourceEvent, SourceSession, Technique,
+};
+use agile_sim_core::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// Bitmap against a reference HashSet model.
+    #[test]
+    fn bitmap_matches_set_model(ops in proptest::collection::vec((0u8..3, 0u32..200), 1..300)) {
+        let mut b = Bitmap::zeros(200);
+        let mut model = std::collections::BTreeSet::new();
+        for (op, i) in ops {
+            match op {
+                0 => {
+                    let was = b.set(i);
+                    prop_assert_eq!(was, !model.insert(i));
+                }
+                1 => {
+                    let was = b.clear(i);
+                    prop_assert_eq!(was, model.remove(&i));
+                }
+                _ => {
+                    prop_assert_eq!(b.get(i), model.contains(&i));
+                }
+            }
+            prop_assert_eq!(b.count_ones() as usize, model.len());
+        }
+        let listed: Vec<u32> = b.iter_set().collect();
+        let expect: Vec<u32> = model.into_iter().collect();
+        prop_assert_eq!(listed, expect);
+    }
+
+    /// For ANY interleaving of guest writes with an Agile migration, the
+    /// protocol delivers the source's final content: run a migration with
+    /// writes injected between event steps and verify versions at the end.
+    #[test]
+    fn agile_protocol_never_loses_writes(
+        writes in proptest::collection::vec((0u32..64, 0u8..8), 0..60),
+        limit in 8u32..48,
+    ) {
+        let n_pages = 64u32;
+        let mut src_mem = VmMemory::new(VmMemoryConfig {
+            pages: n_pages,
+            page_size: 4096,
+            limit_pages: limit,
+        });
+        let mut evs = Vec::new();
+        for p in 0..n_pages {
+            src_mem.touch(p, true);
+            src_mem.fault_in(p, true, &mut evs);
+            evs.clear();
+        }
+        let mut dst_mem = VmMemory::new(VmMemoryConfig {
+            pages: n_pages,
+            page_size: 4096,
+            limit_pages: n_pages,
+        });
+        let mut src = SourceSession::new(
+            SourceConfig {
+                chunk_pages: 8,
+                ..SourceConfig::new(Technique::Agile)
+            },
+            n_pages,
+            SimTime::ZERO,
+        );
+        let mut dst = DestSession::new(Technique::Agile, n_pages);
+
+        // Drive the protocol; after every source step, apply the next
+        // scripted guest write at the source (only while it still runs
+        // there).
+        let mut write_iter = writes.into_iter();
+        let mut queue = vec![SourceEvent::Start];
+        let mut suspended = false;
+        let mut guard = 0;
+        while let Some(ev) = queue.pop() {
+            guard += 1;
+            prop_assert!(guard < 100_000, "runaway protocol");
+            let cmds = src.on_event(SimTime::ZERO, ev, &src_mem);
+            for cmd in cmds {
+                match cmd {
+                    SourceCmd::SendChunk { chunk, .. } => {
+                        dst.on_chunk(&chunk, &mut dst_mem, &mut evs);
+                        evs.clear();
+                        queue.push(SourceEvent::ChannelReady);
+                    }
+                    SourceCmd::SwapIn { batch, pages } => {
+                        for (pfn, _) in pages {
+                            if matches!(src_mem.pagemap(pfn), PagemapEntry::Swapped { .. }) {
+                                src_mem.begin_swap_in(pfn);
+                                src_mem.fault_in(pfn, false, &mut evs);
+                                evs.clear();
+                            }
+                        }
+                        queue.push(SourceEvent::SwapInDone { batch });
+                    }
+                    SourceCmd::Suspend => {
+                        suspended = true;
+                    }
+                    SourceCmd::SendHandoff { .. } => {
+                        let dirty = src.handoff_dirty().cloned().unwrap();
+                        dst.on_handoff(dirty, &mut dst_mem);
+                        queue.push(SourceEvent::HandoffDelivered);
+                    }
+                    SourceCmd::Done => {}
+                }
+            }
+            if queue.is_empty() && !src.is_done() {
+                queue.push(SourceEvent::ChannelReady);
+            }
+            // Guest write at the source while it still runs there.
+            if !suspended {
+                if let Some((pfn, reps)) = write_iter.next() {
+                    for _ in 0..=reps {
+                        match src_mem.touch(pfn, true) {
+                            agile_memory::Touch::Hit => {}
+                            agile_memory::Touch::MajorFault { .. } => {
+                                src_mem.begin_swap_in(pfn);
+                                src_mem.fault_in(pfn, true, &mut evs);
+                                evs.clear();
+                            }
+                            agile_memory::Touch::MinorFault => {
+                                src_mem.fault_in(pfn, true, &mut evs);
+                                evs.clear();
+                            }
+                            agile_memory::Touch::InFlight => {}
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(src.is_done());
+        // Destination holds the source's final content: either the page
+        // arrived in full (version equal) or it is tracked as swapped with
+        // the right version recorded.
+        for p in 0..n_pages {
+            prop_assert_eq!(
+                dst_mem.version(p),
+                src_mem.version(p),
+                "page {} lost an update",
+                p
+            );
+        }
+    }
+
+    /// Pre-copy under the same regime also converges and preserves
+    /// content (rounds are bounded by the config).
+    #[test]
+    fn precopy_protocol_never_loses_writes(
+        writes in proptest::collection::vec(0u32..32, 0..40),
+    ) {
+        let n_pages = 32u32;
+        let mut src_mem = VmMemory::new(VmMemoryConfig {
+            pages: n_pages,
+            page_size: 4096,
+            limit_pages: n_pages,
+        });
+        let mut evs = Vec::new();
+        for p in 0..n_pages {
+            src_mem.touch(p, true);
+            src_mem.fault_in(p, true, &mut evs);
+            evs.clear();
+        }
+        let mut dst_mem = VmMemory::new(VmMemoryConfig {
+            pages: n_pages,
+            page_size: 4096,
+            limit_pages: n_pages,
+        });
+        let mut src = SourceSession::new(
+            SourceConfig {
+                chunk_pages: 4,
+                precopy_threshold_pages: 2,
+                precopy_max_rounds: 10,
+                ..SourceConfig::new(Technique::PreCopy)
+            },
+            n_pages,
+            SimTime::ZERO,
+        );
+        let mut dst = DestSession::new(Technique::PreCopy, n_pages);
+        let mut write_iter = writes.into_iter();
+        let mut suspended = false;
+        let mut queue = vec![SourceEvent::Start];
+        let mut guard = 0;
+        while let Some(ev) = queue.pop() {
+            guard += 1;
+            prop_assert!(guard < 100_000);
+            let cmds = src.on_event(SimTime::ZERO, ev, &src_mem);
+            for cmd in cmds {
+                match cmd {
+                    SourceCmd::SendChunk { chunk, .. } => {
+                        dst.on_chunk(&chunk, &mut dst_mem, &mut evs);
+                        evs.clear();
+                        queue.push(SourceEvent::ChannelReady);
+                    }
+                    SourceCmd::SwapIn { batch, .. } => {
+                        queue.push(SourceEvent::SwapInDone { batch });
+                    }
+                    SourceCmd::Suspend => suspended = true,
+                    SourceCmd::SendHandoff { .. } => {
+                        let dirty = src.handoff_dirty().cloned().unwrap();
+                        dst.on_handoff(dirty, &mut dst_mem);
+                        queue.push(SourceEvent::HandoffDelivered);
+                    }
+                    SourceCmd::Done => {}
+                }
+            }
+            if queue.is_empty() && !src.is_done() {
+                queue.push(SourceEvent::ChannelReady);
+            }
+            if !suspended {
+                if let Some(pfn) = write_iter.next() {
+                    src_mem.touch(pfn, true);
+                }
+            }
+        }
+        prop_assert!(src.is_done());
+        for p in 0..n_pages {
+            prop_assert_eq!(dst_mem.version(p), src_mem.version(p), "page {}", p);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Event queue and simulation executor.
+//!
+//! [`Simulation`] owns the world state `W`, the virtual clock, and a
+//! priority queue of scheduled events. An event is a boxed `FnOnce` that
+//! receives `&mut Simulation<W>` — it may inspect and mutate the world,
+//! schedule further events, and cancel pending ones.
+//!
+//! Determinism: events are ordered by `(time, sequence-number)`. The
+//! sequence number is assigned at scheduling time, so two events scheduled
+//! for the same instant fire in the order they were scheduled, on every run.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+type EventFn<W> = Box<dyn FnOnce(&mut Simulation<W>)>;
+type PeriodicFn<W> = Box<dyn FnMut(&mut Simulation<W>) -> bool>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A discrete-event simulation: world state plus virtual clock plus pending
+/// events.
+pub struct Simulation<W> {
+    now: SimTime,
+    state: W,
+    queue: BinaryHeap<Scheduled<W>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    executed: u64,
+    stopped: bool,
+}
+
+impl<W> Simulation<W> {
+    /// Create a simulation at t = 0 around an initial world state.
+    pub fn new(state: W) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            state,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            executed: 0,
+            stopped: false,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the world state.
+    #[inline]
+    pub fn state(&self) -> &W {
+        &self.state
+    }
+
+    /// Exclusive access to the world state.
+    #[inline]
+    pub fn state_mut(&mut self) -> &mut W {
+        &mut self.state
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (including cancelled ones not yet
+    /// drained from the heap).
+    pub fn events_pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedule `f` to fire at absolute time `at`. Scheduling in the past
+    /// fires the event "now" (it is clamped to the current time), which can
+    /// happen legitimately when a rate computation rounds down.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation<W>) + 'static,
+    {
+        self.schedule_boxed(at, Box::new(f))
+    }
+
+    /// Schedule `f` to fire after `delay`.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation<W>) + 'static,
+    {
+        self.schedule_boxed(self.now + delay, Box::new(f))
+    }
+
+    /// Schedule an already-boxed event (avoids double boxing in helpers).
+    pub fn schedule_boxed(&mut self, at: SimTime, f: EventFn<W>) -> EventId {
+        let time = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled { time, seq, f });
+        EventId(seq)
+    }
+
+    /// Schedule `f` to fire every `period`, starting at `start`, for as long
+    /// as it returns `true`.
+    pub fn schedule_every<F>(&mut self, start: SimTime, period: SimDuration, f: F)
+    where
+        F: FnMut(&mut Simulation<W>) -> bool + 'static,
+        W: 'static,
+    {
+        assert!(!period.is_zero(), "schedule_every requires a non-zero period");
+        self.schedule_boxed(start, periodic_tick(Box::new(f), period));
+    }
+
+    /// Cancel a pending event. Cancelling an already-fired or already-
+    /// cancelled event is a no-op and returns `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Request that the run loop stop after the current event returns.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Execute a single event. Returns `false` if the queue is empty or the
+    /// simulation was stopped.
+    pub fn step(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.f)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Run until the queue is exhausted or [`Simulation::stop`] is called.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the clock reaches `deadline` (exclusive of events scheduled
+    /// after it), the queue empties, or the simulation is stopped. On a
+    /// normal deadline exit the clock is advanced to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            if self.stopped {
+                return;
+            }
+            match self.queue.peek() {
+                Some(ev) if ev.time <= deadline => {
+                    if !self.step() {
+                        return;
+                    }
+                }
+                _ => {
+                    self.now = self.now.max(deadline);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consume the simulation and return the final world state.
+    pub fn into_state(self) -> W {
+        self.state
+    }
+}
+
+/// Build the self-rescheduling closure for [`Simulation::schedule_every`].
+/// The `dyn` indirection is what lets the closure reschedule a fresh copy of
+/// itself without creating an infinitely recursive type.
+fn periodic_tick<W: 'static>(mut f: PeriodicFn<W>, period: SimDuration) -> EventFn<W> {
+    Box::new(move |sim| {
+        if f(sim) {
+            let next = sim.now() + period;
+            sim.schedule_boxed(next, periodic_tick(f, period));
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        sim.schedule_at(SimTime::from_secs(3), |s| s.state_mut().push(3));
+        sim.schedule_at(SimTime::from_secs(1), |s| s.state_mut().push(1));
+        sim.schedule_at(SimTime::from_secs(2), |s| s.state_mut().push(2));
+        sim.run();
+        assert_eq!(sim.state(), &[1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            sim.schedule_at(t, move |s| s.state_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(sim.state(), &(0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Simulation::new(0u64);
+        sim.schedule_at(SimTime::from_secs(1), |s| {
+            *s.state_mut() += 1;
+            s.schedule_in(SimDuration::from_secs(1), |s| {
+                *s.state_mut() += 10;
+            });
+        });
+        sim.run();
+        assert_eq!(*sim.state(), 11);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut sim = Simulation::new(0u64);
+        let id = sim.schedule_at(SimTime::from_secs(1), |s| *s.state_mut() += 1);
+        sim.schedule_at(SimTime::from_secs(2), |s| *s.state_mut() += 100);
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double cancel is a no-op");
+        sim.run();
+        assert_eq!(*sim.state(), 100);
+        assert_eq!(sim.events_executed(), 1);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut sim = Simulation::new(());
+        assert!(!sim.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for t in [1u64, 2, 3, 4, 5] {
+            sim.schedule_at(SimTime::from_secs(t), move |s| s.state_mut().push(t));
+        }
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.state(), &[1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.state(), &[1, 2, 3, 4, 5]);
+        // Clock advances to the deadline even with no events there.
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        sim.schedule_at(SimTime::from_secs(5), |s| {
+            s.schedule_at(SimTime::from_secs(1), |s| {
+                let t = s.now().as_secs();
+                s.state_mut().push(t);
+            });
+        });
+        sim.run();
+        assert_eq!(sim.state(), &[5], "past event fired at current time");
+    }
+
+    #[test]
+    fn stop_halts_the_loop() {
+        let mut sim = Simulation::new(0u64);
+        sim.schedule_at(SimTime::from_secs(1), |s| {
+            *s.state_mut() += 1;
+            s.stop();
+        });
+        sim.schedule_at(SimTime::from_secs(2), |s| *s.state_mut() += 1);
+        sim.run();
+        assert_eq!(*sim.state(), 1);
+        assert_eq!(sim.events_pending(), 1);
+    }
+
+    #[test]
+    fn periodic_runs_until_false() {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        sim.schedule_every(SimTime::from_secs(1), SimDuration::from_secs(2), |s| {
+            let t = s.now().as_secs();
+            s.state_mut().push(t);
+            t < 7
+        });
+        sim.run();
+        assert_eq!(sim.state(), &[1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn events_pending_excludes_cancelled() {
+        let mut sim = Simulation::new(());
+        let a = sim.schedule_at(SimTime::from_secs(1), |_| {});
+        let _b = sim.schedule_at(SimTime::from_secs(2), |_| {});
+        assert_eq!(sim.events_pending(), 2);
+        sim.cancel(a);
+        assert_eq!(sim.events_pending(), 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! Time-series recording and summary statistics.
+//!
+//! The paper's figures are second-granularity time series (YCSB throughput,
+//! memory reservation) and scalar summaries (migration time, bytes moved).
+//! [`ThroughputMeter`] bins completion events into per-second buckets;
+//! [`TimeSeries`] records arbitrary sampled values; [`Summary`] reduces a
+//! slice to the usual descriptive statistics.
+
+use crate::time::SimTime;
+
+/// A sampled `(time, value)` series.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Create an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Append a sample. Samples should be pushed in nondecreasing time
+    /// order; this is asserted in debug builds.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|(lt, _)| *lt <= t),
+            "time series samples must be pushed in order"
+        );
+        self.points.push((t, v));
+    }
+
+    /// All samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last sample at or before `t` (step interpolation), if any.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.points.binary_search_by(|(pt, _)| pt.cmp(&t)) {
+            Ok(i) => Some(self.points[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// Values within `[from, to)`.
+    pub fn window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = f64> + '_ {
+        self.points
+            .iter()
+            .filter(move |(t, _)| *t >= from && *t < to)
+            .map(|(_, v)| *v)
+    }
+
+    /// Render as CSV lines `seconds,value`.
+    pub fn to_csv(&self, header: &str) -> String {
+        let mut s = String::with_capacity(self.points.len() * 16 + header.len() + 1);
+        s.push_str(header);
+        s.push('\n');
+        for (t, v) in &self.points {
+            s.push_str(&format!("{:.3},{:.4}\n", t.as_secs_f64(), v));
+        }
+        s
+    }
+}
+
+/// Bins discrete completions (operations, transactions) into fixed-width
+/// time buckets — the instrument behind every throughput figure.
+#[derive(Clone, Debug)]
+pub struct ThroughputMeter {
+    bin_secs: u64,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl ThroughputMeter {
+    /// Create a meter with `bin_secs`-wide buckets (the paper plots 1 s).
+    pub fn new(bin_secs: u64) -> Self {
+        assert!(bin_secs > 0);
+        ThroughputMeter {
+            bin_secs,
+            bins: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Record `n` completions at time `t`.
+    pub fn record(&mut self, t: SimTime, n: u64) {
+        let idx = (t.as_secs() / self.bin_secs) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += n;
+        self.total += n;
+    }
+
+    /// Total completions recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bin rate in completions/second, as `(bin_start_secs, rate)`.
+    pub fn rates(&self) -> Vec<(u64, f64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as u64 * self.bin_secs, n as f64 / self.bin_secs as f64))
+            .collect()
+    }
+
+    /// Rate over the half-open window `[from_sec, to_sec)`.
+    pub fn rate_in_window(&self, from_sec: u64, to_sec: u64) -> f64 {
+        if to_sec <= from_sec {
+            return 0.0;
+        }
+        let lo = (from_sec / self.bin_secs) as usize;
+        let hi = to_sec.div_ceil(self.bin_secs) as usize;
+        let sum: u64 = self
+            .bins
+            .iter()
+            .skip(lo)
+            .take(hi.saturating_sub(lo))
+            .sum();
+        sum as f64 / (to_sec - from_sec) as f64
+    }
+
+    /// Merge per-bin counts of several meters (e.g. "average YCSB
+    /// throughput across all 4 VMs" sums the clients then divides).
+    pub fn merged(meters: &[&ThroughputMeter]) -> ThroughputMeter {
+        assert!(!meters.is_empty());
+        let bin_secs = meters[0].bin_secs;
+        assert!(meters.iter().all(|m| m.bin_secs == bin_secs));
+        let len = meters.iter().map(|m| m.bins.len()).max().unwrap_or(0);
+        let mut bins = vec![0u64; len];
+        let mut total = 0;
+        for m in meters {
+            for (i, &n) in m.bins.iter().enumerate() {
+                bins[i] += n;
+            }
+            total += m.total;
+        }
+        ThroughputMeter { bin_secs, bins, total }
+    }
+}
+
+/// Descriptive statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Minimum (0 for an empty sample).
+    pub min: f64,
+    /// Maximum (0 for an empty sample).
+    pub max: f64,
+    /// Sample standard deviation (0 for n < 2).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Compute a summary of `values`.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Summary {
+        let mut count = 0usize;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            count += 1;
+            sum += v;
+            sumsq += v * v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if count == 0 {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                stddev: 0.0,
+            };
+        }
+        let mean = sum / count as f64;
+        let var = if count > 1 {
+            ((sumsq - sum * sum / count as f64) / (count as f64 - 1.0)).max(0.0)
+        } else {
+            0.0
+        };
+        Summary {
+            count,
+            mean,
+            min,
+            max,
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+/// Percentile of a sample (nearest-rank). `p` in `[0, 100]`.
+pub fn percentile(values: &mut [f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let rank = ((p / 100.0) * values.len() as f64).ceil() as usize;
+    values[rank.clamp(1, values.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn series_step_lookup() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(1), 10.0);
+        ts.push(SimTime::from_secs(3), 30.0);
+        assert_eq!(ts.value_at(SimTime::ZERO), None);
+        assert_eq!(ts.value_at(SimTime::from_secs(1)), Some(10.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(2)), Some(10.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(5)), Some(30.0));
+    }
+
+    #[test]
+    fn series_window() {
+        let mut ts = TimeSeries::new();
+        for s in 0..10 {
+            ts.push(SimTime::from_secs(s), s as f64);
+        }
+        let vals: Vec<f64> = ts.window(SimTime::from_secs(3), SimTime::from_secs(6)).collect();
+        assert_eq!(vals, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn series_csv() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_millis(500), 2.5);
+        let csv = ts.to_csv("t,v");
+        assert_eq!(csv, "t,v\n0.500,2.5000\n");
+    }
+
+    #[test]
+    fn meter_bins_per_second() {
+        let mut m = ThroughputMeter::new(1);
+        m.record(SimTime::from_millis(100), 5);
+        m.record(SimTime::from_millis(900), 5);
+        m.record(SimTime::from_millis(1100), 7);
+        let rates = m.rates();
+        assert_eq!(rates[0], (0, 10.0));
+        assert_eq!(rates[1], (1, 7.0));
+        assert_eq!(m.total(), 17);
+    }
+
+    #[test]
+    fn meter_window_rate() {
+        let mut m = ThroughputMeter::new(1);
+        for s in 0..10u64 {
+            m.record(SimTime::from_secs(s) + SimDuration::from_millis(1), s);
+        }
+        // seconds 2..5 hold 2+3+4 = 9 events over 3 s.
+        assert!((m.rate_in_window(2, 5) - 3.0).abs() < 1e-12);
+        assert_eq!(m.rate_in_window(5, 5), 0.0);
+    }
+
+    #[test]
+    fn meter_merge_sums_bins() {
+        let mut a = ThroughputMeter::new(1);
+        let mut b = ThroughputMeter::new(1);
+        a.record(SimTime::from_secs(0), 3);
+        b.record(SimTime::from_secs(0), 4);
+        b.record(SimTime::from_secs(2), 5);
+        let m = ThroughputMeter::merged(&[&a, &b]);
+        assert_eq!(m.rates()[0].1, 7.0);
+        assert_eq!(m.rates()[2].1, 5.0);
+        assert_eq!(m.total(), 12);
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.stddev - 1.2909944487).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        let e = Summary::of(std::iter::empty());
+        assert_eq!(e.count, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Summary::of([7.0]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut v = vec![10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&mut v, 50.0), 30.0);
+        assert_eq!(percentile(&mut v, 100.0), 50.0);
+        assert_eq!(percentile(&mut v, 0.0), 10.0);
+        assert_eq!(percentile(&mut [], 50.0), 0.0);
+    }
+}

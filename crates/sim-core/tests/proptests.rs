@@ -1,0 +1,129 @@
+//! Property-based tests for the simulation kernel.
+
+use agile_sim_core::{
+    Bandwidth, BlockDevice, BlockDeviceSpec, IoKind, Network, SimDuration, SimTime, Simulation,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events fire in nondecreasing time order regardless of the
+    /// scheduling order, and ties preserve scheduling order.
+    #[test]
+    fn event_order_is_total(times in proptest::collection::vec(0u64..1000, 1..50)) {
+        let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_millis(t), move |s| {
+                let now = s.now().as_nanos();
+                s.state_mut().push((now, i));
+            });
+        }
+        sim.run();
+        let fired = sim.state();
+        prop_assert_eq!(fired.len(), times.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie broke scheduling order");
+            }
+        }
+    }
+
+    /// run_until never executes events past the deadline, and a subsequent
+    /// run() executes exactly the rest.
+    #[test]
+    fn run_until_partitions_events(times in proptest::collection::vec(0u64..1000, 1..50), split in 0u64..1000) {
+        let mut sim = Simulation::new(0usize);
+        for &t in &times {
+            sim.schedule_at(SimTime::from_millis(t), |s| *s.state_mut() += 1);
+        }
+        sim.run_until(SimTime::from_millis(split));
+        let before = *sim.state();
+        let expect_before = times.iter().filter(|&&t| t <= split).count();
+        prop_assert_eq!(before, expect_before);
+        sim.run();
+        prop_assert_eq!(*sim.state(), times.len());
+    }
+
+    /// Block device: completions are FIFO and total busy time equals the
+    /// sum of service times.
+    #[test]
+    fn blockdev_fifo_and_conservation(ops in proptest::collection::vec((0u64..1000u64, 0usize..2, 512u64..65536), 1..40)) {
+        let mut dev = BlockDevice::new(BlockDeviceSpec::sata_ssd());
+        let mut sorted = ops.clone();
+        sorted.sort_by_key(|(t, _, _)| *t);
+        let mut last_completion = SimTime::ZERO;
+        let mut service_sum = SimDuration::ZERO;
+        for (t, kind, bytes) in sorted {
+            let kind = if kind == 0 { IoKind::Read } else { IoKind::Write };
+            let done = dev.submit(SimTime::from_micros(t), kind, bytes);
+            prop_assert!(done >= last_completion, "completions must be FIFO");
+            last_completion = done;
+            service_sum += dev.spec().service_time(kind, bytes);
+        }
+        prop_assert_eq!(dev.counters().busy_nanos, service_sum.as_nanos());
+    }
+
+    /// Fluid network conservation: with arbitrary concurrent transfers,
+    /// every byte sent is eventually delivered, and per-node tx equals the
+    /// sum of its channels' bytes.
+    #[test]
+    fn network_delivers_every_byte(transfers in proptest::collection::vec((0usize..3, 0usize..3, 1u64..2_000_000), 1..20)) {
+        let mut net = Network::new(SimDuration::from_micros(50));
+        let nodes: Vec<_> = (0..3).map(|_| net.add_symmetric_node(Bandwidth::gbps(1.0))).collect();
+        let mut chans = Vec::new();
+        let mut total = 0u64;
+        let mut per_node_tx = [0u64; 3];
+        for (i, &(s, d, bytes)) in transfers.iter().enumerate() {
+            let ch = net.open_channel(nodes[s], nodes[d]);
+            net.send(SimTime::ZERO, ch, bytes, i as u64);
+            chans.push((ch, bytes));
+            total += bytes;
+            per_node_tx[s] += bytes;
+        }
+        let mut delivered = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        let mut guard = 0;
+        while let Some(t) = net.next_event_time() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "network did not quiesce");
+            for d in net.poll(t) {
+                delivered += d.bytes;
+                prop_assert!(seen.insert(d.tag), "duplicate delivery");
+            }
+        }
+        prop_assert_eq!(delivered, total);
+        prop_assert_eq!(seen.len(), transfers.len());
+        for (i, node) in nodes.iter().enumerate() {
+            prop_assert_eq!(net.node_tx_bytes(*node), per_node_tx[i]);
+        }
+        for (ch, bytes) in chans {
+            prop_assert_eq!(net.delivered_bytes(ch), bytes);
+        }
+    }
+
+    /// Max-min allocation never exceeds any NIC's capacity.
+    #[test]
+    fn network_rates_respect_capacity(transfers in proptest::collection::vec((0usize..4, 0usize..4, 1u64..10_000_000), 2..16)) {
+        let mut net = Network::new(SimDuration::from_micros(50));
+        let nodes: Vec<_> = (0..4).map(|_| net.add_symmetric_node(Bandwidth::gbps(1.0))).collect();
+        let mut chans = Vec::new();
+        for (i, &(s, d, bytes)) in transfers.iter().enumerate() {
+            let ch = net.open_channel(nodes[s], nodes[d]);
+            net.send(SimTime::ZERO, ch, bytes, i as u64);
+            chans.push((ch, s, d));
+        }
+        let cap = 125e6;
+        let mut tx = [0.0f64; 4];
+        let mut rx = [0.0f64; 4];
+        for &(ch, s, d) in &chans {
+            let r = net.channel_rate(ch);
+            prop_assert!(r >= 0.0);
+            tx[s] += r;
+            rx[d] += r;
+        }
+        for n in 0..4 {
+            prop_assert!(tx[n] <= cap * 1.000001, "tx overcommitted: {}", tx[n]);
+            prop_assert!(rx[n] <= cap * 1.000001, "rx overcommitted: {}", rx[n]);
+        }
+    }
+}

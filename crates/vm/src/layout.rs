@@ -1,0 +1,163 @@
+//! Guest physical address-space layout.
+//!
+//! Workloads need a stable mapping from application objects (Redis keys,
+//! MySQL rows) to guest page frames. The layout reserves a low region for
+//! the guest OS (kernel text/data, daemons — pages the guest touches
+//! regularly regardless of workload) and carves named regions for
+//! application datasets out of the remainder.
+
+/// A contiguous range of guest page frames.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PageRange {
+    /// First page frame number of the range.
+    pub start: u32,
+    /// Number of pages.
+    pub len: u32,
+}
+
+impl PageRange {
+    /// One past the last pfn.
+    pub fn end(&self) -> u32 {
+        self.start + self.len
+    }
+
+    /// The `i`-th page of the range (panics if out of bounds).
+    pub fn page(&self, i: u32) -> u32 {
+        assert!(i < self.len, "page {i} out of range of {self:?}");
+        self.start + i
+    }
+
+    /// True if `pfn` lies inside the range.
+    pub fn contains(&self, pfn: u32) -> bool {
+        pfn >= self.start && pfn < self.end()
+    }
+}
+
+/// Layout of one VM's guest physical memory.
+#[derive(Clone, Debug)]
+pub struct GuestLayout {
+    total_pages: u32,
+    os: PageRange,
+    regions: Vec<(String, PageRange)>,
+    next_free: u32,
+}
+
+impl GuestLayout {
+    /// Create a layout with the guest OS occupying the first
+    /// `os_pages` frames.
+    pub fn new(total_pages: u32, os_pages: u64) -> Self {
+        let os_pages = os_pages.min(total_pages as u64) as u32;
+        GuestLayout {
+            total_pages,
+            os: PageRange {
+                start: 0,
+                len: os_pages,
+            },
+            regions: Vec::new(),
+            next_free: os_pages,
+        }
+    }
+
+    /// Total guest pages.
+    pub fn total_pages(&self) -> u32 {
+        self.total_pages
+    }
+
+    /// The guest OS region.
+    pub fn os_region(&self) -> PageRange {
+        self.os
+    }
+
+    /// Pages not yet assigned to any region.
+    pub fn free_pages(&self) -> u32 {
+        self.total_pages - self.next_free
+    }
+
+    /// Allocate a named region of `pages` frames (e.g. "redis-dataset").
+    /// Panics if the guest is out of memory — the scenario sized the VM
+    /// wrong.
+    pub fn alloc_region(&mut self, name: &str, pages: u32) -> PageRange {
+        assert!(
+            self.next_free + pages <= self.total_pages,
+            "guest OOM: {} pages requested for {name}, {} free",
+            pages,
+            self.free_pages()
+        );
+        let r = PageRange {
+            start: self.next_free,
+            len: pages,
+        };
+        self.next_free += pages;
+        self.regions.push((name.to_string(), r));
+        r
+    }
+
+    /// Find a region by name.
+    pub fn region(&self, name: &str) -> Option<PageRange> {
+        self.regions
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| *r)
+    }
+
+    /// All named regions in allocation order.
+    pub fn regions(&self) -> impl Iterator<Item = (&str, PageRange)> + '_ {
+        self.regions.iter().map(|(n, r)| (n.as_str(), *r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn os_region_comes_first() {
+        let l = GuestLayout::new(1000, 100);
+        assert_eq!(l.os_region(), PageRange { start: 0, len: 100 });
+        assert_eq!(l.free_pages(), 900);
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let mut l = GuestLayout::new(1000, 100);
+        let a = l.alloc_region("a", 200);
+        let b = l.alloc_region("b", 300);
+        assert_eq!(a, PageRange { start: 100, len: 200 });
+        assert_eq!(b, PageRange { start: 300, len: 300 });
+        assert_eq!(l.free_pages(), 400);
+        assert_eq!(l.region("a"), Some(a));
+        assert_eq!(l.region("nope"), None);
+        assert_eq!(l.regions().count(), 2);
+    }
+
+    #[test]
+    fn page_indexing() {
+        let r = PageRange { start: 10, len: 5 };
+        assert_eq!(r.page(0), 10);
+        assert_eq!(r.page(4), 14);
+        assert!(r.contains(12));
+        assert!(!r.contains(15));
+        assert_eq!(r.end(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "guest OOM")]
+    fn overallocation_panics() {
+        let mut l = GuestLayout::new(100, 10);
+        l.alloc_region("too-big", 91);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn page_out_of_range_panics() {
+        let r = PageRange { start: 0, len: 1 };
+        r.page(1);
+    }
+
+    #[test]
+    fn os_pages_clamped_to_total() {
+        let l = GuestLayout::new(10, 100);
+        assert_eq!(l.os_region().len, 10);
+        assert_eq!(l.free_pages(), 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! The virtual machine: identity, configuration, lifecycle, and guest
+//! address-space layout.
+//!
+//! A `Vm` bundles the pieces the rest of the system manipulates: its
+//! [`VmMemory`] (the KVM/QEMU process's pages under a cgroup reservation),
+//! its [`VcpuSet`], and a lifecycle state machine that enforces the legal
+//! transitions of live migration (running → pre-copy → suspended →
+//! running-at-destination; the source side ends at `Terminated`).
+
+use agile_memory::{VmMemory, VmMemoryConfig};
+use agile_sim_core::GIB;
+
+use crate::layout::GuestLayout;
+use crate::vcpu::VcpuSet;
+
+/// Identifies a VM within the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VmId(pub u32);
+
+/// Identifies a host within the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub u32);
+
+/// Static configuration of a VM.
+#[derive(Clone, Copy, Debug)]
+pub struct VmConfig {
+    /// Guest physical memory in bytes.
+    pub mem_bytes: u64,
+    /// Page size (4096 in the paper).
+    pub page_size: u64,
+    /// Number of vCPUs (2 in the paper's experiments).
+    pub vcpus: u32,
+    /// Initial cgroup memory reservation in bytes.
+    pub reservation_bytes: u64,
+    /// Bytes the guest OS itself keeps resident (kernel, daemons); the
+    /// paper's guests idle at a few hundred MB.
+    pub guest_os_bytes: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            mem_bytes: 10 * GIB,
+            page_size: 4096,
+            vcpus: 2,
+            reservation_bytes: 10 * GIB,
+            guest_os_bytes: 300 * 1024 * 1024,
+        }
+    }
+}
+
+/// Lifecycle of a VM as migration sees it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmState {
+    /// Executing normally on `host`.
+    Running {
+        /// Current host.
+        host: HostId,
+    },
+    /// Live pre-copy in progress; still executing on the source.
+    PreCopy {
+        /// Source host.
+        source: HostId,
+        /// Destination host.
+        dest: HostId,
+    },
+    /// Suspended for the CPU-state handoff (the downtime window).
+    Suspended {
+        /// Source host.
+        source: HostId,
+        /// Destination host.
+        dest: HostId,
+    },
+    /// Running at the destination while post-copy backfill continues.
+    PostCopy {
+        /// Source host (still serving pages).
+        source: HostId,
+        /// Destination host (where the vCPUs now run).
+        dest: HostId,
+    },
+    /// Migration complete; source state released.
+    Terminated,
+}
+
+impl VmState {
+    /// The host whose vCPUs are (or would be) executing the guest.
+    pub fn execution_host(&self) -> Option<HostId> {
+        match *self {
+            VmState::Running { host } => Some(host),
+            VmState::PreCopy { source, .. } | VmState::Suspended { source, .. } => Some(source),
+            VmState::PostCopy { dest, .. } => Some(dest),
+            VmState::Terminated => None,
+        }
+    }
+
+    /// True while the guest can execute instructions.
+    pub fn can_execute(&self) -> bool {
+        !matches!(*self, VmState::Suspended { .. } | VmState::Terminated)
+    }
+}
+
+/// A virtual machine.
+#[derive(Clone, Debug)]
+pub struct Vm {
+    id: VmId,
+    config: VmConfig,
+    state: VmState,
+    memory: VmMemory,
+    vcpus: VcpuSet,
+    layout: GuestLayout,
+}
+
+impl Vm {
+    /// Create a VM in `Running{host}` state with unpopulated memory.
+    pub fn new(id: VmId, host: HostId, config: VmConfig) -> Self {
+        let mem_cfg = VmMemoryConfig::from_bytes(
+            config.mem_bytes,
+            config.page_size,
+            config.reservation_bytes,
+        );
+        let layout = GuestLayout::new(mem_cfg.pages, config.guest_os_bytes / config.page_size);
+        Vm {
+            id,
+            config,
+            state: VmState::Running { host },
+            memory: VmMemory::new(mem_cfg),
+            vcpus: VcpuSet::new(config.vcpus),
+            layout,
+        }
+    }
+
+    /// VM id.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// Static configuration.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+
+    /// Lifecycle state.
+    pub fn state(&self) -> VmState {
+        self.state
+    }
+
+    /// Guest memory (host-side view).
+    pub fn memory(&self) -> &VmMemory {
+        &self.memory
+    }
+
+    /// Guest memory, mutable.
+    pub fn memory_mut(&mut self) -> &mut VmMemory {
+        &mut self.memory
+    }
+
+    /// Replace the memory image wholesale (used when the destination
+    /// KVM/QEMU process takes over: it has its own `VmMemory` built during
+    /// the transfer). Returns the previous image — the source copy, which
+    /// the Migration Manager keeps serving pages from until push completes.
+    pub fn replace_memory(&mut self, memory: VmMemory) -> VmMemory {
+        std::mem::replace(&mut self.memory, memory)
+    }
+
+    /// vCPUs.
+    pub fn vcpus(&self) -> &VcpuSet {
+        &self.vcpus
+    }
+
+    /// vCPUs, mutable.
+    pub fn vcpus_mut(&mut self) -> &mut VcpuSet {
+        &mut self.vcpus
+    }
+
+    /// Guest address-space layout.
+    pub fn layout(&self) -> &GuestLayout {
+        &self.layout
+    }
+
+    /// Layout, mutable (workload attaches its dataset region).
+    pub fn layout_mut(&mut self) -> &mut GuestLayout {
+        &mut self.layout
+    }
+
+    // -------------------------- state machine --------------------------
+
+    /// Begin a live pre-copy round toward `dest`.
+    pub fn begin_precopy(&mut self, dest: HostId) {
+        match self.state {
+            VmState::Running { host } => {
+                assert_ne!(host, dest, "migration to the same host");
+                self.state = VmState::PreCopy { source: host, dest };
+            }
+            other => panic!("begin_precopy from {other:?}"),
+        }
+    }
+
+    /// Suspend for the CPU-state handoff.
+    pub fn suspend(&mut self) {
+        match self.state {
+            VmState::PreCopy { source, dest } => {
+                self.state = VmState::Suspended { source, dest };
+            }
+            // Post-copy suspends straight from Running.
+            VmState::Running { host } => panic!(
+                "suspend of a running VM on {host:?} requires a destination; \
+                 use suspend_for(dest)"
+            ),
+            other => panic!("suspend from {other:?}"),
+        }
+    }
+
+    /// Suspend a running VM directly (pure post-copy skips the live round).
+    pub fn suspend_for(&mut self, dest: HostId) {
+        match self.state {
+            VmState::Running { host } => {
+                assert_ne!(host, dest);
+                self.state = VmState::Suspended { source: host, dest };
+            }
+            other => panic!("suspend_for from {other:?}"),
+        }
+    }
+
+    /// Resume execution at the destination (post-copy phase starts).
+    pub fn resume_at_destination(&mut self) {
+        match self.state {
+            VmState::Suspended { source, dest } => {
+                self.state = VmState::PostCopy { source, dest };
+            }
+            other => panic!("resume_at_destination from {other:?}"),
+        }
+    }
+
+    /// All state transferred: the VM now simply runs at the destination and
+    /// the source's copy is gone.
+    pub fn complete_migration(&mut self) {
+        match self.state {
+            VmState::PostCopy { dest, .. } => {
+                self.state = VmState::Running { host: dest };
+            }
+            // Pure pre-copy completes out of Suspended (stop-and-copy ends
+            // with the resume at the destination).
+            VmState::Suspended { dest, .. } => {
+                self.state = VmState::Running { host: dest };
+            }
+            other => panic!("complete_migration from {other:?}"),
+        }
+    }
+
+    /// Abort bookkeeping for tests / failure injection: fall back to
+    /// running at the source.
+    pub fn cancel_migration(&mut self) {
+        match self.state {
+            VmState::PreCopy { source, .. } | VmState::Suspended { source, .. } => {
+                self.state = VmState::Running { host: source };
+            }
+            other => panic!("cancel_migration from {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_vm() -> Vm {
+        Vm::new(
+            VmId(0),
+            HostId(0),
+            VmConfig {
+                mem_bytes: 64 * 4096,
+                page_size: 4096,
+                vcpus: 2,
+                reservation_bytes: 32 * 4096,
+                guest_os_bytes: 8 * 4096,
+            },
+        )
+    }
+
+    #[test]
+    fn construction() {
+        let vm = small_vm();
+        assert_eq!(vm.memory().pages(), 64);
+        assert_eq!(vm.memory().limit_pages(), 32);
+        assert_eq!(vm.vcpus().n_vcpus(), 2);
+        assert_eq!(vm.state(), VmState::Running { host: HostId(0) });
+        assert_eq!(vm.state().execution_host(), Some(HostId(0)));
+    }
+
+    #[test]
+    fn agile_and_precopy_lifecycle() {
+        let mut vm = small_vm();
+        vm.begin_precopy(HostId(1));
+        assert!(vm.state().can_execute());
+        vm.suspend();
+        assert!(!vm.state().can_execute());
+        assert_eq!(vm.state().execution_host(), Some(HostId(0)));
+        vm.resume_at_destination();
+        assert_eq!(vm.state().execution_host(), Some(HostId(1)));
+        assert!(vm.state().can_execute());
+        vm.complete_migration();
+        assert_eq!(vm.state(), VmState::Running { host: HostId(1) });
+    }
+
+    #[test]
+    fn postcopy_lifecycle_skips_live_round() {
+        let mut vm = small_vm();
+        vm.suspend_for(HostId(1));
+        vm.resume_at_destination();
+        vm.complete_migration();
+        assert_eq!(vm.state(), VmState::Running { host: HostId(1) });
+    }
+
+    #[test]
+    fn pure_precopy_completes_from_suspended() {
+        let mut vm = small_vm();
+        vm.begin_precopy(HostId(1));
+        vm.suspend();
+        vm.complete_migration();
+        assert_eq!(vm.state(), VmState::Running { host: HostId(1) });
+    }
+
+    #[test]
+    fn cancel_returns_to_source() {
+        let mut vm = small_vm();
+        vm.begin_precopy(HostId(1));
+        vm.cancel_migration();
+        assert_eq!(vm.state(), VmState::Running { host: HostId(0) });
+    }
+
+    #[test]
+    #[should_panic(expected = "migration to the same host")]
+    fn self_migration_rejected() {
+        let mut vm = small_vm();
+        vm.begin_precopy(HostId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_precopy from")]
+    fn double_migration_rejected() {
+        let mut vm = small_vm();
+        vm.begin_precopy(HostId(1));
+        vm.begin_precopy(HostId(1));
+    }
+}

@@ -1,0 +1,434 @@
+//! VMD client module (runs on source and destination hosts).
+//!
+//! The client exports each namespace as a block device to the Migration
+//! Manager; underneath it routes page reads/writes to intermediate servers.
+//! Writes choose a server with the paper's **load-aware round-robin**: walk
+//! the server ring from the cursor and pick the first server that reports
+//! unused memory. Reads consult the shared namespace directory.
+//!
+//! The client is sans-IO: requests it wants transmitted accumulate in an
+//! *outbox* of `(ServerId, ClientMsg)` that the cluster executor drains
+//! onto the simulated network; responses are fed back through
+//! [`VmdClient::on_server_msg`], which returns I/O completions.
+//!
+//! A small writeback buffer holds issued-but-unacked writes; a read of such
+//! a slot is served locally (the data is still in client memory), which
+//! mirrors real swap-cache/writeback behaviour and avoids a protocol race
+//! where a read could overtake its write on a different TCP connection.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::directory::VmdDirectory;
+use crate::proto::{ClientId, ClientMsg, NamespaceId, ServerId, ServerMsg};
+
+/// How a client read will complete.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReadIssue {
+    /// Served from the local writeback buffer; `version` is the content.
+    Local {
+        /// Content version of the locally-buffered page.
+        version: u32,
+    },
+    /// A `ReadReq` was queued in the outbox; completion arrives later via
+    /// [`VmdClient::on_server_msg`].
+    Sent,
+}
+
+/// An asynchronous completion surfaced by [`VmdClient::on_server_msg`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmdCompletion {
+    /// A read finished; `version` is the page content token.
+    ReadDone {
+        /// Request id passed to [`VmdClient::read`].
+        req: u64,
+        /// Stored content version.
+        version: u32,
+    },
+    /// A write was acknowledged by its server.
+    WriteDone {
+        /// Request id passed to [`VmdClient::write`].
+        req: u64,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ServerInfo {
+    id: ServerId,
+    /// Client's (possibly stale) view of the server's free pages,
+    /// optimistically decremented on issued writes and corrected by
+    /// acks/gossip.
+    free_pages: u64,
+}
+
+/// One host's VMD client.
+#[derive(Clone, Debug)]
+pub struct VmdClient {
+    id: ClientId,
+    servers: Vec<ServerInfo>,
+    rr: usize,
+    outbox: VecDeque<(ServerId, ClientMsg)>,
+    pending_reads: HashMap<u64, ()>,
+    pending_writes: HashMap<u64, (NamespaceId, u32)>,
+    /// (ns, slot) → (version, latest write req).
+    writeback: HashMap<(NamespaceId, u32), (u32, u64)>,
+}
+
+impl VmdClient {
+    /// Create a client that knows about `servers` with their initial
+    /// advertised capacities.
+    pub fn new(id: ClientId, servers: impl IntoIterator<Item = (ServerId, u64)>) -> Self {
+        VmdClient {
+            id,
+            servers: servers
+                .into_iter()
+                .map(|(id, free_pages)| ServerInfo { id, free_pages })
+                .collect(),
+            rr: 0,
+            outbox: VecDeque::new(),
+            pending_reads: HashMap::new(),
+            pending_writes: HashMap::new(),
+            writeback: HashMap::new(),
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Learn about a server that joined after this client was created
+    /// (idempotent; updates the advertised capacity if already known).
+    pub fn add_server(&mut self, id: ServerId, free_pages: u64) {
+        if let Some(info) = self.servers.iter_mut().find(|i| i.id == id) {
+            info.free_pages = free_pages;
+        } else {
+            self.servers.push(ServerInfo { id, free_pages });
+        }
+    }
+
+    /// Messages awaiting transmission (drained by the cluster executor).
+    pub fn drain_outbox(&mut self) -> impl Iterator<Item = (ServerId, ClientMsg)> + '_ {
+        self.outbox.drain(..)
+    }
+
+    /// True if transmissions are pending.
+    pub fn has_outbox(&self) -> bool {
+        !self.outbox.is_empty()
+    }
+
+    /// Number of reads/writes in flight.
+    pub fn inflight(&self) -> usize {
+        self.pending_reads.len() + self.pending_writes.len()
+    }
+
+    /// Issue a page read. The directory must know the slot (i.e. it was
+    /// written before) unless it sits in the local writeback buffer.
+    pub fn read(&mut self, dir: &VmdDirectory, ns: NamespaceId, slot: u32, req: u64) -> ReadIssue {
+        if let Some(&(version, _)) = self.writeback.get(&(ns, slot)) {
+            return ReadIssue::Local { version };
+        }
+        let server = dir
+            .lookup(ns, slot)
+            .unwrap_or_else(|| panic!("read of unplaced slot ({ns:?}, {slot})"));
+        self.pending_reads.insert(req, ());
+        self.outbox.push_back((
+            server,
+            ClientMsg::ReadReq {
+                from: self.id,
+                ns,
+                slot,
+                req,
+            },
+        ));
+        ReadIssue::Sent
+    }
+
+    /// Issue a page write. Chooses (and records) a server with load-aware
+    /// round-robin on first write of a slot; overwrites go to the original
+    /// server.
+    pub fn write(
+        &mut self,
+        dir: &mut VmdDirectory,
+        ns: NamespaceId,
+        slot: u32,
+        version: u32,
+        req: u64,
+    ) {
+        let server = match dir.lookup(ns, slot) {
+            Some(s) => s,
+            None => {
+                let s = self.pick_server();
+                dir.record(ns, slot, s);
+                // Optimistic accounting: the page will occupy a server page.
+                if let Some(info) = self.servers.iter_mut().find(|i| i.id == s) {
+                    info.free_pages = info.free_pages.saturating_sub(1);
+                }
+                s
+            }
+        };
+        self.writeback.insert((ns, slot), (version, req));
+        self.pending_writes.insert(req, (ns, slot));
+        self.outbox.push_back((
+            server,
+            ClientMsg::WriteReq {
+                from: self.id,
+                ns,
+                slot,
+                version,
+                req,
+            },
+        ));
+    }
+
+    /// Free a slot: tells its server and forgets the placement.
+    pub fn free(&mut self, dir: &mut VmdDirectory, ns: NamespaceId, slot: u32) {
+        self.writeback.remove(&(ns, slot));
+        if let Some(server) = dir.forget(ns, slot) {
+            if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
+                info.free_pages += 1;
+            }
+            self.outbox.push_back((server, ClientMsg::Free { ns, slot }));
+        }
+    }
+
+    /// Load-aware round-robin: next server in ring order that reports
+    /// unused memory. When every server reports full DRAM, placement falls
+    /// back to plain round-robin — servers with a disk spill tier (§IV-A's
+    /// HD/SSD extension) absorb the overflow there.
+    fn pick_server(&mut self) -> ServerId {
+        assert!(!self.servers.is_empty(), "VMD has no servers");
+        let n = self.servers.len();
+        for step in 0..n {
+            let idx = (self.rr + step) % n;
+            if self.servers[idx].free_pages > 0 {
+                self.rr = (idx + 1) % n;
+                return self.servers[idx].id;
+            }
+        }
+        let idx = self.rr % n;
+        self.rr = (idx + 1) % n;
+        self.servers[idx].id
+    }
+
+    /// Feed a server's reply (or gossip) back in; returns completions to
+    /// surface to the Migration Manager / swap layer.
+    pub fn on_server_msg(&mut self, from: ServerId, msg: ServerMsg) -> Option<VmdCompletion> {
+        match msg {
+            ServerMsg::ReadResp {
+                req,
+                version,
+                free_pages,
+            } => {
+                self.update_availability(from, free_pages);
+                self.pending_reads
+                    .remove(&req)
+                    .unwrap_or_else(|| panic!("unknown read req {req}"));
+                Some(VmdCompletion::ReadDone { req, version })
+            }
+            ServerMsg::WriteAck { req, free_pages } => {
+                self.update_availability(from, free_pages);
+                let (ns, slot) = self
+                    .pending_writes
+                    .remove(&req)
+                    .unwrap_or_else(|| panic!("unknown write req {req}"));
+                // Only the latest write of a slot clears the writeback
+                // entry; an ack for a superseded write must not expose a
+                // stale read-through.
+                if let Some(&(_, latest_req)) = self.writeback.get(&(ns, slot)) {
+                    if latest_req == req {
+                        self.writeback.remove(&(ns, slot));
+                    }
+                }
+                Some(VmdCompletion::WriteDone { req })
+            }
+            ServerMsg::Availability { server, free_pages } => {
+                self.update_availability(server, free_pages);
+                None
+            }
+        }
+    }
+
+    fn update_availability(&mut self, server: ServerId, free_pages: u64) {
+        if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
+            // Don't let gossip *raise* free pages above what our optimistic
+            // in-flight accounting implies; untransmitted writes still land.
+            let inflight_to_server = self
+                .outbox
+                .iter()
+                .filter(|(s, m)| *s == server && matches!(m, ClientMsg::WriteReq { .. }))
+                .count() as u64;
+            info.free_pages = free_pages.saturating_sub(inflight_to_server);
+        }
+    }
+
+    /// The client's current view of a server's free pages (tests).
+    pub fn known_free(&self, server: ServerId) -> Option<u64> {
+        self.servers
+            .iter()
+            .find(|i| i.id == server)
+            .map(|i| i.free_pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(free: &[u64]) -> (VmdClient, VmdDirectory) {
+        let servers = free
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (ServerId(i as u32), f));
+        (VmdClient::new(ClientId(0), servers), VmdDirectory::new())
+    }
+
+    #[test]
+    fn writes_round_robin_across_servers() {
+        let (mut c, mut d) = setup(&[10, 10, 10]);
+        let ns = d.create_namespace();
+        for slot in 0..6 {
+            c.write(&mut d, ns, slot, 1, slot as u64);
+        }
+        let targets: Vec<ServerId> = c.drain_outbox().map(|(s, _)| s).collect();
+        assert_eq!(
+            targets,
+            vec![
+                ServerId(0),
+                ServerId(1),
+                ServerId(2),
+                ServerId(0),
+                ServerId(1),
+                ServerId(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn full_servers_are_skipped() {
+        let (mut c, mut d) = setup(&[0, 5, 0]);
+        let ns = d.create_namespace();
+        c.write(&mut d, ns, 0, 1, 1);
+        c.write(&mut d, ns, 1, 1, 2);
+        let targets: Vec<ServerId> = c.drain_outbox().map(|(s, _)| s).collect();
+        assert_eq!(targets, vec![ServerId(1), ServerId(1)]);
+    }
+
+    #[test]
+    fn overwrite_goes_to_original_server() {
+        let (mut c, mut d) = setup(&[10, 10]);
+        let ns = d.create_namespace();
+        c.write(&mut d, ns, 0, 1, 1);
+        let first: Vec<ServerId> = c.drain_outbox().map(|(s, _)| s).collect();
+        // Ack it so the writeback entry clears.
+        c.on_server_msg(first[0], ServerMsg::WriteAck { req: 1, free_pages: 9 });
+        c.write(&mut d, ns, 0, 2, 2);
+        let second: Vec<ServerId> = c.drain_outbox().map(|(s, _)| s).collect();
+        assert_eq!(first, second, "overwrite must not move the slot");
+    }
+
+    #[test]
+    fn read_of_unacked_write_is_local() {
+        let (mut c, mut d) = setup(&[10]);
+        let ns = d.create_namespace();
+        c.write(&mut d, ns, 3, 7, 1);
+        assert_eq!(
+            c.read(&d, ns, 3, 2),
+            ReadIssue::Local { version: 7 },
+            "writeback buffer serves the read"
+        );
+        // After the ack, reads go to the network.
+        c.drain_outbox().for_each(drop);
+        c.on_server_msg(ServerId(0), ServerMsg::WriteAck { req: 1, free_pages: 9 });
+        assert_eq!(c.read(&d, ns, 3, 3), ReadIssue::Sent);
+        let msgs: Vec<ClientMsg> = c.drain_outbox().map(|(_, m)| m).collect();
+        assert!(matches!(msgs[0], ClientMsg::ReadReq { slot: 3, .. }));
+    }
+
+    #[test]
+    fn superseding_write_keeps_writeback_until_its_own_ack() {
+        let (mut c, mut d) = setup(&[10]);
+        let ns = d.create_namespace();
+        c.write(&mut d, ns, 0, 1, 1);
+        c.write(&mut d, ns, 0, 2, 2); // supersedes before ack
+        c.drain_outbox().for_each(drop);
+        c.on_server_msg(ServerId(0), ServerMsg::WriteAck { req: 1, free_pages: 9 });
+        // Old ack must not clear the newer buffered version.
+        assert_eq!(c.read(&d, ns, 0, 9), ReadIssue::Local { version: 2 });
+        c.on_server_msg(ServerId(0), ServerMsg::WriteAck { req: 2, free_pages: 9 });
+        assert_eq!(c.read(&d, ns, 0, 10), ReadIssue::Sent);
+    }
+
+    #[test]
+    fn read_completion_roundtrip() {
+        let (mut c, mut d) = setup(&[10]);
+        let ns = d.create_namespace();
+        c.write(&mut d, ns, 0, 42, 1);
+        c.drain_outbox().for_each(drop);
+        c.on_server_msg(ServerId(0), ServerMsg::WriteAck { req: 1, free_pages: 9 });
+        assert_eq!(c.read(&d, ns, 0, 2), ReadIssue::Sent);
+        let done = c.on_server_msg(
+            ServerId(0),
+            ServerMsg::ReadResp {
+                req: 2,
+                version: 42,
+                free_pages: 9,
+            },
+        );
+        assert_eq!(done, Some(VmdCompletion::ReadDone { req: 2, version: 42 }));
+        assert_eq!(c.inflight(), 0);
+    }
+
+    #[test]
+    fn availability_gossip_updates_view() {
+        let (mut c, _) = setup(&[10]);
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::Availability {
+                server: ServerId(0),
+                free_pages: 3,
+            },
+        );
+        assert_eq!(c.known_free(ServerId(0)), Some(3));
+    }
+
+    #[test]
+    fn optimistic_accounting_prevents_overcommit() {
+        let (mut c, mut d) = setup(&[2, 2]);
+        let ns = d.create_namespace();
+        // 4 writes exactly fill both servers in the client's view.
+        for slot in 0..4 {
+            c.write(&mut d, ns, slot, 1, slot as u64);
+        }
+        assert_eq!(c.known_free(ServerId(0)), Some(0));
+        assert_eq!(c.known_free(ServerId(1)), Some(0));
+    }
+
+    #[test]
+    fn full_pool_falls_back_to_round_robin() {
+        // Every server reports full DRAM: writes still place (the server's
+        // disk spill tier absorbs them), cycling the ring.
+        let (mut c, mut d) = setup(&[1, 1]);
+        let ns = d.create_namespace();
+        for slot in 0..4 {
+            c.write(&mut d, ns, slot, 1, slot as u64);
+        }
+        let targets: Vec<ServerId> = c.drain_outbox().map(|(s, _)| s).collect();
+        assert_eq!(targets.len(), 4);
+        // After the two free slots are consumed, placement keeps cycling.
+        assert_ne!(targets[2], targets[3], "fallback must round-robin");
+    }
+
+    #[test]
+    fn free_returns_capacity_and_notifies_server() {
+        let (mut c, mut d) = setup(&[1]);
+        let ns = d.create_namespace();
+        c.write(&mut d, ns, 0, 1, 1);
+        c.drain_outbox().for_each(drop);
+        c.free(&mut d, ns, 0);
+        assert_eq!(c.known_free(ServerId(0)), Some(1));
+        let msgs: Vec<ClientMsg> = c.drain_outbox().map(|(_, m)| m).collect();
+        assert!(matches!(msgs[0], ClientMsg::Free { slot: 0, .. }));
+        // And the slot can be written again.
+        c.write(&mut d, ns, 1, 1, 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Namespace directory: which server holds each slot of each namespace.
+//!
+//! The paper's per-VM swap device is *portable*: after migration the
+//! destination host's VMD client must locate pages the source host's client
+//! placed. The placement map is namespace metadata that travels with the
+//! namespace — we model it as a directory shared by all clients (in the
+//! real system it is part of the VMD client state handed off with the
+//! block device).
+
+use std::collections::HashMap;
+
+use crate::proto::{NamespaceId, ServerId};
+
+/// Cluster-wide namespace metadata.
+#[derive(Clone, Debug, Default)]
+pub struct VmdDirectory {
+    placement: HashMap<(NamespaceId, u32), ServerId>,
+    next_ns: u32,
+}
+
+impl VmdDirectory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        VmdDirectory::default()
+    }
+
+    /// Allocate a fresh namespace id (one per VM).
+    pub fn create_namespace(&mut self) -> NamespaceId {
+        let id = NamespaceId(self.next_ns);
+        self.next_ns += 1;
+        id
+    }
+
+    /// Where `(ns, slot)` is stored, if it has ever been written.
+    pub fn lookup(&self, ns: NamespaceId, slot: u32) -> Option<ServerId> {
+        self.placement.get(&(ns, slot)).copied()
+    }
+
+    /// Record a placement decision.
+    pub fn record(&mut self, ns: NamespaceId, slot: u32, server: ServerId) {
+        self.placement.insert((ns, slot), server);
+    }
+
+    /// Forget a slot (freed).
+    pub fn forget(&mut self, ns: NamespaceId, slot: u32) -> Option<ServerId> {
+        self.placement.remove(&(ns, slot))
+    }
+
+    /// Remove every slot of a namespace; returns `(slot, server)` pairs so
+    /// the caller can notify the servers.
+    pub fn purge_namespace(&mut self, ns: NamespaceId) -> Vec<(u32, ServerId)> {
+        let mut out: Vec<(u32, ServerId)> = self
+            .placement
+            .iter()
+            .filter(|((n, _), _)| *n == ns)
+            .map(|((_, slot), srv)| (*slot, *srv))
+            .collect();
+        out.sort_unstable();
+        self.placement.retain(|(n, _), _| *n != ns);
+        out
+    }
+
+    /// Number of placed slots across all namespaces.
+    pub fn placed_slots(&self) -> usize {
+        self.placement.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespace_ids_are_unique() {
+        let mut d = VmdDirectory::new();
+        let a = d.create_namespace();
+        let b = d.create_namespace();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn record_lookup_forget() {
+        let mut d = VmdDirectory::new();
+        let ns = d.create_namespace();
+        assert_eq!(d.lookup(ns, 3), None);
+        d.record(ns, 3, ServerId(1));
+        assert_eq!(d.lookup(ns, 3), Some(ServerId(1)));
+        assert_eq!(d.forget(ns, 3), Some(ServerId(1)));
+        assert_eq!(d.lookup(ns, 3), None);
+    }
+
+    #[test]
+    fn purge_is_scoped_and_sorted() {
+        let mut d = VmdDirectory::new();
+        let a = d.create_namespace();
+        let b = d.create_namespace();
+        d.record(a, 2, ServerId(0));
+        d.record(a, 1, ServerId(1));
+        d.record(b, 1, ServerId(0));
+        let purged = d.purge_namespace(a);
+        assert_eq!(purged, vec![(1, ServerId(1)), (2, ServerId(0))]);
+        assert_eq!(d.placed_slots(), 1);
+        assert_eq!(d.lookup(b, 1), Some(ServerId(0)));
+    }
+}

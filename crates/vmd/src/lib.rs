@@ -1,0 +1,37 @@
+//! # agile-vmd
+//!
+//! The **Virtualized Memory Device** (§IV-A of the paper): a distributed
+//! in-memory key-value store that aggregates the free memory of
+//! intermediate cluster hosts and presents it to each VM as a private,
+//! *portable* swap block device.
+//!
+//! Components:
+//!
+//! * [`VmdServer`] — runs on each intermediate host; stores pages in spare
+//!   DRAM (allocated only on write) with an optional disk spill tier, and
+//!   gossips its free capacity to clients.
+//! * [`VmdClient`] — runs on source/destination hosts; routes page I/O to
+//!   servers using load-aware round-robin placement, keeps a writeback
+//!   buffer for issued-but-unacked writes, and exposes namespaces.
+//! * [`VmdDirectory`] — namespace metadata (slot → server placements) that
+//!   travels with the portable device.
+//! * [`VmdSwapDevice`] — one namespace bound as an
+//!   [`agile_memory::SwapBackend`] block device (the `/dev/blkN` the
+//!   Migration Manager sees).
+//!
+//! Everything is sans-IO: clients queue protocol messages in an outbox and
+//! the cluster executor moves them over the simulated network, so VMD
+//! traffic contends with migration and application traffic for NIC
+//! bandwidth exactly as in the paper's testbed.
+
+pub mod backend;
+pub mod client;
+pub mod directory;
+pub mod proto;
+pub mod server;
+
+pub use backend::VmdSwapDevice;
+pub use client::{ReadIssue, VmdClient, VmdCompletion};
+pub use directory::VmdDirectory;
+pub use proto::{ClientId, ClientMsg, NamespaceId, ServerId, ServerMsg, MSG_HEADER_BYTES};
+pub use server::{ServerReply, Tier, VmdServer};

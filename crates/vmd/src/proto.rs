@@ -1,0 +1,144 @@
+//! VMD wire protocol.
+//!
+//! Clients (on source/destination hosts) and servers (on intermediate
+//! hosts) exchange four message types over TCP (§IV-A of the paper). The
+//! simulation sends these as network segments whose sizes include a fixed
+//! per-message header, so VMD traffic competes for NIC bandwidth exactly
+//! like any other connection.
+
+/// Identifies a VMD client module instance (one per participating host).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClientId(pub u32);
+
+/// Identifies a VMD server module instance (one per intermediate host).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ServerId(pub u32);
+
+/// Identifies a per-VM swap namespace (one block device, e.g. `/dev/blk1`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NamespaceId(pub u32);
+
+/// Protocol header bytes added to every message on the wire.
+pub const MSG_HEADER_BYTES: u64 = 64;
+
+/// A message from a client to a server.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClientMsg {
+    /// Read the page at `(ns, slot)`.
+    ReadReq {
+        /// Requesting client (for the reply).
+        from: ClientId,
+        /// Namespace being read.
+        ns: NamespaceId,
+        /// Slot within the namespace.
+        slot: u32,
+        /// Client-chosen request id, echoed in the response.
+        req: u64,
+    },
+    /// Store a page at `(ns, slot)`. `version` stands in for the 4 KB of
+    /// payload (the simulation tracks content identity, not content).
+    WriteReq {
+        /// Writing client (for the ack).
+        from: ClientId,
+        /// Namespace being written.
+        ns: NamespaceId,
+        /// Slot within the namespace.
+        slot: u32,
+        /// Content version written.
+        version: u32,
+        /// Client-chosen request id, echoed in the ack.
+        req: u64,
+    },
+    /// Release a slot (namespace deletion / slot free).
+    Free {
+        /// Namespace.
+        ns: NamespaceId,
+        /// Slot to release.
+        slot: u32,
+    },
+}
+
+impl ClientMsg {
+    /// Bytes this message occupies on the wire, given the page size.
+    pub fn wire_bytes(&self, page_size: u64) -> u64 {
+        match self {
+            ClientMsg::ReadReq { .. } | ClientMsg::Free { .. } => MSG_HEADER_BYTES,
+            ClientMsg::WriteReq { .. } => MSG_HEADER_BYTES + page_size,
+        }
+    }
+}
+
+/// A message from a server back to a client.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServerMsg {
+    /// Page content for a [`ClientMsg::ReadReq`].
+    ReadResp {
+        /// Echoed request id.
+        req: u64,
+        /// Content version stored at the slot.
+        version: u32,
+        /// Server's current free capacity, pages (availability gossip).
+        free_pages: u64,
+    },
+    /// Acknowledgement of a [`ClientMsg::WriteReq`].
+    WriteAck {
+        /// Echoed request id.
+        req: u64,
+        /// Server's current free capacity, pages.
+        free_pages: u64,
+    },
+    /// Unsolicited periodic availability report (§IV-A: "Each VMD server
+    /// periodically updates the VMD clients about the availability of
+    /// memory").
+    Availability {
+        /// Reporting server.
+        server: ServerId,
+        /// Free capacity, pages.
+        free_pages: u64,
+    },
+}
+
+impl ServerMsg {
+    /// Bytes this message occupies on the wire, given the page size.
+    pub fn wire_bytes(&self, page_size: u64) -> u64 {
+        match self {
+            ServerMsg::ReadResp { .. } => MSG_HEADER_BYTES + page_size,
+            ServerMsg::WriteAck { .. } | ServerMsg::Availability { .. } => MSG_HEADER_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        let rr = ClientMsg::ReadReq {
+            from: ClientId(0),
+            ns: NamespaceId(1),
+            slot: 2,
+            req: 3,
+        };
+        assert_eq!(rr.wire_bytes(4096), 64);
+        let wr = ClientMsg::WriteReq {
+            from: ClientId(0),
+            ns: NamespaceId(1),
+            slot: 2,
+            version: 1,
+            req: 3,
+        };
+        assert_eq!(wr.wire_bytes(4096), 4160);
+        let resp = ServerMsg::ReadResp {
+            req: 3,
+            version: 1,
+            free_pages: 10,
+        };
+        assert_eq!(resp.wire_bytes(4096), 4160);
+        let ack = ServerMsg::WriteAck {
+            req: 3,
+            free_pages: 10,
+        };
+        assert_eq!(ack.wire_bytes(4096), 64);
+    }
+}

@@ -1,0 +1,310 @@
+//! VMD server module (runs on each intermediate host).
+//!
+//! Stores pages in the host's spare memory. Memory is allocated only when a
+//! write arrives — no reservation up front (§IV-A). An optional disk tier
+//! (the paper's suggested HD/SSD extension) absorbs writes that exceed the
+//! memory capacity instead of rejecting them; reads from the disk tier are
+//! flagged so the cluster executor can charge the device time.
+
+use std::collections::HashMap;
+
+use crate::proto::{ClientMsg, NamespaceId, ServerId, ServerMsg};
+
+/// Where a stored page lives on the intermediate host.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Tier {
+    /// In the server's spare DRAM.
+    Memory,
+    /// Spilled to the server's local disk (extension, §IV-A last paragraph).
+    Disk,
+}
+
+/// Outcome of handling one client message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ServerReply {
+    /// The reply to transmit, if any (`Free` is fire-and-forget).
+    pub msg: Option<ServerMsg>,
+    /// Tier that served/absorbed the request (for device-time accounting).
+    pub tier: Tier,
+}
+
+/// One intermediate host's VMD server state.
+#[derive(Clone, Debug)]
+pub struct VmdServer {
+    id: ServerId,
+    mem_capacity_pages: u64,
+    disk_capacity_pages: u64,
+    store: HashMap<(NamespaceId, u32), (u32, Tier)>,
+    mem_used: u64,
+    disk_used: u64,
+}
+
+impl VmdServer {
+    /// Create a server contributing `mem_capacity_pages` of spare DRAM and
+    /// (optionally) `disk_capacity_pages` of spill space.
+    pub fn new(id: ServerId, mem_capacity_pages: u64, disk_capacity_pages: u64) -> Self {
+        VmdServer {
+            id,
+            mem_capacity_pages,
+            disk_capacity_pages,
+            store: HashMap::new(),
+            mem_used: 0,
+            disk_used: 0,
+        }
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Free DRAM pages right now.
+    pub fn free_pages(&self) -> u64 {
+        self.mem_capacity_pages - self.mem_used
+    }
+
+    /// Pages currently stored (both tiers).
+    pub fn stored_pages(&self) -> u64 {
+        self.mem_used + self.disk_used
+    }
+
+    /// Pages stored on the disk tier.
+    pub fn disk_pages(&self) -> u64 {
+        self.disk_used
+    }
+
+    /// True if a write arriving now would have to spill (or fail).
+    pub fn memory_full(&self) -> bool {
+        self.mem_used >= self.mem_capacity_pages
+    }
+
+    /// Build the periodic availability report.
+    pub fn availability(&self) -> ServerMsg {
+        ServerMsg::Availability {
+            server: self.id,
+            free_pages: self.free_pages(),
+        }
+    }
+
+    /// Handle one client message. Returns the reply (and which tier did the
+    /// work). Panics on reads of never-written slots — the client's
+    /// placement map makes that a protocol violation, and the migration
+    /// correctness tests rely on it being loud.
+    pub fn handle(&mut self, msg: ClientMsg) -> ServerReply {
+        match msg {
+            ClientMsg::ReadReq { ns, slot, req, .. } => {
+                let (version, tier) = *self
+                    .store
+                    .get(&(ns, slot))
+                    .unwrap_or_else(|| panic!("read of unwritten slot ({ns:?}, {slot})"));
+                ServerReply {
+                    msg: Some(ServerMsg::ReadResp {
+                        req,
+                        version,
+                        free_pages: self.free_pages(),
+                    }),
+                    tier,
+                }
+            }
+            ClientMsg::WriteReq {
+                ns,
+                slot,
+                version,
+                req,
+                ..
+            } => {
+                let tier = match self.store.get(&(ns, slot)) {
+                    Some((_, t)) => *t, // overwrite in place
+                    None => {
+                        if self.mem_used < self.mem_capacity_pages {
+                            self.mem_used += 1;
+                            Tier::Memory
+                        } else if self.disk_used < self.disk_capacity_pages {
+                            self.disk_used += 1;
+                            Tier::Disk
+                        } else {
+                            panic!(
+                                "VMD server {:?} out of capacity; the client's \
+                                 load-aware placement should not have chosen it",
+                                self.id
+                            );
+                        }
+                    }
+                };
+                self.store.insert((ns, slot), (version, tier));
+                ServerReply {
+                    msg: Some(ServerMsg::WriteAck {
+                        req,
+                        free_pages: self.free_pages(),
+                    }),
+                    tier,
+                }
+            }
+            ClientMsg::Free { ns, slot } => {
+                let tier = if let Some((_, t)) = self.store.remove(&(ns, slot)) {
+                    match t {
+                        Tier::Memory => self.mem_used -= 1,
+                        Tier::Disk => self.disk_used -= 1,
+                    }
+                    t
+                } else {
+                    Tier::Memory
+                };
+                ServerReply { msg: None, tier }
+            }
+        }
+    }
+
+    /// Drop every slot of a namespace (the VM was destroyed, not migrated).
+    /// Returns the number of pages released.
+    pub fn purge_namespace(&mut self, ns: NamespaceId) -> u64 {
+        let before = self.stored_pages();
+        self.store.retain(|(n, _), (_, tier)| {
+            if *n == ns {
+                match tier {
+                    Tier::Memory => self.mem_used -= 1,
+                    Tier::Disk => self.disk_used -= 1,
+                }
+                false
+            } else {
+                true
+            }
+        });
+        before - self.stored_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ClientId;
+
+    fn write(ns: u32, slot: u32, version: u32, req: u64) -> ClientMsg {
+        ClientMsg::WriteReq {
+            from: ClientId(0),
+            ns: NamespaceId(ns),
+            slot,
+            version,
+            req,
+        }
+    }
+
+    fn read(ns: u32, slot: u32, req: u64) -> ClientMsg {
+        ClientMsg::ReadReq {
+            from: ClientId(0),
+            ns: NamespaceId(ns),
+            slot,
+            req,
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut s = VmdServer::new(ServerId(0), 100, 0);
+        let r = s.handle(write(1, 5, 42, 7));
+        assert_eq!(
+            r.msg,
+            Some(ServerMsg::WriteAck {
+                req: 7,
+                free_pages: 99
+            })
+        );
+        let r = s.handle(read(1, 5, 8));
+        match r.msg {
+            Some(ServerMsg::ReadResp { req, version, .. }) => {
+                assert_eq!(req, 8);
+                assert_eq!(version, 42);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_allocated_only_on_write() {
+        let s = VmdServer::new(ServerId(0), 100, 0);
+        assert_eq!(s.free_pages(), 100);
+        assert_eq!(s.stored_pages(), 0);
+    }
+
+    #[test]
+    fn overwrite_does_not_double_count() {
+        let mut s = VmdServer::new(ServerId(0), 10, 0);
+        s.handle(write(1, 0, 1, 1));
+        s.handle(write(1, 0, 2, 2));
+        assert_eq!(s.stored_pages(), 1);
+        match s.handle(read(1, 0, 3)).msg {
+            Some(ServerMsg::ReadResp { version, .. }) => assert_eq!(version, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn namespaces_are_isolated() {
+        let mut s = VmdServer::new(ServerId(0), 10, 0);
+        s.handle(write(1, 0, 11, 1));
+        s.handle(write(2, 0, 22, 2));
+        match s.handle(read(1, 0, 3)).msg {
+            Some(ServerMsg::ReadResp { version, .. }) => assert_eq!(version, 11),
+            other => panic!("{other:?}"),
+        }
+        match s.handle(read(2, 0, 4)).msg {
+            Some(ServerMsg::ReadResp { version, .. }) => assert_eq!(version, 22),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn spills_to_disk_when_memory_full() {
+        let mut s = VmdServer::new(ServerId(0), 1, 4);
+        assert_eq!(s.handle(write(1, 0, 1, 1)).tier, Tier::Memory);
+        assert_eq!(s.handle(write(1, 1, 1, 2)).tier, Tier::Disk);
+        assert!(s.memory_full());
+        assert_eq!(s.disk_pages(), 1);
+        // Reads report the tier so the executor can charge device time.
+        assert_eq!(s.handle(read(1, 1, 3)).tier, Tier::Disk);
+        assert_eq!(s.handle(read(1, 0, 4)).tier, Tier::Memory);
+    }
+
+    #[test]
+    fn free_releases_capacity() {
+        let mut s = VmdServer::new(ServerId(0), 1, 0);
+        s.handle(write(1, 0, 1, 1));
+        assert!(s.memory_full());
+        s.handle(ClientMsg::Free {
+            ns: NamespaceId(1),
+            slot: 0,
+        });
+        assert!(!s.memory_full());
+        assert_eq!(s.free_pages(), 1);
+    }
+
+    #[test]
+    fn purge_namespace_only_touches_that_namespace() {
+        let mut s = VmdServer::new(ServerId(0), 10, 0);
+        s.handle(write(1, 0, 1, 1));
+        s.handle(write(1, 1, 1, 2));
+        s.handle(write(2, 0, 1, 3));
+        assert_eq!(s.purge_namespace(NamespaceId(1)), 2);
+        assert_eq!(s.stored_pages(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "read of unwritten slot")]
+    fn read_of_unwritten_slot_is_loud() {
+        let mut s = VmdServer::new(ServerId(0), 10, 0);
+        s.handle(read(1, 99, 1));
+    }
+
+    #[test]
+    fn availability_reports_free() {
+        let mut s = VmdServer::new(ServerId(3), 5, 0);
+        s.handle(write(1, 0, 1, 1));
+        assert_eq!(
+            s.availability(),
+            ServerMsg::Availability {
+                server: ServerId(3),
+                free_pages: 4
+            }
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: VMD store consistency under arbitrary operation
+//! sequences, namespace isolation, and placement stability.
+
+use agile_vmd::{ClientId, ClientMsg, ServerId, VmdClient, VmdDirectory, VmdServer};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Deliver every outbox message to its server and feed replies back;
+/// returns completed read results keyed by req id.
+fn pump(
+    client: &mut VmdClient,
+    servers: &mut [VmdServer],
+) -> HashMap<u64, u32> {
+    let mut reads = HashMap::new();
+    loop {
+        let msgs: Vec<(ServerId, ClientMsg)> = client.drain_outbox().collect();
+        if msgs.is_empty() {
+            break;
+        }
+        for (sid, msg) in msgs {
+            let reply = servers[sid.0 as usize].handle(msg);
+            if let Some(r) = reply.msg {
+                if let Some(agile_vmd::VmdCompletion::ReadDone { req, version }) =
+                    client.on_server_msg(sid, r)
+                {
+                    reads.insert(req, version);
+                }
+            }
+        }
+    }
+    reads
+}
+
+proptest! {
+    /// Whatever interleaving of writes/overwrites across namespaces, a
+    /// read always returns the latest version written to that (ns, slot).
+    #[test]
+    fn store_is_linearizable_per_slot(
+        ops in proptest::collection::vec((0u32..3, 0u32..16, 1u32..1000), 1..100)
+    ) {
+        let mut servers: Vec<VmdServer> =
+            (0..3).map(|i| VmdServer::new(ServerId(i), 10_000, 0)).collect();
+        let mut client = VmdClient::new(
+            ClientId(0),
+            servers.iter().map(|s| (s.id(), s.free_pages())),
+        );
+        let mut dir = VmdDirectory::new();
+        let namespaces: Vec<_> = (0..3).map(|_| dir.create_namespace()).collect();
+        let mut model: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut req = 0u64;
+        for (ns_i, slot, version) in ops {
+            let ns = namespaces[ns_i as usize];
+            client.write(&mut dir, ns, slot, version, req);
+            req += 1;
+            model.insert((ns_i, slot), version);
+            pump(&mut client, &mut servers);
+        }
+        // Read everything back.
+        for (&(ns_i, slot), &version) in &model {
+            let ns = namespaces[ns_i as usize];
+            let issue = client.read(&dir, ns, slot, req);
+            match issue {
+                agile_vmd::ReadIssue::Local { version: v } => prop_assert_eq!(v, version),
+                agile_vmd::ReadIssue::Sent => {
+                    let reads = pump(&mut client, &mut servers);
+                    prop_assert_eq!(reads.get(&req), Some(&version));
+                }
+            }
+            req += 1;
+        }
+    }
+
+    /// Placement is stable (overwrites stay on the original server) and
+    /// server accounting matches the number of distinct slots written.
+    #[test]
+    fn placement_stable_and_accounting_exact(
+        slots in proptest::collection::vec(0u32..32, 1..80)
+    ) {
+        let mut servers: Vec<VmdServer> =
+            (0..4).map(|i| VmdServer::new(ServerId(i), 1_000, 0)).collect();
+        let mut client = VmdClient::new(
+            ClientId(0),
+            servers.iter().map(|s| (s.id(), s.free_pages())),
+        );
+        let mut dir = VmdDirectory::new();
+        let ns = dir.create_namespace();
+        let mut first_placement: HashMap<u32, ServerId> = HashMap::new();
+        for (i, &slot) in slots.iter().enumerate() {
+            client.write(&mut dir, ns, slot, i as u32, i as u64);
+            let placed = dir.lookup(ns, slot).expect("placed on write");
+            if let Some(prev) = first_placement.get(&slot) {
+                prop_assert_eq!(*prev, placed, "slot {} moved servers", slot);
+            } else {
+                first_placement.insert(slot, placed);
+            }
+            pump(&mut client, &mut servers);
+        }
+        let distinct: std::collections::BTreeSet<u32> = slots.iter().copied().collect();
+        let stored: u64 = servers.iter().map(|s| s.stored_pages()).sum();
+        prop_assert_eq!(stored, distinct.len() as u64);
+        prop_assert_eq!(dir.placed_slots(), distinct.len());
+    }
+}

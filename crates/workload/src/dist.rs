@@ -1,0 +1,132 @@
+//! Key-selection distributions.
+//!
+//! The Fig. 4–6 experiment drives Redis with YCSB querying a *fraction* of
+//! the dataset uniformly — 200 MB at first, then 6 GB after the ramp — so
+//! the working set is exactly the active prefix. [`KeyDist`] covers that
+//! (`UniformPrefix`), plain uniform, YCSB's scrambled Zipfian, and a
+//! hotspot mix, all over a runtime-adjustable active-record count.
+
+use agile_sim_core::DetRng;
+
+use crate::zipfian::Zipfian;
+
+/// A distribution over record keys `[0, active)`.
+#[derive(Clone, Debug)]
+pub enum KeyDist {
+    /// Uniform over the active prefix of the key space.
+    UniformPrefix,
+    /// Zipfian (scrambled) over the active prefix. Rebuilt lazily when the
+    /// active count changes.
+    Zipfian {
+        /// Skew parameter θ.
+        theta: f64,
+        /// Cached generator for the current active count.
+        gen: Option<Zipfian>,
+    },
+    /// `hot_fraction` of accesses go to the first `hot_records` keys, the
+    /// rest uniform over the whole active prefix.
+    Hotspot {
+        /// Number of hot records.
+        hot_records: u64,
+        /// Probability an access is hot.
+        hot_fraction: f64,
+    },
+}
+
+impl KeyDist {
+    /// YCSB-default scrambled Zipfian.
+    pub fn ycsb_zipfian() -> Self {
+        KeyDist::Zipfian {
+            theta: crate::zipfian::YCSB_ZIPFIAN_CONSTANT,
+            gen: None,
+        }
+    }
+
+    /// Draw a key in `[0, active)`.
+    pub fn sample(&mut self, rng: &mut DetRng, active: u64) -> u64 {
+        assert!(active > 0, "no active records");
+        match self {
+            KeyDist::UniformPrefix => rng.index(active),
+            KeyDist::Zipfian { theta, gen } => {
+                let rebuild = gen.as_ref().is_none_or(|z| z.n() != active);
+                if rebuild {
+                    *gen = Some(Zipfian::scrambled(active, *theta));
+                }
+                gen.as_ref().expect("just built").sample(rng)
+            }
+            KeyDist::Hotspot {
+                hot_records,
+                hot_fraction,
+            } => {
+                let hot = (*hot_records).min(active).max(1);
+                if rng.chance(*hot_fraction) {
+                    rng.index(hot)
+                } else {
+                    rng.index(active)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_prefix_respects_active_window() {
+        let mut d = KeyDist::UniformPrefix;
+        let mut rng = DetRng::seed_from(1);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng, 50) < 50);
+        }
+        // Every key in a small window appears.
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[d.sample(&mut rng, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn zipfian_rebuilds_on_window_change() {
+        let mut d = KeyDist::ycsb_zipfian();
+        let mut rng = DetRng::seed_from(2);
+        for _ in 0..100 {
+            assert!(d.sample(&mut rng, 100) < 100);
+        }
+        for _ in 0..100 {
+            assert!(d.sample(&mut rng, 10_000) < 10_000);
+        }
+        match &d {
+            KeyDist::Zipfian { gen: Some(z), .. } => assert_eq!(z.n(), 10_000),
+            _ => panic!("generator missing"),
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_access() {
+        let mut d = KeyDist::Hotspot {
+            hot_records: 10,
+            hot_fraction: 0.9,
+        };
+        let mut rng = DetRng::seed_from(3);
+        let mut hot_hits = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if d.sample(&mut rng, 1000) < 10 {
+                hot_hits += 1;
+            }
+        }
+        // 90% + 1% incidental.
+        assert!(hot_hits > n * 85 / 100, "hot_hits={hot_hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no active records")]
+    fn empty_window_panics() {
+        let mut d = KeyDist::UniformPrefix;
+        let mut rng = DetRng::seed_from(4);
+        d.sample(&mut rng, 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Operation descriptors.
+//!
+//! A workload model turns "the client issued a request" into an [`OpSpec`]:
+//! which guest pages the server touches (read or write), how much guest CPU
+//! the request costs, and the request/response sizes on the wire. The
+//! cluster executor then plays the spec against the VM — page faults, swap
+//! queues, vCPU contention, and NIC sharing turn the spec into a latency.
+//!
+//! `OpSpec` is allocation-free ([`TouchList`] is a fixed-capacity inline
+//! array): millions of ops are generated per simulated run and the
+//! perf-book rule is no per-op heap traffic.
+
+use agile_sim_core::SimDuration;
+
+/// Maximum pages one operation may touch.
+pub const MAX_TOUCHES: usize = 16;
+
+/// Fixed-capacity list of page touches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TouchList {
+    pages: [u32; MAX_TOUCHES],
+    write_mask: u16,
+    len: u8,
+}
+
+impl TouchList {
+    /// Empty list.
+    pub fn new() -> Self {
+        TouchList::default()
+    }
+
+    /// Append a touch. Panics if the list is full.
+    pub fn push(&mut self, pfn: u32, write: bool) {
+        let i = self.len as usize;
+        assert!(i < MAX_TOUCHES, "operation touches too many pages");
+        self.pages[i] = pfn;
+        if write {
+            self.write_mask |= 1 << i;
+        }
+        self.len += 1;
+    }
+
+    /// Number of touches.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if no touches were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th touch as `(pfn, is_write)`.
+    pub fn get(&self, i: usize) -> (u32, bool) {
+        assert!(i < self.len());
+        (self.pages[i], self.write_mask & (1 << i) != 0)
+    }
+
+    /// Iterate `(pfn, is_write)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, bool)> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+/// One client operation against the guest.
+#[derive(Clone, Copy, Debug)]
+pub struct OpSpec {
+    /// Pages the server touches, in order.
+    pub touches: TouchList,
+    /// Guest CPU time consumed (before vCPU contention).
+    pub cpu: SimDuration,
+    /// Request size on the wire.
+    pub request_bytes: u64,
+    /// Response size on the wire.
+    pub response_bytes: u64,
+}
+
+impl OpSpec {
+    /// Count of write touches.
+    pub fn write_touches(&self) -> usize {
+        self.touches.iter().filter(|(_, w)| *w).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touchlist_push_get() {
+        let mut t = TouchList::new();
+        assert!(t.is_empty());
+        t.push(10, false);
+        t.push(20, true);
+        t.push(30, false);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(0), (10, false));
+        assert_eq!(t.get(1), (20, true));
+        assert_eq!(t.get(2), (30, false));
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all, vec![(10, false), (20, true), (30, false)]);
+    }
+
+    #[test]
+    fn write_mask_counts() {
+        let mut t = TouchList::new();
+        t.push(1, true);
+        t.push(2, false);
+        t.push(3, true);
+        let op = OpSpec {
+            touches: t,
+            cpu: SimDuration::from_micros(10),
+            request_bytes: 64,
+            response_bytes: 1024,
+        };
+        assert_eq!(op.write_touches(), 2);
+    }
+
+    #[test]
+    fn capacity_is_sixteen() {
+        let mut t = TouchList::new();
+        for i in 0..MAX_TOUCHES {
+            t.push(i as u32, i % 2 == 0);
+        }
+        assert_eq!(t.len(), MAX_TOUCHES);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many pages")]
+    fn overflow_panics() {
+        let mut t = TouchList::new();
+        for i in 0..=MAX_TOUCHES {
+            t.push(i as u32, false);
+        }
+    }
+}

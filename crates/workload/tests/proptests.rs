@@ -1,0 +1,117 @@
+//! Property tests: distribution bounds, dataset mapping totality, and
+//! op-spec well-formedness across the workload models.
+
+use agile_sim_core::DetRng;
+use agile_vm::PageRange;
+use agile_workload::{
+    Dataset, KeyDist, OltpParams, SysbenchOltp, YcsbParams, YcsbRedis, Zipfian,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Zipfian samples always land in range for arbitrary n and θ.
+    #[test]
+    fn zipfian_in_range(n in 1u64..100_000, theta in 0.0f64..0.999, seed in 0u64..1000) {
+        let z = Zipfian::scrambled(n, theta);
+        let mut rng = DetRng::seed_from(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Every record of a dataset maps to pages inside its region, and
+    /// consecutive records never go backwards.
+    #[test]
+    fn dataset_mapping_total_and_monotone(
+        region_len in 16u32..4096,
+        record_bytes in 64u64..8192,
+    ) {
+        let region = PageRange { start: 1000, len: region_len };
+        let d = Dataset::filling(region, record_bytes, 4096);
+        prop_assume!(d.n_records() > 0);
+        let mut prev = 0u32;
+        let step = (d.n_records() / 512).max(1);
+        for key in (0..d.n_records()).step_by(step as usize) {
+            let first = d.page_of(key);
+            prop_assert!(region.contains(first));
+            prop_assert!(first >= prev, "mapping went backwards");
+            prev = first;
+            for p in d.pages_of(key) {
+                prop_assert!(region.contains(p), "record {} spills out", key);
+            }
+        }
+    }
+
+    /// YCSB ops always touch the index region then the data region, and
+    /// honour the active window.
+    #[test]
+    fn ycsb_ops_well_formed(
+        active_kb in 64u64..4096,
+        read_ratio in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let index = PageRange { start: 0, len: 64 };
+        let data = PageRange { start: 64, len: 2048 };
+        let dataset = Dataset::filling(data, 1024, 4096);
+        let mut m = YcsbRedis::new(
+            dataset,
+            index,
+            KeyDist::UniformPrefix,
+            YcsbParams { read_ratio, ..YcsbParams::default() },
+        );
+        m.set_active_bytes(active_kb * 1024);
+        let active_pages = (m.active_bytes() / 4096) as u32 + 1;
+        let mut rng = DetRng::seed_from(seed);
+        for _ in 0..200 {
+            let op = m.next_op(&mut rng);
+            prop_assert!(op.touches.len() >= 2);
+            let (ip, iw) = op.touches.get(0);
+            prop_assert!(index.contains(ip));
+            prop_assert!(!iw, "index is never written");
+            let (dp, _) = op.touches.get(1);
+            prop_assert!(data.contains(dp));
+            prop_assert!(dp < data.start + active_pages, "outside active window");
+            prop_assert!(op.cpu.as_nanos() > 0);
+        }
+    }
+
+    /// OLTP transactions always contain exactly one commit per 17
+    /// statements, and write touches only occur in updates/commits.
+    #[test]
+    fn oltp_plan_structure(seed in 0u64..500) {
+        let rows_region = PageRange { start: 600, len: 8192 };
+        let index = PageRange { start: 0, len: 128 };
+        let log = PageRange { start: 128, len: 16 };
+        let rows = Dataset::filling(rows_region, 256, 4096);
+        let mut m = SysbenchOltp::new(
+            rows,
+            index,
+            log,
+            KeyDist::UniformPrefix,
+            OltpParams::default(),
+        );
+        let mut rng = DetRng::seed_from(seed);
+        for _txn in 0..5 {
+            let mut commits = 0;
+            for stmt in 0..SysbenchOltp::STATEMENTS_PER_TXN {
+                let (op, is_commit) = m.next_op(&mut rng);
+                if is_commit {
+                    commits += 1;
+                    prop_assert_eq!(stmt, SysbenchOltp::STATEMENTS_PER_TXN - 1);
+                }
+                let writes = op.write_touches();
+                if stmt < 14 {
+                    prop_assert_eq!(writes, 0, "selects are read-only");
+                }
+                for (p, _) in op.touches.iter() {
+                    prop_assert!(
+                        rows_region.contains(p) || index.contains(p) || log.contains(p),
+                        "touch outside the layout: {}",
+                        p
+                    );
+                }
+            }
+            prop_assert_eq!(commits, 1);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Swap-activity sampling (the iostat path of §IV-D).
+//!
+//! The tracking tool "periodically extracts the swapping activity of a VM
+//! using the iostat utility on the per-VM swap device and computes the
+//! number of pages read/written per second". [`SwapActivityMonitor`] does
+//! exactly that: feed it cumulative [`IoCounters`] snapshots of the VM's
+//! swap device and it produces windowed KB/s rates.
+
+use agile_sim_core::{IoCounters, SimTime};
+
+/// One windowed rate sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SwapRate {
+    /// Window end time.
+    pub at: SimTime,
+    /// Read rate, bytes/second.
+    pub read_bps: f64,
+    /// Write rate, bytes/second.
+    pub write_bps: f64,
+}
+
+impl SwapRate {
+    /// Combined read+write rate in KB/s (the paper's τ is 4 KB/s).
+    pub fn total_kbps(&self) -> f64 {
+        (self.read_bps + self.write_bps) / 1024.0
+    }
+}
+
+/// Computes windowed swap I/O rates from cumulative device counters.
+#[derive(Clone, Debug)]
+pub struct SwapActivityMonitor {
+    last: Option<(SimTime, IoCounters)>,
+}
+
+impl Default for SwapActivityMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SwapActivityMonitor {
+    /// A monitor with no samples yet.
+    pub fn new() -> Self {
+        SwapActivityMonitor { last: None }
+    }
+
+    /// Feed a counter snapshot taken at `now`. Returns the rate over the
+    /// window since the previous snapshot (None for the first sample or a
+    /// zero-length window).
+    pub fn sample(&mut self, now: SimTime, counters: IoCounters) -> Option<SwapRate> {
+        let prev = self.last.replace((now, counters));
+        let (prev_t, prev_c) = prev?;
+        let dt = now.saturating_since(prev_t).as_secs_f64();
+        if dt <= 0.0 {
+            return None;
+        }
+        let delta = counters.delta(&prev_c);
+        Some(SwapRate {
+            at: now,
+            read_bps: delta.read_bytes as f64 / dt,
+            write_bps: delta.write_bytes as f64 / dt,
+        })
+    }
+
+    /// Drop history (e.g. after the VM migrated and the device moved).
+    pub fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(rb: u64, wb: u64) -> IoCounters {
+        IoCounters {
+            read_ops: rb / 4096,
+            write_ops: wb / 4096,
+            read_bytes: rb,
+            write_bytes: wb,
+            busy_nanos: 0,
+        }
+    }
+
+    #[test]
+    fn first_sample_yields_nothing() {
+        let mut m = SwapActivityMonitor::new();
+        assert_eq!(m.sample(SimTime::from_secs(2), counters(0, 0)), None);
+    }
+
+    #[test]
+    fn window_rates() {
+        let mut m = SwapActivityMonitor::new();
+        m.sample(SimTime::from_secs(0), counters(0, 0));
+        let r = m
+            .sample(SimTime::from_secs(2), counters(8192, 4096))
+            .unwrap();
+        assert!((r.read_bps - 4096.0).abs() < 1e-9);
+        assert!((r.write_bps - 2048.0).abs() < 1e-9);
+        assert!((r.total_kbps() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_device_rates_are_zero() {
+        let mut m = SwapActivityMonitor::new();
+        m.sample(SimTime::from_secs(0), counters(4096, 0));
+        let r = m.sample(SimTime::from_secs(2), counters(4096, 0)).unwrap();
+        assert_eq!(r.read_bps, 0.0);
+        assert_eq!(r.write_bps, 0.0);
+    }
+
+    #[test]
+    fn zero_length_window_rejected() {
+        let mut m = SwapActivityMonitor::new();
+        m.sample(SimTime::from_secs(1), counters(0, 0));
+        assert_eq!(m.sample(SimTime::from_secs(1), counters(4096, 0)), None);
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut m = SwapActivityMonitor::new();
+        m.sample(SimTime::from_secs(0), counters(0, 0));
+        m.reset();
+        assert_eq!(m.sample(SimTime::from_secs(1), counters(8192, 0)), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Watermark-based migration trigger and VM selection (§III-B).
+//!
+//! When the aggregate working-set size of all VMs on a host exceeds the
+//! *high watermark*, migration starts; the trigger selects the **fewest**
+//! VMs whose departure brings the aggregate below the *low watermark*, so
+//! no further migration is needed until the high watermark is hit again.
+//!
+//! Fewest-VMs selection is exact: to free at least `D` bytes with the
+//! fewest VMs, take VMs in descending WSS order — if the `k` largest don't
+//! reach `D`, no `k` VMs do.
+
+/// A VM's identity and current working-set size, as seen by the trigger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VmWss {
+    /// Opaque VM key (the cluster's `VmId`).
+    pub vm: u32,
+    /// Tracked working-set size in bytes.
+    pub wss_bytes: u64,
+}
+
+/// The watermark trigger for one host.
+#[derive(Clone, Copy, Debug)]
+pub struct WatermarkTrigger {
+    /// Aggregate WSS level that starts migrations.
+    pub high_bytes: u64,
+    /// Aggregate WSS level migrations must bring the host below.
+    pub low_bytes: u64,
+}
+
+impl WatermarkTrigger {
+    /// Create a trigger; panics unless `low < high`.
+    pub fn new(low_bytes: u64, high_bytes: u64) -> Self {
+        assert!(low_bytes < high_bytes, "low watermark must be below high");
+        WatermarkTrigger {
+            high_bytes,
+            low_bytes,
+        }
+    }
+
+    /// Watermarks as fractions of a host's VM-available memory (e.g.
+    /// 0.85 / 0.95).
+    pub fn fractions(available_bytes: u64, low: f64, high: f64) -> Self {
+        WatermarkTrigger::new(
+            (available_bytes as f64 * low) as u64,
+            (available_bytes as f64 * high) as u64,
+        )
+    }
+
+    /// Should migration start?
+    pub fn should_migrate(&self, aggregate_wss: u64) -> bool {
+        aggregate_wss > self.high_bytes
+    }
+
+    /// Select the fewest VMs to migrate so the remaining aggregate drops
+    /// below the low watermark. Returns an empty vector when the host is
+    /// already below the high watermark. Ties break on VM key for
+    /// determinism.
+    pub fn select_vms(&self, vms: &[VmWss]) -> Vec<u32> {
+        let aggregate: u64 = vms.iter().map(|v| v.wss_bytes).sum();
+        if !self.should_migrate(aggregate) {
+            return Vec::new();
+        }
+        let need = aggregate - self.low_bytes;
+        let mut sorted: Vec<VmWss> = vms.to_vec();
+        sorted.sort_by(|a, b| b.wss_bytes.cmp(&a.wss_bytes).then(a.vm.cmp(&b.vm)));
+        let mut out = Vec::new();
+        let mut freed = 0u64;
+        for v in sorted {
+            if freed >= need {
+                break;
+            }
+            freed += v.wss_bytes;
+            out.push(v.vm);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agile_sim_core::GIB;
+
+    fn vm(vm: u32, gib: u64) -> VmWss {
+        VmWss {
+            vm,
+            wss_bytes: gib * GIB,
+        }
+    }
+
+    #[test]
+    fn below_high_watermark_no_migration() {
+        let t = WatermarkTrigger::new(18 * GIB, 21 * GIB);
+        let vms = [vm(0, 5), vm(1, 5), vm(2, 5)];
+        assert!(!t.should_migrate(15 * GIB));
+        assert!(t.select_vms(&vms).is_empty());
+    }
+
+    #[test]
+    fn single_vm_suffices() {
+        // Aggregate 24 GiB > high 21; need to drop below low 18 → free ≥ 6.
+        let t = WatermarkTrigger::new(18 * GIB, 21 * GIB);
+        let vms = [vm(0, 6), vm(1, 6), vm(2, 6), vm(3, 6)];
+        let sel = t.select_vms(&vms);
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0], 0, "deterministic tie-break by key");
+    }
+
+    #[test]
+    fn picks_largest_first() {
+        let t = WatermarkTrigger::new(10 * GIB, 12 * GIB);
+        let vms = [vm(0, 2), vm(1, 9), vm(2, 3)];
+        // Aggregate 14 > 12; need ≥ 4 freed; the 9 GiB VM alone suffices
+        // while no single smaller VM does.
+        assert_eq!(t.select_vms(&vms), vec![1]);
+    }
+
+    #[test]
+    fn selects_multiple_when_one_is_not_enough() {
+        let t = WatermarkTrigger::new(6 * GIB, 8 * GIB);
+        let vms = [vm(0, 4), vm(1, 4), vm(2, 4)];
+        // Aggregate 12 > 8; need ≥ 6; one 4 GiB VM is not enough.
+        let sel = t.select_vms(&vms);
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn fewest_is_minimal() {
+        let t = WatermarkTrigger::new(10 * GIB, 11 * GIB);
+        let vms = [vm(0, 1), vm(1, 1), vm(2, 1), vm(3, 5), vm(4, 5)];
+        // Aggregate 13 > 11; need ≥ 3; a single 5 GiB VM does it; the
+        // greedy must not take three 1 GiB VMs.
+        let sel = t.select_vms(&vms);
+        assert_eq!(sel.len(), 1);
+        assert!(sel[0] == 3 || sel[0] == 4);
+    }
+
+    #[test]
+    fn fractions_constructor() {
+        let t = WatermarkTrigger::fractions(20 * GIB, 0.8, 0.9);
+        assert_eq!(t.low_bytes, 16 * GIB);
+        assert_eq!(t.high_bytes, 18 * GIB);
+    }
+
+    #[test]
+    #[should_panic(expected = "low watermark must be below high")]
+    fn inverted_watermarks_rejected() {
+        let _ = WatermarkTrigger::new(10, 10);
+    }
+}

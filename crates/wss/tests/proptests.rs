@@ -1,0 +1,86 @@
+//! Property tests: controller safety and watermark-selection minimality.
+
+use agile_sim_core::SimTime;
+use agile_wss::{ControllerParams, ReservationController, SwapRate, VmWss, WatermarkTrigger};
+use proptest::prelude::*;
+
+fn rate(kbps: f64) -> SwapRate {
+    SwapRate {
+        at: SimTime::ZERO,
+        read_bps: kbps * 1024.0,
+        write_bps: 0.0,
+    }
+}
+
+proptest! {
+    /// The reservation always stays within [min, max] no matter the rate
+    /// sequence, and each step moves by exactly α or β (modulo clamping).
+    #[test]
+    fn controller_bounded_and_multiplicative(
+        rates in proptest::collection::vec(0.0f64..500.0, 1..100)
+    ) {
+        let min = 64u64 << 20;
+        let max = 4u64 << 30;
+        let params = ControllerParams::paper(min, max);
+        let mut c = ReservationController::new(params);
+        let mut r = 2u64 << 30;
+        for s in rates {
+            let adj = c.on_sample(r, rate(s));
+            prop_assert!(adj.new_reservation >= min);
+            prop_assert!(adj.new_reservation <= max);
+            let grew = (r as f64 * params.beta) as u64;
+            let shrunk = (r as f64 * params.alpha) as u64;
+            prop_assert!(
+                adj.new_reservation == grew.clamp(min, max)
+                    || adj.new_reservation == shrunk.clamp(min, max),
+                "step was not multiplicative: {} from {}",
+                adj.new_reservation,
+                r
+            );
+            r = adj.new_reservation;
+        }
+    }
+
+    /// Watermark selection is minimal: no smaller set of VMs frees enough,
+    /// and the selected set does free enough.
+    #[test]
+    fn watermark_selection_is_minimal_and_sufficient(
+        sizes in proptest::collection::vec(1u64..100, 1..12),
+        low_frac in 0.2f64..0.7,
+        high_frac in 0.75f64..0.95,
+    ) {
+        let total: u64 = sizes.iter().sum::<u64>() * (1 << 20);
+        let low = (total as f64 * low_frac) as u64;
+        let high = (total as f64 * high_frac) as u64;
+        prop_assume!(low < high && high < total);
+        let trigger = WatermarkTrigger::new(low, high);
+        let vms: Vec<VmWss> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| VmWss {
+                vm: i as u32,
+                wss_bytes: s * (1 << 20),
+            })
+            .collect();
+        let selected = trigger.select_vms(&vms);
+        let aggregate: u64 = vms.iter().map(|v| v.wss_bytes).sum();
+        prop_assert!(trigger.should_migrate(aggregate), "setup guarantees pressure");
+        let freed: u64 = selected
+            .iter()
+            .map(|id| vms.iter().find(|v| v.vm == *id).unwrap().wss_bytes)
+            .sum();
+        // Sufficient:
+        prop_assert!(aggregate - freed <= low, "not enough freed");
+        // Minimal: freeing the k-1 LARGEST VMs would not be enough, hence
+        // no set of k-1 VMs is.
+        if selected.len() > 1 {
+            let mut sorted: Vec<u64> = vms.iter().map(|v| v.wss_bytes).collect();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let top_k_minus_1: u64 = sorted.iter().take(selected.len() - 1).sum();
+            prop_assert!(
+                aggregate - top_k_minus_1 > low,
+                "a smaller selection would have sufficed"
+            );
+        }
+    }
+}

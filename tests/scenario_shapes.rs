@@ -1,0 +1,235 @@
+//! Workspace integration tests: run scaled-down versions of each paper
+//! experiment and assert the qualitative results the paper reports.
+
+use agile::cluster::scenario::single_vm::{self, SingleVmConfig};
+use agile::cluster::scenario::wss::{self, WssScenarioConfig};
+use agile::cluster::scenario::ycsb::{self, YcsbScenarioConfig};
+use agile::sim::GIB;
+use agile::Technique;
+
+fn ycsb_cfg(technique: Technique) -> YcsbScenarioConfig {
+    YcsbScenarioConfig {
+        technique,
+        // 1/64 scale: small enough to run in CI, large enough that the
+        // swapped portion of each VM (~70 MiB) dominates the baselines'
+        // migration path the way the paper's 4.5 GB does.
+        scale: 64,
+        duration_secs: 280,
+        ramp_start_secs: 25,
+        ramp_step_secs: 10,
+        // ~95 s of full four-VM thrash before the migration; the elevated
+        // write share (20% vs the paper's read-mostly clients) churns the
+        // baselines' swap layout as much as ~400 s does at default rates,
+        // keeping the test short while exercising the same mechanism.
+        migrate_at_secs: 150,
+        measure_window_secs: 100,
+        ..Default::default()
+    }
+}
+
+/// §V-A / Tables I–III: Agile migrates fastest, moves the least data, and
+/// hurts application throughput the least; pre-copy is the worst performer.
+#[test]
+fn ycsb_pressure_orderings_match_the_paper() {
+    let agile = ycsb::run(&ycsb_cfg(Technique::Agile));
+    let post = ycsb::run(&ycsb_cfg(Technique::PostCopy));
+    let pre = ycsb::run(&ycsb_cfg(Technique::PreCopy));
+
+    let t_agile = agile.metrics.total_time().expect("agile completed");
+    let t_post = post.metrics.total_time().expect("post-copy completed");
+    let t_pre = pre.metrics.total_time().expect("pre-copy completed");
+
+    // Table II ordering: agile < post-copy ≤ pre-copy.
+    assert!(t_agile < t_post, "agile {t_agile} !< post {t_post}");
+    assert!(t_agile < t_pre, "agile {t_agile} !< pre {t_pre}");
+    assert!(t_post <= t_pre, "post {t_post} !<= pre {t_pre}");
+
+    // Table III ordering: agile moves the least data; pre-copy the most.
+    assert!(agile.metrics.migration_bytes < post.metrics.migration_bytes);
+    assert!(post.metrics.migration_bytes <= pre.metrics.migration_bytes);
+
+    // Table I ordering: application performance agile > post > pre.
+    assert!(
+        agile.avg_during_migration > post.avg_during_migration,
+        "agile {} !> post {}",
+        agile.avg_during_migration,
+        post.avg_during_migration
+    );
+    assert!(
+        post.avg_during_migration > pre.avg_during_migration,
+        "post {} !> pre {}",
+        post.avg_during_migration,
+        pre.avg_during_migration
+    );
+
+    // Mechanism checks: agile never touched the swap device for transfer
+    // and shipped swapped pages as offsets.
+    assert_eq!(agile.metrics.pages_swapped_in_for_transfer, 0);
+    assert!(agile.metrics.pages_sent_as_offsets > 0);
+    assert!(pre.metrics.pages_swapped_in_for_transfer > 0);
+    assert!(post.metrics.pages_swapped_in_for_transfer > 0);
+
+    // The throughput timeline shows the pressure dip: mean throughput in
+    // the thrash window is well below the pre-ramp peak.
+    // The throughput timeline shows the pressure dip. The SSD-backed
+    // baselines collapse hard (readahead-amplified device queueing); the
+    // VMD-backed Agile setup dips more shallowly (remote-memory faults
+    // are cheaper than a thrashing SSD — part of the paper's premise).
+    for (r, bound) in [(&agile, 0.85), (&post, 0.7), (&pre, 0.7)] {
+        let thrash: Vec<f64> = r
+            .series
+            .iter()
+            .filter(|(t, _)| *t >= 130 && *t < 149)
+            .map(|(_, v)| *v)
+            .collect();
+        let mean = thrash.iter().sum::<f64>() / thrash.len().max(1) as f64;
+        assert!(
+            mean < bound * r.peak_reference,
+            "no visible memory-pressure dip: {mean} vs peak {}",
+            r.peak_reference
+        );
+    }
+}
+
+fn sweep_cfg(technique: Technique, vm_gib: u64, busy: bool) -> SingleVmConfig {
+    SingleVmConfig {
+        technique,
+        vm_mem: vm_gib * GIB,
+        host_mem: 6 * GIB,
+        busy,
+        scale: 64,
+        warmup_secs: 15,
+        deadline_secs: 2000,
+        ..Default::default()
+    }
+}
+
+/// Fig. 8: baselines transfer the whole VM (linear in VM size); Agile
+/// transfers only the resident set, flat once the VM exceeds the host.
+#[test]
+fn single_vm_data_transferred_shapes() {
+    // VM sizes straddling the 6 GB host size.
+    let small = 4u64;
+    let large = 10u64;
+
+    let agile_small = single_vm::run(&sweep_cfg(Technique::Agile, small, false));
+    let agile_large = single_vm::run(&sweep_cfg(Technique::Agile, large, false));
+    let post_small = single_vm::run(&sweep_cfg(Technique::PostCopy, small, false));
+    let post_large = single_vm::run(&sweep_cfg(Technique::PostCopy, large, false));
+
+    // Post-copy grows ~linearly with VM size.
+    let post_ratio = post_large.migration_bytes as f64 / post_small.migration_bytes as f64;
+    let size_ratio = large as f64 / small as f64;
+    assert!(
+        (post_ratio - size_ratio).abs() / size_ratio < 0.25,
+        "post-copy bytes not linear: ratio {post_ratio} vs size ratio {size_ratio}"
+    );
+
+    // Agile stays (nearly) flat once the VM exceeds host memory: the
+    // 10 GiB VM moves barely more than the 4 GiB one (only the resident
+    // set travels).
+    let agile_ratio = agile_large.migration_bytes as f64 / agile_small.migration_bytes as f64;
+    assert!(
+        agile_ratio < 1.6,
+        "agile bytes should be ~flat, got ratio {agile_ratio}"
+    );
+    // And far below post-copy for the large VM.
+    assert!(
+        (agile_large.migration_bytes as f64) < 0.7 * post_large.migration_bytes as f64,
+        "agile {} !<< post {}",
+        agile_large.migration_bytes,
+        post_large.migration_bytes
+    );
+}
+
+/// Fig. 7: once the VM outgrows the host, a busy VM makes pre/post-copy
+/// much slower (swap thrashing), while Agile stays fast.
+#[test]
+fn single_vm_migration_time_shapes() {
+    let vm_gib = 10u64; // > 6 GiB host: lots of swapped state
+    let agile = single_vm::run(&sweep_cfg(Technique::Agile, vm_gib, true));
+    let pre = single_vm::run(&sweep_cfg(Technique::PreCopy, vm_gib, true));
+    let post = single_vm::run(&sweep_cfg(Technique::PostCopy, vm_gib, true));
+
+    assert!(
+        agile.migration_secs < post.migration_secs,
+        "agile {} !< post {}",
+        agile.migration_secs,
+        post.migration_secs
+    );
+    assert!(
+        agile.migration_secs < pre.migration_secs,
+        "agile {} !< pre {}",
+        agile.migration_secs,
+        pre.migration_secs
+    );
+    // The idle VM of the same size migrates faster than the busy one for
+    // the baselines (guest paging competes with the migration swap-ins).
+    let post_idle = single_vm::run(&sweep_cfg(Technique::PostCopy, vm_gib, false));
+    assert!(
+        post_idle.migration_secs < post.migration_secs,
+        "idle {} !< busy {}",
+        post_idle.migration_secs,
+        post.migration_secs
+    );
+}
+
+/// Fig. 9: the reservation controller converges onto the true working set.
+#[test]
+fn wss_tracking_converges() {
+    let cfg = WssScenarioConfig {
+        scale: 64,
+        duration_secs: 420,
+        ..Default::default()
+    };
+    let r = wss::run(&cfg);
+    assert!(
+        !r.reservation_series.is_empty(),
+        "tracking produced no samples"
+    );
+    // The controller hovers above the WSS in a slow sawtooth (evict →
+    // refill → decay; the paper's Fig. 9 shows the same envelope), so
+    // assert on the median of the settled half rather than the final
+    // sample, whose value depends on the oscillation phase.
+    let mut settled: Vec<f64> = r
+        .reservation_series
+        .iter()
+        .filter(|(t, _)| *t > cfg.duration_secs as f64 / 2.0)
+        .map(|(_, v)| *v)
+        .collect();
+    settled.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = settled[settled.len() / 2];
+    let err = (median - r.true_wss_bytes as f64) / r.true_wss_bytes as f64;
+    assert!(
+        (-0.15..0.45).contains(&err),
+        "median reservation {} vs true WSS {} (err {:.2})",
+        median,
+        r.true_wss_bytes,
+        err
+    );
+    // The reservation must have come down a long way from the initial
+    // full-VM value (5 GiB/scale) toward the ~2 GiB/scale working set.
+    let initial = r.reservation_series.first().map(|(_, v)| *v).unwrap_or(0.0);
+    assert!(
+        median < 0.7 * initial,
+        "reservation never shrank: {median} vs initial {initial}"
+    );
+    // Fig. 10: throughput at the end is healthy (the tracker did not
+    // strangle the workload).
+    let late: Vec<f64> = r
+        .throughput_series
+        .iter()
+        .filter(|(t, _)| *t > cfg.duration_secs - 60)
+        .map(|(_, v)| *v)
+        .collect();
+    let peak = r
+        .throughput_series
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0f64, f64::max);
+    let late_mean = late.iter().sum::<f64>() / late.len().max(1) as f64;
+    assert!(
+        late_mean > 0.6 * peak,
+        "workload strangled: late {late_mean} vs peak {peak}"
+    );
+}
