@@ -1,10 +1,11 @@
 //! Fluid-network microbenchmarks: the per-event cost of the max-min
 //! water-filling allocator and the poll loop under realistic channel
 //! counts (the simulation's hottest path after the guest op engine).
-#![allow(missing_docs)] // criterion macros generate undocumented items
+#![allow(missing_docs)]
 
+use agile_bench::harness::{bench, black_box};
+use agile_bench::seed_baseline::{seed_waterfill, SeedChannel};
 use agile_sim_core::{Bandwidth, Network, SimDuration, SimTime};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn make_net(nodes: usize, channels: usize) -> (Network, Vec<agile_sim_core::ChannelId>) {
     let mut net = Network::new(SimDuration::from_micros(50));
@@ -17,61 +18,70 @@ fn make_net(nodes: usize, channels: usize) -> (Network, Vec<agile_sim_core::Chan
     (net, chs)
 }
 
-fn bench_send_poll_cycle(c: &mut Criterion) {
+fn bench_send_poll_cycle() {
     // The steady-state workload pattern: small messages on ~16 channels.
-    c.bench_function("network/send_poll_cycle_16ch", |b| {
-        let (mut net, chs) = make_net(5, 16);
-        let mut t = SimTime::ZERO;
-        let mut i = 0usize;
-        b.iter(|| {
-            t += SimDuration::from_micros(10);
-            net.send(t, chs[i % chs.len()], 1100, i as u64);
-            i += 1;
-            if let Some(next) = net.next_event_time() {
-                if next <= t {
-                    black_box(net.poll(t).len());
-                }
+    let (mut net, chs) = make_net(5, 16);
+    let mut t = SimTime::ZERO;
+    let mut i = 0usize;
+    bench("network/send_poll_cycle_16ch", || {
+        t += SimDuration::from_micros(10);
+        net.send(t, chs[i % chs.len()], 1100, i as u64);
+        i += 1;
+        if let Some(next) = net.next_event_time() {
+            if next <= t {
+                black_box(net.poll(t).len());
             }
-        });
-    });
-}
-
-fn bench_rate_recompute(c: &mut Criterion) {
-    // Worst case: every channel active, full water-filling pass.
-    c.bench_function("network/waterfill_32_active", |b| {
-        let (mut net, chs) = make_net(8, 32);
-        for (i, ch) in chs.iter().enumerate() {
-            net.send(SimTime::ZERO, *ch, 100_000_000, i as u64);
         }
-        let mut t = SimTime::ZERO;
-        let mut i = 0u64;
-        b.iter(|| {
-            // Each send triggers a recompute (membership unchanged ones
-            // are cheap; this alternates to force real work).
-            t += SimDuration::from_micros(1);
-            net.send(t, chs[(i % 32) as usize], 1000, i);
-            i += 1;
-            black_box(net.channel_rate(chs[0]))
-        });
     });
 }
 
-fn bench_drain_bulk(c: &mut Criterion) {
+fn bench_rate_recompute() {
+    // Worst case: every channel active, full water-filling pass.
+    let (mut net, chs) = make_net(8, 32);
+    for (i, ch) in chs.iter().enumerate() {
+        net.send(SimTime::ZERO, *ch, 100_000_000, i as u64);
+    }
+    let mut t = SimTime::ZERO;
+    let mut i = 0u64;
+    bench("network/waterfill_32_active", || {
+        // Each send triggers a recompute (membership unchanged ones are
+        // cheap; this alternates to force real work).
+        t += SimDuration::from_micros(1);
+        net.send(t, chs[(i % 32) as usize], 1000, i);
+        i += 1;
+        black_box(net.channel_rate(chs[0]));
+    });
+}
+
+fn bench_seed_waterfill() {
+    // The same 32-channel/8-node topology as waterfill_32_active, run
+    // through the seed's allocation pattern (see `seed_baseline`).
+    let node_caps: Vec<(f64, f64)> = (0..8).map(|_| (125e6, 125e6)).collect();
+    let mut channels: Vec<SeedChannel> = (0..32).map(|i| (i % 8, (i + 1) % 8, None, 0.0)).collect();
+    bench("network/SEED_waterfill_32_active", || {
+        seed_waterfill(&node_caps, &mut channels);
+        black_box(channels[0].3);
+    });
+}
+
+fn bench_drain_bulk() {
     // Bulk migration pattern: 1 MiB chunks back to back.
-    c.bench_function("network/drain_1000_chunks", |b| {
-        b.iter(|| {
-            let (mut net, chs) = make_net(2, 1);
-            for i in 0..1000u64 {
-                net.send(SimTime::ZERO, chs[0], 1_050_000, i);
-            }
-            let mut n = 0;
-            while let Some(t) = net.next_event_time() {
-                n += net.poll(t).len();
-            }
-            black_box(n)
-        });
+    bench("network/drain_1000_chunks", || {
+        let (mut net, chs) = make_net(2, 1);
+        for i in 0..1000u64 {
+            net.send(SimTime::ZERO, chs[0], 1_050_000, i);
+        }
+        let mut n = 0;
+        while let Some(t) = net.next_event_time() {
+            n += net.poll(t).len();
+        }
+        black_box(n);
     });
 }
 
-criterion_group!(benches, bench_send_poll_cycle, bench_rate_recompute, bench_drain_bulk);
-criterion_main!(benches);
+fn main() {
+    bench_send_poll_cycle();
+    bench_rate_recompute();
+    bench_seed_waterfill();
+    bench_drain_bulk();
+}

@@ -15,8 +15,8 @@
 //! 5. **WSS controller α/β** — convergence time of the Fig. 9 scenario.
 
 use agile_bench::Args;
-use agile_cluster::scenario::wss::{self, WssScenarioConfig};
 use agile_cluster::build::{ClusterBuilder, SwapKind};
+use agile_cluster::scenario::wss::{self, WssScenarioConfig};
 use agile_cluster::{migrate, ClusterConfig};
 use agile_migration::{SourceConfig, Technique};
 use agile_sim_core::{SimDuration, SimTime, GIB, MIB};
@@ -30,7 +30,12 @@ fn agile_once(chunk_pages: u32, n_servers: usize, scale: u64) -> (f64, u64) {
     let src = b.add_host("source", 6 * GIB / scale, 200 * MIB / scale, true);
     let dst = b.add_host("dest", 6 * GIB / scale, 200 * MIB / scale, true);
     for i in 0..n_servers {
-        let im = b.add_host(&format!("im{i}"), 64 * GIB / scale, 200 * MIB / scale, false);
+        let im = b.add_host(
+            &format!("im{i}"),
+            64 * GIB / scale,
+            200 * MIB / scale,
+            false,
+        );
         b.add_vmd_server(im, (48 * GIB / scale) / n_servers as u64, 0);
     }
     b.ensure_vmd_client(dst);
@@ -63,10 +68,7 @@ fn agile_once(chunk_pages: u32, n_servers: usize, scale: u64) -> (f64, u64) {
         assert!(sim.now() < SimTime::from_secs(3600), "stuck migration");
     }
     let m = sim.state().migrations[mig].src.metrics();
-    (
-        m.total_time().unwrap().as_secs_f64(),
-        m.migration_bytes,
-    )
+    (m.total_time().unwrap().as_secs_f64(), m.migration_bytes)
 }
 
 fn main() {
@@ -74,7 +76,10 @@ fn main() {
     let scale = args.scale().max(8);
 
     println!("== ablation 1: transfer chunk size (Agile, 10 GiB/{scale} VM) ==");
-    println!("{:>12} {:>12} {:>12}", "chunk pages", "time (s)", "MB moved");
+    println!(
+        "{:>12} {:>12} {:>12}",
+        "chunk pages", "time (s)", "MB moved"
+    );
     for chunk in [32u32, 128, 256, 1024] {
         let (t, b) = agile_once(chunk, 1, scale);
         println!("{chunk:>12} {t:>12.2} {:>12}", b / 1_000_000);
@@ -105,14 +110,23 @@ fn main() {
     println!("(readahead waste throttles the thrashing guest; the migration itself barely moves)");
 
     println!("\n== ablation 4: pre-copy convergence threshold (busy VM) ==");
-    println!("{:>14} {:>8} {:>12} {:>12}", "threshold pages", "rounds", "time (s)", "MB moved");
+    println!(
+        "{:>14} {:>8} {:>12} {:>12}",
+        "threshold pages", "rounds", "time (s)", "MB moved"
+    );
     for threshold in [64u32, 512, 4096] {
         let (rounds, t, b) = precopy_with_threshold(threshold, scale);
-        println!("{threshold:>14} {rounds:>8} {t:>12.2} {:>12}", b / 1_000_000);
+        println!(
+            "{threshold:>14} {rounds:>8} {t:>12.2} {:>12}",
+            b / 1_000_000
+        );
     }
 
     println!("\n== ablation 5: WSS controller α/β ==");
-    println!("{:>8} {:>8} {:>16} {:>14}", "alpha", "beta", "final err (%)", "within-20% (s)");
+    println!(
+        "{:>8} {:>8} {:>16} {:>14}",
+        "alpha", "beta", "final err (%)", "within-20% (s)"
+    );
     for (alpha, beta) in [(0.95, 1.03), (0.90, 1.06), (0.98, 1.01)] {
         let r = wss::run(&WssScenarioConfig {
             scale,
@@ -169,7 +183,12 @@ fn busy_postcopy_with_readahead(readahead: u32, scale: u64) -> (u64, f64) {
         )
     };
     let dataset = Dataset::new(dr, dataset_bytes / 1024, 1024, page);
-    let model = YcsbRedis::new(dataset, ir, KeyDist::UniformPrefix, YcsbParams::update_heavy());
+    let model = YcsbRedis::new(
+        dataset,
+        ir,
+        KeyDist::UniformPrefix,
+        YcsbParams::update_heavy(),
+    );
     b.attach_workload(vm, cli, WorkloadKind::Ycsb(model));
     b.preload_layout(vm);
     let mut sim = b.build();
@@ -235,7 +254,12 @@ fn single_vm_precopy(threshold: u32, scale: u64) -> (u32, f64, u64) {
         )
     };
     let dataset = Dataset::new(dr, dataset_bytes / 1024, 1024, page);
-    let model = YcsbRedis::new(dataset, ir, KeyDist::UniformPrefix, YcsbParams::update_heavy());
+    let model = YcsbRedis::new(
+        dataset,
+        ir,
+        KeyDist::UniformPrefix,
+        YcsbParams::update_heavy(),
+    );
     b.attach_workload(vm, cli, WorkloadKind::Ycsb(model));
     b.preload_layout(vm);
     let mut sim = b.build();

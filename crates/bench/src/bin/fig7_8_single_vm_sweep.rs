@@ -2,18 +2,17 @@
 //! transferred for a single idle/busy VM whose memory grows past the
 //! host's 6 GB, for all three techniques.
 //!
-//! Sweep points are independent simulations; they run in parallel with
-//! rayon.
+//! Sweep points are independent simulations; they run in parallel on
+//! scoped threads.
 //!
 //! ```sh
 //! cargo run --release -p agile-bench --bin fig7_8_single_vm_sweep -- --scale 8
 //! ```
 
-use agile_bench::{write_csv, Args};
+use agile_bench::{par_map, write_csv, Args};
 use agile_cluster::scenario::single_vm::{self, SingleVmConfig};
 use agile_migration::Technique;
 use agile_sim_core::GIB;
-use rayon::prelude::*;
 
 fn main() {
     let args = Args::parse();
@@ -31,9 +30,8 @@ fn main() {
                 .flat_map(move |&t| [(s, t, false), (s, t, true)])
         })
         .collect();
-    let results: Vec<((u64, Technique, bool), single_vm::SingleVmResult)> = points
-        .par_iter()
-        .map(|&(size, technique, busy)| {
+    let results: Vec<((u64, Technique, bool), single_vm::SingleVmResult)> =
+        par_map(&points, |&(size, technique, busy)| {
             let r = single_vm::run(&SingleVmConfig {
                 technique,
                 vm_mem: size * GIB,
@@ -43,8 +41,7 @@ fn main() {
                 ..Default::default()
             });
             ((size, technique, busy), r)
-        })
-        .collect();
+        });
 
     let lookup = |size: u64, t: Technique, busy: bool| {
         results
@@ -55,7 +52,9 @@ fn main() {
     };
 
     for (busy, label) in [(false, "idle"), (true, "busy")] {
-        println!("\nFigure 7 ({label} VM): total migration time (seconds), host 6 GB, scale 1/{scale}");
+        println!(
+            "\nFigure 7 ({label} VM): total migration time (seconds), host 6 GB, scale 1/{scale}"
+        );
         println!(
             "{:>8} {:>12} {:>12} {:>12}",
             "VM GiB", "pre-copy", "post-copy", "agile"

@@ -1,0 +1,286 @@
+//! Machine-readable performance report: times the DES hot-path
+//! micro-kernels (slab event queue, incremental water-filling, word-level
+//! bitmap scans) plus one reduced Figure-7 end-to-end sweep, and writes
+//! the numbers to `BENCH_1.json`.
+//!
+//! ```sh
+//! cargo run --release -p agile-bench --bin perf_report -- --out .
+//! ```
+//!
+//! The JSON is flat: a `results` array of `{name, ns_per_iter, per_sec}`
+//! micro-kernel entries plus the sweep wall-clock, so a driver can diff
+//! two runs without parsing human-oriented output.
+
+use agile_bench::harness::{bench, black_box, BenchResult};
+use agile_bench::Args;
+use agile_cluster::scenario::single_vm::{self, SingleVmConfig};
+use agile_memory::{Touch, VmMemory, VmMemoryConfig};
+use agile_migration::{Bitmap, Technique};
+use agile_sim_core::{
+    Bandwidth, DetRng, FastEvent, Network, SimDuration, SimTime, Simulation, GIB,
+};
+use std::time::Instant;
+
+/// events/sec through the slab queue with typed fast events: the DES
+/// inner loop (pop → dispatch → schedule) at 1k pending events.
+fn kernel_event_queue() -> BenchResult {
+    let mut sim = Simulation::new(0u64);
+    sim.set_fast_handler(|sim, _ev| {
+        let now = sim.now();
+        *sim.state_mut() += 1;
+        sim.schedule_fast(
+            now + SimDuration::from_micros(1000),
+            FastEvent::Timer {
+                kind: 0,
+                a: 0,
+                b: 0,
+            },
+        );
+    });
+    for i in 0..1000u64 {
+        sim.schedule_fast(
+            SimTime::from_micros(i),
+            FastEvent::Timer {
+                kind: 0,
+                a: i,
+                b: 0,
+            },
+        );
+    }
+    bench("event_queue/fast_schedule_pop_1k_pending", || {
+        sim.step();
+        black_box(sim.now());
+    })
+}
+
+/// schedule/cancel/pop cycles per second: the fate of timeout-style events
+/// (a far timeout scheduled and cancelled while a near event fires).
+fn kernel_event_cancel() -> BenchResult {
+    let mut sim = Simulation::new(0u64);
+    sim.set_fast_handler(|_, _| {});
+    bench("event_queue/timeout_cancel_cycle", || {
+        let now = sim.now();
+        let timeout = sim.schedule_fast(
+            now + SimDuration::from_millis(100),
+            FastEvent::Timer {
+                kind: 1,
+                a: 0,
+                b: 0,
+            },
+        );
+        sim.schedule_fast(
+            now + SimDuration::from_micros(1),
+            FastEvent::Timer {
+                kind: 0,
+                a: 0,
+                b: 0,
+            },
+        );
+        sim.cancel(timeout);
+        black_box(sim.step());
+    })
+}
+
+/// The same schedule/cancel/pop cycle on the seed event queue
+/// (boxed closures + BinaryHeap + HashSet cancellation).
+fn kernel_seed_event_cancel() -> BenchResult {
+    use agile_bench::seed_baseline::SeedSim;
+    let mut seed = SeedSim::new();
+    bench("event_queue/SEED_timeout_cancel_cycle", || {
+        let now = seed.now;
+        let (a, b) = (black_box(1u64), black_box(2u64));
+        let timeout = seed.schedule_at(now + SimDuration::from_millis(100), move |s| {
+            s.fired += black_box(a + b);
+        });
+        seed.schedule_at(now + SimDuration::from_micros(1), move |s| {
+            s.fired += black_box(a.wrapping_mul(b));
+        });
+        seed.cancel(timeout);
+        black_box(seed.step());
+    })
+}
+
+/// recompute calls/sec: every send on a 32-active-channel network triggers
+/// a full incremental water-filling pass.
+fn kernel_waterfill() -> BenchResult {
+    let mut net = Network::new(SimDuration::from_micros(50));
+    let nodes: Vec<_> = (0..8)
+        .map(|_| net.add_symmetric_node(Bandwidth::gbps(1.0)))
+        .collect();
+    let chs: Vec<_> = (0..32)
+        .map(|i| net.open_channel(nodes[i % 8], nodes[(i + 1) % 8]))
+        .collect();
+    for (i, ch) in chs.iter().enumerate() {
+        net.send(SimTime::ZERO, *ch, 100_000_000, i as u64);
+    }
+    let mut t = SimTime::ZERO;
+    let mut i = 0u64;
+    bench("network/waterfill_32_active", || {
+        t += SimDuration::from_micros(1);
+        net.send(t, chs[(i % 32) as usize], 1000, i);
+        i += 1;
+        black_box(net.channel_rate(chs[0]));
+    })
+}
+
+/// The seed's allocating water-filling pass on the same 32-channel/8-node
+/// topology.
+fn kernel_seed_waterfill() -> BenchResult {
+    use agile_bench::seed_baseline::{seed_waterfill, SeedChannel};
+    let node_caps: Vec<(f64, f64)> = (0..8).map(|_| (125e6, 125e6)).collect();
+    let mut channels: Vec<SeedChannel> = (0..32).map(|i| (i % 8, (i + 1) % 8, None, 0.0)).collect();
+    bench("network/SEED_waterfill_32_active", || {
+        seed_waterfill(&node_caps, &mut channels);
+        black_box(channels[0].3);
+    })
+}
+
+/// Full send→drain cycles/sec on the steady-state 16-channel pattern.
+fn kernel_send_poll() -> BenchResult {
+    let mut net = Network::new(SimDuration::from_micros(50));
+    let nodes: Vec<_> = (0..5)
+        .map(|_| net.add_symmetric_node(Bandwidth::gbps(1.0)))
+        .collect();
+    let chs: Vec<_> = (0..16)
+        .map(|i| net.open_channel(nodes[i % 5], nodes[(i + 1) % 5]))
+        .collect();
+    let mut t = SimTime::ZERO;
+    let mut i = 0usize;
+    bench("network/send_poll_cycle_16ch", || {
+        t += SimDuration::from_micros(10);
+        net.send(t, chs[i % chs.len()], 1100, i as u64);
+        i += 1;
+        if let Some(next) = net.next_event_time() {
+            if next <= t {
+                black_box(net.poll(t).len());
+            }
+        }
+    })
+}
+
+/// Word-level sparse scan of a 10 GiB VM's bitmap (2.6 M pages).
+fn kernel_bitmap_scan() -> BenchResult {
+    let n: u32 = 2_621_440;
+    let mut bm = Bitmap::zeros(n);
+    for p in (0..n).step_by(97) {
+        bm.set(p);
+    }
+    bench("bitmap/for_each_set_sparse_2.6M", || {
+        let mut count = 0u32;
+        bm.for_each_set(|_| count += 1);
+        black_box(count);
+    })
+}
+
+/// Guest touch/fault/evict cycle under a reservation (shadow word maps
+/// maintained on every transition).
+fn kernel_touch_path() -> BenchResult {
+    let mut mem = VmMemory::new(VmMemoryConfig {
+        pages: 65_536,
+        page_size: 4096,
+        limit_pages: 32_768,
+    });
+    let mut evs = Vec::new();
+    for p in 0..65_536u32 {
+        mem.touch(p, true);
+        mem.fault_in(p, true, &mut evs);
+        evs.clear();
+    }
+    let mut rng = DetRng::seed_from(3);
+    bench("vmmemory/touch_fault_evict_cycle", || {
+        let p = rng.index(65_536) as u32;
+        match mem.touch(p, false) {
+            Touch::Hit => {}
+            Touch::MajorFault { .. } => {
+                mem.begin_swap_in(p);
+                mem.fault_in(p, false, &mut evs);
+                evs.clear();
+            }
+            Touch::MinorFault => {
+                mem.fault_in(p, false, &mut evs);
+                evs.clear();
+            }
+            Touch::InFlight => unreachable!(),
+        }
+        black_box(p);
+    })
+}
+
+/// One reduced Figure-7 sweep (3 techniques × 2 VM sizes, idle, scale
+/// 1/64): end-to-end wall-clock, plus total simulator events.
+fn end_to_end_sweep() -> (f64, f64) {
+    let t0 = Instant::now();
+    let mut sim_secs_total = 0.0;
+    for technique in [Technique::PreCopy, Technique::PostCopy, Technique::Agile] {
+        for size_gib in [4u64, 8u64] {
+            let r = single_vm::run(&SingleVmConfig {
+                technique,
+                vm_mem: size_gib * GIB,
+                host_mem: 6 * GIB,
+                busy: false,
+                scale: 64,
+                ..Default::default()
+            });
+            sim_secs_total += r.migration_secs;
+        }
+    }
+    (t0.elapsed().as_secs_f64(), sim_secs_total)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args = Args::parse();
+    let out_dir = args
+        .get::<String>("out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+
+    println!("-- micro-kernels --");
+    let cancel_cycle = kernel_event_cancel();
+    let seed_cancel_cycle = kernel_seed_event_cancel();
+    let waterfill = kernel_waterfill();
+    let seed_waterfill_r = kernel_seed_waterfill();
+    let results = [
+        kernel_event_queue(),
+        cancel_cycle.clone(),
+        seed_cancel_cycle.clone(),
+        waterfill.clone(),
+        seed_waterfill_r.clone(),
+        kernel_send_poll(),
+        kernel_bitmap_scan(),
+        kernel_touch_path(),
+    ];
+    let queue_speedup = seed_cancel_cycle.ns_per_iter / cancel_cycle.ns_per_iter;
+    let waterfill_speedup = seed_waterfill_r.ns_per_iter / waterfill.ns_per_iter;
+    println!("speedup vs seed: event queue {queue_speedup:.2}x, waterfill {waterfill_speedup:.2}x");
+    println!("-- end-to-end reduced Fig. 7 sweep (scale 1/64) --");
+    let (sweep_wall_s, sweep_sim_s) = end_to_end_sweep();
+    println!("sweep: {sweep_wall_s:.2} s wall for {sweep_sim_s:.1} simulated s of migration");
+
+    let mut json = String::from("{\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.2}, \"per_sec\": {:.0}}}{}\n",
+            json_escape(&r.name),
+            r.ns_per_iter,
+            r.per_sec(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_vs_seed\": {{\"event_queue_timeout_cancel_cycle\": {queue_speedup:.2}, \"waterfill_32_active\": {waterfill_speedup:.2}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"fig7_sweep\": {{\"wall_secs\": {sweep_wall_s:.3}, \"simulated_migration_secs\": {sweep_sim_s:.3}, \"scale\": 64, \"points\": 6}}\n"
+    ));
+    json.push_str("}\n");
+
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let path = out_dir.join("BENCH_1.json");
+    std::fs::write(&path, &json).expect("write BENCH_1.json");
+    println!("wrote {}", path.display());
+}

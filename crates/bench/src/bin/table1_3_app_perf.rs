@@ -6,11 +6,10 @@
 //! cargo run --release -p agile-bench --bin table1_3_app_perf -- --scale 8
 //! ```
 
-use agile_bench::{write_csv, Args};
+use agile_bench::{par_map, write_csv, Args};
 use agile_cluster::scenario::sysbench::{self, SysbenchScenarioConfig};
 use agile_cluster::scenario::ycsb::{self, YcsbScenarioConfig};
 use agile_migration::{MigrationMetrics, Technique};
-use rayon::prelude::*;
 
 struct Row {
     perf: f64,
@@ -51,14 +50,14 @@ fn main() {
     let techniques = [Technique::PreCopy, Technique::PostCopy, Technique::Agile];
 
     // Six independent simulations, in parallel.
-    let cells: Vec<((usize, usize), Row)> = techniques
+    let points: Vec<(usize, usize, Technique, bool)> = techniques
         .iter()
         .enumerate()
         .flat_map(|(ti, &t)| [(ti, 0usize, t, false), (ti, 1usize, t, true)])
-        .collect::<Vec<_>>()
-        .par_iter()
-        .map(|&(ti, wi, t, sysb)| ((ti, wi), run_cell(t, sysb, scale)))
         .collect();
+    let cells: Vec<((usize, usize), Row)> = par_map(&points, |&(ti, wi, t, sysb)| {
+        ((ti, wi), run_cell(t, sysb, scale))
+    });
     let cell = |ti: usize, wi: usize| -> &Row {
         &cells
             .iter()

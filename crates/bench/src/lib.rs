@@ -1,7 +1,8 @@
 //! # agile-bench
 //!
 //! The benchmark harness: one binary per paper figure/table (see
-//! `src/bin/`) plus Criterion micro- and ablation benches (`benches/`).
+//! `src/bin/`) plus self-contained micro- and ablation benches
+//! (`benches/`, built on [`harness`]).
 //!
 //! | binary | regenerates |
 //! |--------|-------------|
@@ -65,6 +66,50 @@ impl Default for Args {
     }
 }
 
+/// Map `f` over `items` on up to `available_parallelism()` scoped threads,
+/// returning results in input order. The experiment binaries use this for
+/// their embarrassingly parallel sweep points; each point is an
+/// independent simulation, so ordering the results by input index keeps
+/// the output deterministic regardless of scheduling.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(n);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|o| o.expect("worker produced result"))
+            .collect()
+    })
+}
+
 /// Write a CSV file, creating the directory as needed.
 pub fn write_csv(dir: &Path, name: &str, contents: &str) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
@@ -89,6 +134,79 @@ pub fn fmt_secs(s: Option<f64>) -> String {
     match s {
         Some(v) => format!("{v:.1}"),
         None => "—".into(),
+    }
+}
+
+pub mod seed_baseline;
+
+/// Minimal wall-clock micro-benchmark harness. The `benches/` targets and
+/// `perf_report` build on this instead of an external framework: calibrate
+/// a batch size against the clock, run a few batches, keep the fastest
+/// (least-interfered) one.
+pub mod harness {
+    pub use std::hint::black_box;
+    use std::time::Instant;
+
+    /// One measured benchmark.
+    #[derive(Clone, Debug)]
+    pub struct BenchResult {
+        /// Benchmark label, e.g. `"event_queue/schedule_pop"`.
+        pub name: String,
+        /// Best observed nanoseconds per iteration.
+        pub ns_per_iter: f64,
+        /// Iterations per measured batch (after calibration).
+        pub iters_per_batch: u64,
+    }
+
+    impl BenchResult {
+        /// Iterations per second at the best observed rate.
+        pub fn per_sec(&self) -> f64 {
+            1e9 / self.ns_per_iter
+        }
+    }
+
+    /// Measure `f`, printing one line and returning the result.
+    ///
+    /// Calibration doubles the batch until it runs ≥ 20 ms, then scales to
+    /// a ~100 ms batch; five batches are measured and the fastest kept.
+    pub fn bench(name: &str, mut f: impl FnMut()) -> BenchResult {
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let dt = t0.elapsed();
+            if dt.as_millis() >= 20 {
+                let scale = 0.1 / dt.as_secs_f64().max(1e-9);
+                iters = ((iters as f64 * scale).ceil() as u64).max(1);
+                break;
+            }
+            iters *= 2;
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        let r = BenchResult {
+            name: name.to_string(),
+            ns_per_iter: best,
+            iters_per_batch: iters,
+        };
+        println!(
+            "{:<44} {:>14.1} ns/iter {:>16.0} iter/s",
+            r.name,
+            r.ns_per_iter,
+            r.per_sec()
+        );
+        r
     }
 }
 

@@ -1,0 +1,211 @@
+//! Reconstructions of the seed implementations of the two hot paths this
+//! crate benchmarks against: the boxed-closure `BinaryHeap` event queue
+//! with `HashSet` cancellation, and the allocating max-min water-filling
+//! pass. They exist only so the benches and `perf_report` can measure the
+//! slab queue and the incremental recompute against an honest baseline
+//! compiled with the same toolchain and flags.
+
+use agile_sim_core::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+type EventFn = Box<dyn FnOnce(&mut SeedSim)>;
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    f: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The seed event queue: boxed `FnOnce` closures in a `BinaryHeap`,
+/// cancellation via a `HashSet` of sequence numbers consulted at pop.
+pub struct SeedSim {
+    /// Virtual clock.
+    pub now: SimTime,
+    /// Events fired so far (benchmarks accumulate into this).
+    pub fired: u64,
+    queue: BinaryHeap<Scheduled>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl Default for SeedSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SeedSim {
+    /// An empty queue at t = 0.
+    pub fn new() -> Self {
+        SeedSim {
+            now: SimTime::ZERO,
+            fired: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `f` at absolute time `at` (clamped to now); returns the
+    /// sequence number used for cancellation.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut SeedSim) + 'static) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            time: at.max(self.now),
+            seq,
+            f: Box::new(f),
+        });
+        seq
+    }
+
+    /// Schedule `f` after `d`.
+    pub fn schedule_in(&mut self, d: SimDuration, f: impl FnOnce(&mut SeedSim) + 'static) -> u64 {
+        self.schedule_at(self.now + d, f)
+    }
+
+    /// Record `id` as cancelled; the heap entry stays until popped.
+    pub fn cancel(&mut self, id: u64) {
+        self.cancelled.insert(id);
+    }
+
+    /// Fire the next non-cancelled event. Returns false when drained.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.now = ev.time;
+            self.fired += 1;
+            (ev.f)(self);
+            return true;
+        }
+        false
+    }
+}
+
+/// A channel for [`seed_waterfill`]: `(src node, dst node, rate cap, rate)`;
+/// the final field is the output.
+pub type SeedChannel = (usize, usize, Option<f64>, f64);
+
+/// The seed max-min recompute: fresh cap/load `Vec`s every call, a
+/// `clone()` snapshot per water-filling round, and `retain()` for every
+/// freeze. Same algorithm as the incremental pass, seed allocation pattern.
+pub fn seed_waterfill(node_caps: &[(f64, f64)], channels: &mut [SeedChannel]) {
+    let n_nodes = node_caps.len();
+    let mut tx_cap: Vec<f64> = node_caps.iter().map(|c| c.0).collect();
+    let mut rx_cap: Vec<f64> = node_caps.iter().map(|c| c.1).collect();
+    let mut tx_load = vec![0usize; n_nodes];
+    let mut rx_load = vec![0usize; n_nodes];
+    let mut unfrozen: Vec<usize> = Vec::new();
+    for (i, ch) in channels.iter_mut().enumerate() {
+        ch.3 = 0.0;
+        unfrozen.push(i);
+        tx_load[ch.0] += 1;
+        rx_load[ch.1] += 1;
+    }
+    let freeze = |ci: usize,
+                  rate: f64,
+                  channels: &mut [SeedChannel],
+                  tx_cap: &mut [f64],
+                  rx_cap: &mut [f64],
+                  tx_load: &mut [usize],
+                  rx_load: &mut [usize]| {
+        let (s, d, _, _) = channels[ci];
+        channels[ci].3 = rate;
+        tx_cap[s] -= rate;
+        rx_cap[d] -= rate;
+        tx_load[s] -= 1;
+        rx_load[d] -= 1;
+    };
+    while !unfrozen.is_empty() {
+        let mut min_share = f64::INFINITY;
+        for n in 0..n_nodes {
+            if tx_load[n] > 0 {
+                min_share = min_share.min(tx_cap[n] / tx_load[n] as f64);
+            }
+            if rx_load[n] > 0 {
+                min_share = min_share.min(rx_cap[n] / rx_load[n] as f64);
+            }
+        }
+        let mut capped: Vec<usize> = Vec::new();
+        for &ci in &unfrozen {
+            if let Some(cap) = channels[ci].2 {
+                if cap < min_share {
+                    capped.push(ci);
+                }
+            }
+        }
+        if !capped.is_empty() {
+            for ci in capped {
+                let cap = channels[ci].2.expect("capped");
+                freeze(
+                    ci,
+                    cap,
+                    channels,
+                    &mut tx_cap,
+                    &mut rx_cap,
+                    &mut tx_load,
+                    &mut rx_load,
+                );
+                unfrozen.retain(|&c| c != ci);
+            }
+            continue;
+        }
+        if !min_share.is_finite() {
+            break;
+        }
+        let share = min_share;
+        let mut frozen_any = false;
+        let snapshot: Vec<usize> = unfrozen.clone();
+        for ci in snapshot {
+            let (s, d, _, _) = channels[ci];
+            let tx_share = tx_cap[s] / tx_load[s] as f64;
+            let rx_share = rx_cap[d] / rx_load[d] as f64;
+            if tx_share <= share * (1.0 + 1e-12) || rx_share <= share * (1.0 + 1e-12) {
+                freeze(
+                    ci,
+                    share,
+                    channels,
+                    &mut tx_cap,
+                    &mut rx_cap,
+                    &mut tx_load,
+                    &mut rx_load,
+                );
+                unfrozen.retain(|&c| c != ci);
+                frozen_any = true;
+            }
+        }
+        if !frozen_any {
+            for ci in std::mem::take(&mut unfrozen) {
+                freeze(
+                    ci,
+                    share,
+                    channels,
+                    &mut tx_cap,
+                    &mut rx_cap,
+                    &mut tx_load,
+                    &mut rx_load,
+                );
+            }
+        }
+    }
+}

@@ -17,7 +17,7 @@ use agile_workload::OsBackground;
 
 use crate::config::ClusterConfig;
 use crate::world::{
-    ClientBinding, Host, SwapDev, VmSlot, VmdClientEntry, VmdServerEntry, World, WorkloadKind,
+    ClientBinding, Host, SwapDev, VmSlot, VmdClientEntry, VmdServerEntry, WorkloadKind, World,
 };
 use crate::{guest, vmdio};
 
@@ -63,9 +63,10 @@ impl ClusterBuilder {
         with_ssd: bool,
     ) -> usize {
         let node = self.world.net.add_symmetric_node(self.world.cfg.link_bw);
-        let ssd = with_ssd.then(|| Rc::new(RefCell::new(BlockDevice::new(self.world.cfg.ssd_spec))));
-        let swap_slots = with_ssd
-            .then(|| Rc::new(RefCell::new(agile_memory::SlotAllocator::unbounded())));
+        let ssd =
+            with_ssd.then(|| Rc::new(RefCell::new(BlockDevice::new(self.world.cfg.ssd_spec))));
+        let swap_slots =
+            with_ssd.then(|| Rc::new(RefCell::new(agile_memory::SlotAllocator::unbounded())));
         self.world.hosts.push(Host {
             name: name.to_string(),
             node,
@@ -181,12 +182,7 @@ impl ClusterBuilder {
     }
 
     /// Attach a workload model and its external client (on `client_host`).
-    pub fn attach_workload(
-        &mut self,
-        vm_idx: usize,
-        client_host: usize,
-        workload: WorkloadKind,
-    ) {
+    pub fn attach_workload(&mut self, vm_idx: usize, client_host: usize, workload: WorkloadKind) {
         let threads = workload.client_threads();
         let rng = self.world.seeds.stream(&format!("client.vm{vm_idx}"));
         let client_node = self.world.hosts[client_host].node;
@@ -330,6 +326,7 @@ impl ClusterBuilder {
         }
         let has_vmd = !world.vmd.servers.is_empty() && !world.vmd.clients.is_empty();
         let mut sim = Simulation::new(world);
+        sim.set_fast_handler(crate::fast::dispatch);
         if has_vmd {
             sim.schedule_every(
                 SimTime::from_millis(997),
@@ -374,7 +371,10 @@ fn drain_vmd_sync(world: &mut World) {
                 progressed = true;
                 let reply = world.vmd.servers[srv.0 as usize].server.handle(msg);
                 if let Some(r) = reply.msg {
-                    let _ = world.vmd.clients[ci].client.borrow_mut().on_server_msg(srv, r);
+                    let _ = world.vmd.clients[ci]
+                        .client
+                        .borrow_mut()
+                        .on_server_msg(srv, r);
                 }
             }
         }

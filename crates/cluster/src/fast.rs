@@ -1,0 +1,45 @@
+//! Typed fast-event dispatch.
+//!
+//! The executor's hottest timers — network polls, swap completions, op
+//! stepping, client think-time, OS background bursts, WSS sampling — fire
+//! millions of times per scenario. Scheduling each as a boxed closure costs
+//! a heap allocation per event; instead they travel as POD
+//! [`FastEvent`]s through the slab queue and land here. The dispatcher is
+//! installed once at world construction ([`crate::build::ClusterBuilder::build`]).
+//!
+//! Closures remain the right tool for cold, payload-carrying events (VMD
+//! protocol messages, scenario phase changes); only no-capture or
+//! small-integer-capture timers are converted.
+
+use agile_sim_core::{FastEvent, Simulation};
+
+use crate::world::World;
+use crate::{guest, netdrv, vmdio, wssctl};
+
+/// `Timer.kind`: advance op `a` (generation `b`) — a parked op waking.
+pub const K_STEP_OP: u32 = 0;
+/// `Timer.kind`: finish the CPU burst of op `a` (generation `b`).
+pub const K_FINISH_OP: u32 = 1;
+/// `Timer.kind`: client thread of VM `a` sends its next request.
+pub const K_CLIENT_SEND: u32 = 2;
+/// `Timer.kind`: OS background burst for VM `a` (chain generation `b`).
+pub const K_OS_BG: u32 = 3;
+/// `Timer.kind`: WSS sampling tick for VM `a`.
+pub const K_WSS_SAMPLE: u32 = 4;
+
+/// Route one fast event to its handler. Installed via
+/// [`Simulation::set_fast_handler`].
+pub fn dispatch(sim: &mut Simulation<World>, ev: FastEvent) {
+    match ev {
+        FastEvent::FlowDue { .. } => netdrv::poll_net(sim),
+        FastEvent::DeviceOp { req } => vmdio::resolve_swap_completion(sim, req),
+        FastEvent::Timer { kind, a, b } => match kind {
+            K_STEP_OP => guest::step_op(sim, a as usize, b as u32),
+            K_FINISH_OP => guest::finish_op(sim, a as usize, b as u32),
+            K_CLIENT_SEND => guest::client_send_next(sim, a as usize),
+            K_OS_BG => guest::os_bg_fire(sim, a as usize, b as u32),
+            K_WSS_SAMPLE => wssctl::sample(sim, a as usize),
+            other => panic!("unknown fast timer kind {other}"),
+        },
+    }
+}

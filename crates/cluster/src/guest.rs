@@ -14,7 +14,7 @@
 //! from the per-VM swap device; unknown pages zero-fill locally.
 
 use agile_memory::{SwapIssue, Touch};
-use agile_sim_core::{SimDuration, Simulation};
+use agile_sim_core::{FastEvent, SimDuration, Simulation};
 use agile_vm::VmState;
 use agile_workload::OpSpec;
 
@@ -57,9 +57,7 @@ pub fn charge_evictions(
         let dev: &mut SwapDev = match target {
             EvictTarget::Vm(v) => &mut vms[v].swap,
             EvictTarget::MigDest(m) => migrations[m].dest_swap.as_mut().expect("dest swap"),
-            EvictTarget::MigSource(m) => {
-                migrations[m].source_swap.as_mut().expect("source swap")
-            }
+            EvictTarget::MigSource(m) => migrations[m].source_swap.as_mut().expect("source swap"),
         };
         match dev {
             SwapDev::Ssd(ssd) => {
@@ -151,7 +149,14 @@ pub fn start_client(sim: &mut Simulation<World>, vm_idx: usize, at: agile_sim_co
     for t in 0..threads {
         // Tiny stagger so threads don't tick in lockstep.
         let start = at + SimDuration::from_micros(137 * t as u64);
-        sim.schedule_at(start, move |sim| client_send_next(sim, vm_idx));
+        sim.schedule_fast(
+            start,
+            FastEvent::Timer {
+                kind: crate::fast::K_CLIENT_SEND,
+                a: vm_idx as u64,
+                b: 0,
+            },
+        );
     }
 }
 
@@ -293,7 +298,10 @@ pub fn step_op(sim: &mut Simulation<World>, id: usize, gen: u32) {
             }
         }
 
-        let result = sim.state_mut().vms[vm_idx].vm.memory_mut().touch(pfn, write);
+        let result = sim.state_mut().vms[vm_idx]
+            .vm
+            .memory_mut()
+            .touch(pfn, write);
         match result {
             Touch::Hit => {
                 if let Some(op) = sim.state_mut().ops[id].as_mut() {
@@ -377,7 +385,13 @@ fn park_and_request_from_source(
 }
 
 /// Issue the swap read for a major fault.
-fn issue_major_fault(sim: &mut Simulation<World>, vm_idx: usize, pfn: u32, slot: u32, op_id: usize) {
+fn issue_major_fault(
+    sim: &mut Simulation<World>,
+    vm_idx: usize,
+    pfn: u32,
+    slot: u32,
+    op_id: usize,
+) {
     let now = sim.now();
     let need_issue = {
         let w = sim.state_mut();
@@ -409,8 +423,8 @@ fn issue_major_fault(sim: &mut Simulation<World>, vm_idx: usize, pfn: u32, slot:
         } = sim.state_mut();
         vms[vm_idx].vm.memory_mut().begin_swap_in(pfn);
         let epoch = vms[vm_idx].mem_epoch;
-        let dest_stat = matches!(vms[vm_idx].vm.state(), VmState::PostCopy { .. })
-            && vms[vm_idx].swap.is_vmd();
+        let dest_stat =
+            matches!(vms[vm_idx].vm.state(), VmState::PostCopy { .. }) && vms[vm_idx].swap.is_vmd();
         let req = *next_req;
         *next_req += 1;
         swap_reqs.insert(
@@ -437,7 +451,7 @@ fn issue_major_fault(sim: &mut Simulation<World>, vm_idx: usize, pfn: u32, slot:
     };
     match issue {
         SwapIssue::CompleteAt(t) => {
-            sim.schedule_at(t, move |sim| vmdio::resolve_swap_completion(sim, req));
+            sim.schedule_fast(t, FastEvent::DeviceOp { req });
         }
         SwapIssue::Pending => flush_all_clients(sim),
     }
@@ -499,10 +513,7 @@ pub fn complete_guest_fault(
 
 /// Credit migration swap-in batches that piggybacked on this page read.
 fn credit_piggybacks(sim: &mut Simulation<World>, vm_idx: usize, pfn: u32) {
-    let riders = sim
-        .state_mut()
-        .swapin_piggyback
-        .remove(&(vm_idx, pfn));
+    let riders = sim.state_mut().swapin_piggyback.remove(&(vm_idx, pfn));
     if let Some(riders) = riders {
         for (mig, batch) in riders {
             migrate::credit_swapin(sim, mig, batch);
@@ -525,7 +536,14 @@ pub fn wake_page(sim: &mut Simulation<World>, vm_idx: usize, pfn: u32) {
             Some(op) => op.gen,
             None => continue,
         };
-        sim.schedule_at(now, move |sim| step_op(sim, id, gen));
+        sim.schedule_fast(
+            now,
+            FastEvent::Timer {
+                kind: crate::fast::K_STEP_OP,
+                a: id as u64,
+                b: gen as u64,
+            },
+        );
     }
 }
 
@@ -537,18 +555,23 @@ fn begin_cpu(sim: &mut Simulation<World>, id: usize, gen: u32) {
         (op.vm, op.cpu)
     };
     let dur = sim.state_mut().vms[vm_idx].vm.vcpus_mut().begin(cpu);
-    sim.schedule_in(dur, move |sim| finish_op(sim, id, gen));
+    sim.schedule_fast_in(
+        dur,
+        FastEvent::Timer {
+            kind: crate::fast::K_FINISH_OP,
+            a: id as u64,
+            b: gen as u64,
+        },
+    );
 }
 
 /// CPU burst retired: respond (or, for guest-internal work, just finish).
-fn finish_op(sim: &mut Simulation<World>, id: usize, gen: u32) {
+pub(crate) fn finish_op(sim: &mut Simulation<World>, id: usize, gen: u32) {
     let now = sim.now();
     let info = {
         let w = sim.state();
         match w.ops[id].as_ref() {
-            Some(op) if op.gen == gen => {
-                Some((op.vm, op.respond, op.counts, op.response_bytes))
-            }
+            Some(op) if op.gen == gen => Some((op.vm, op.respond, op.counts, op.response_bytes)),
             _ => None,
         }
     };
@@ -563,10 +586,7 @@ fn finish_op(sim: &mut Simulation<World>, id: usize, gen: u32) {
             slot.server_active = slot.server_active.saturating_sub(1);
             if let Some(client) = slot.client.as_ref() {
                 let ch = client.from_vm;
-                let tag = w.tag(NetPayload::Response {
-                    vm: vm_idx,
-                    counts,
-                });
+                let tag = w.tag(NetPayload::Response { vm: vm_idx, counts });
                 w.net.send(now, ch, response_bytes, tag);
             }
             w.free_op(id);
@@ -648,10 +668,19 @@ pub fn resume_guest(sim: &mut Simulation<World>, vm_idx: usize) {
 /// Start the guest-OS background activity chain.
 pub fn start_os_bg(sim: &mut Simulation<World>, vm_idx: usize, at: agile_sim_core::SimTime) {
     let bg_gen = sim.state().vms[vm_idx].os_bg_gen;
-    sim.schedule_at(at, move |sim| os_bg_fire(sim, vm_idx, bg_gen));
+    sim.schedule_fast(at, os_bg_timer(vm_idx, bg_gen));
 }
 
-fn os_bg_fire(sim: &mut Simulation<World>, vm_idx: usize, bg_gen: u32) {
+/// The OS-background chain's timer payload.
+fn os_bg_timer(vm_idx: usize, bg_gen: u32) -> FastEvent {
+    FastEvent::Timer {
+        kind: crate::fast::K_OS_BG,
+        a: vm_idx as u64,
+        b: bg_gen as u64,
+    }
+}
+
+pub(crate) fn os_bg_fire(sim: &mut Simulation<World>, vm_idx: usize, bg_gen: u32) {
     let burst = {
         let w = sim.state_mut();
         let slot = &mut w.vms[vm_idx];
@@ -670,7 +699,7 @@ fn os_bg_fire(sim: &mut Simulation<World>, vm_idx: usize, bg_gen: u32) {
     match burst {
         Some((op, gap)) => {
             // Schedule the next burst first (rate independent of this one).
-            sim.schedule_in(gap, move |sim| os_bg_fire(sim, vm_idx, bg_gen));
+            sim.schedule_fast_in(gap, os_bg_timer(vm_idx, bg_gen));
             let id = sim.state_mut().alloc_op(OpExec {
                 gen: 0,
                 vm: vm_idx,
@@ -687,9 +716,7 @@ fn os_bg_fire(sim: &mut Simulation<World>, vm_idx: usize, bg_gen: u32) {
         None => {
             // Suspended: poll again shortly; resume restarts the chain
             // with a new generation anyway.
-            sim.schedule_in(SimDuration::from_millis(100), move |sim| {
-                os_bg_fire(sim, vm_idx, bg_gen)
-            });
+            sim.schedule_fast_in(SimDuration::from_millis(100), os_bg_timer(vm_idx, bg_gen));
         }
     }
 }

@@ -22,6 +22,7 @@
 
 pub mod build;
 pub mod config;
+pub mod fast;
 pub mod guest;
 pub mod migrate;
 pub mod netdrv;
@@ -33,4 +34,4 @@ pub mod wssctl;
 
 pub use build::{start_all_workloads, ClusterBuilder, SwapKind};
 pub use config::ClusterConfig;
-pub use world::{World, WorkloadKind};
+pub use world::{WorkloadKind, World};

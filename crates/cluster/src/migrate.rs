@@ -8,12 +8,12 @@
 //! suspend/resume choreography (memory image and swap-device handover,
 //! client-connection limbo), and end-of-migration accounting.
 
+use agile_memory::SsdSwap;
 use agile_memory::{SwapIssue, VmMemory, VmMemoryConfig};
 use agile_migration::{DestSession, SourceCmd, SourceConfig, SourceEvent, SourceSession};
 use agile_sim_core::{SimTime, Simulation};
 use agile_vm::{HostId, VmState};
 use agile_vmd::VmdSwapDevice;
-use agile_memory::SsdSwap;
 
 use crate::guest::{self, charge_evictions, EvictTarget};
 use crate::netdrv::touch_net;
@@ -36,10 +36,7 @@ pub fn start_migration(
         let w = sim.state_mut();
         let source_host = w.vms[vm_idx].host;
         assert_ne!(source_host, dest_host, "migration to the same host");
-        assert!(
-            w.vms[vm_idx].migration.is_none(),
-            "VM already migrating"
-        );
+        assert!(w.vms[vm_idx].migration.is_none(), "VM already migrating");
         let src_node = w.hosts[source_host].node;
         let dst_node = w.hosts[dest_host].node;
         let stream_ch = w.net.open_channel(src_node, dst_node);
@@ -219,8 +216,7 @@ pub(crate) fn slot_runs<T: Copy>(mut items: Vec<(T, u32)>) -> Vec<Vec<(T, u32)>>
     for (key, slot) in items {
         match runs.last_mut() {
             Some(run)
-                if run.len() < MAX_RUN_PAGES
-                    && run.last().map(|&(_, s)| s + 1) == Some(slot) =>
+                if run.len() < MAX_RUN_PAGES && run.last().map(|&(_, s)| s + 1) == Some(slot) =>
             {
                 run.push((key, slot));
             }
@@ -308,7 +304,9 @@ fn exec_swapin(sim: &mut Simulation<World>, mig: usize, batch: u64, pages: Vec<(
                 Some(d) => d,
                 None => &mut vms[vm_idx].swap,
             };
-            let SwapDev::Ssd(ssd) = dev else { unreachable!() };
+            let SwapDev::Ssd(ssd) = dev else {
+                unreachable!()
+            };
             for run in slot_runs(ssd_reads) {
                 let done = ssd.read_run(now, run.len() as u64);
                 for (pfn, _) in run {
@@ -326,7 +324,7 @@ fn exec_swapin(sim: &mut Simulation<World>, mig: usize, batch: u64, pages: Vec<(
         }
     }
     for (t, req) in scheduled {
-        sim.schedule_at(t, move |sim| crate::vmdio::resolve_swap_completion(sim, req));
+        sim.schedule_fast(t, agile_sim_core::FastEvent::DeviceOp { req });
     }
     if pending_vmd {
         guest::flush_all_clients(sim);
@@ -530,7 +528,9 @@ fn resume_vm_at_dest(sim: &mut Simulation<World>, mig: usize) {
         w.vms[vm_idx].pending_faults.clear();
         // Host ledgers: the reservation moves with the VM.
         w.hosts[source_host].mem.remove_reservation(vm_idx as u64);
-        w.hosts[dest_host].mem.set_reservation(vm_idx as u64, dest_limit);
+        w.hosts[dest_host]
+            .mem
+            .set_reservation(vm_idx as u64, dest_limit);
         vm_idx
     };
     guest::resume_guest(sim, vm_idx);

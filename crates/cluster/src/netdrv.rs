@@ -7,7 +7,7 @@
 //! Superseded poll events fire harmlessly (they poll, find little, and
 //! re-arm), which keeps the bookkeeping to a single `Option<SimTime>`.
 
-use agile_sim_core::{Delivery, Simulation};
+use agile_sim_core::{Delivery, FastEvent, Simulation};
 
 use crate::world::{NetPayload, World};
 use crate::{guest, migrate, vmdio};
@@ -27,12 +27,12 @@ pub fn touch_net(sim: &mut Simulation<World>) {
     if let Some((_, old)) = sim.state_mut().net_armed.take() {
         sim.cancel(old);
     }
-    let id = sim.schedule_at(next, poll_net);
+    let id = sim.schedule_fast(next, FastEvent::FlowDue { token: 0 });
     sim.state_mut().net_armed = Some((next, id));
 }
 
 /// The poll event: drain due deliveries, dispatch, re-arm.
-fn poll_net(sim: &mut Simulation<World>) {
+pub(crate) fn poll_net(sim: &mut Simulation<World>) {
     sim.state_mut().net_armed = None;
     let now = sim.now();
     let deliveries = sim.state_mut().net.poll(now);

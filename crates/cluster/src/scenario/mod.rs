@@ -21,7 +21,7 @@ pub mod ycsb;
 use agile_sim_core::Simulation;
 
 use crate::guest::{charge_evictions, EvictTarget};
-use crate::world::{World, WorkloadKind};
+use crate::world::{WorkloadKind, World};
 
 /// Change a VM's cgroup reservation at runtime (evictions are charged to
 /// its swap device) and update the host ledger.

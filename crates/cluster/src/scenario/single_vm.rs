@@ -16,8 +16,8 @@ use agile_workload::{Dataset, KeyDist, YcsbParams, YcsbRedis};
 
 use crate::build::{start_all_workloads, ClusterBuilder, SwapKind};
 use crate::config::ClusterConfig;
-use crate::world::WorkloadKind;
 use crate::migrate;
+use crate::world::WorkloadKind;
 
 /// One sweep point.
 #[derive(Clone, Copy, Debug)]
@@ -94,7 +94,11 @@ pub fn run(cfg: &SingleVmConfig) -> SingleVmResult {
         b.add_vmd_server(im, 48 * GIB / sc, 0);
         b.ensure_vmd_client(dst_host);
     }
-    let swap_kind = if agile { SwapKind::PerVmVmd } else { SwapKind::HostSsd };
+    let swap_kind = if agile {
+        SwapKind::PerVmVmd
+    } else {
+        SwapKind::HostSsd
+    };
 
     let vm = b.add_vm(
         src_host,

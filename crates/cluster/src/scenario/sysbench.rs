@@ -15,10 +15,10 @@ use agile_workload::{Dataset, KeyDist, OltpParams, SysbenchOltp};
 
 use crate::build::{start_all_workloads, ClusterBuilder, SwapKind};
 use crate::config::ClusterConfig;
+use crate::migrate;
 use crate::report;
 use crate::scenario::rebalance_host;
-use crate::world::{World, WorkloadKind};
-use crate::migrate;
+use crate::world::{WorkloadKind, World};
 
 /// Configuration (defaults = the paper's §V-C setup).
 #[derive(Clone, Copy, Debug)]
@@ -91,7 +91,11 @@ pub fn run(cfg: &SysbenchScenarioConfig) -> SysbenchScenarioResult {
         b.add_vmd_server(im, 100 * GIB / sc, 0);
         b.ensure_vmd_client(dst_host);
     }
-    let swap_kind = if agile { SwapKind::PerVmVmd } else { SwapKind::HostSsd };
+    let swap_kind = if agile {
+        SwapKind::PerVmVmd
+    } else {
+        SwapKind::HostSsd
+    };
 
     let mut vms = Vec::new();
     for _ in 0..cfg.n_vms {

@@ -114,8 +114,7 @@ pub fn run(cfg: &WssScenarioConfig) -> WssScenarioResult {
     // The guest's working set: the queried dataset, the Redis index, and
     // the *hot* portion of the OS region (the background generator touches
     // 90% / 10% hotspot-style; the cold OS tail is not working set).
-    let true_wss_bytes =
-        dataset_bytes + index_pages as u64 * page + guest_os / 10;
+    let true_wss_bytes = dataset_bytes + index_pages as u64 * page + guest_os / 10;
     b.attach_workload(vm, client_host, WorkloadKind::Ycsb(model));
     b.enable_os_background(vm);
     b.preload_layout(vm);

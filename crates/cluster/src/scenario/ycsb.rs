@@ -18,10 +18,10 @@ use agile_workload::{Dataset, KeyDist, YcsbParams, YcsbRedis};
 
 use crate::build::{start_all_workloads, ClusterBuilder, SwapKind};
 use crate::config::ClusterConfig;
+use crate::migrate;
 use crate::report;
 use crate::scenario::{rebalance_host, set_ycsb_active_bytes};
 use crate::world::WorkloadKind;
-use crate::migrate;
 use crate::world::World;
 use agile_sim_core::Simulation;
 
@@ -83,6 +83,8 @@ pub struct YcsbScenarioResult {
     pub peak_reference: f64,
     /// Seconds at which the average recovered to 90% of peak, if it did.
     pub recovery_at_secs: Option<u64>,
+    /// Total simulator events executed — the determinism fingerprint.
+    pub events_executed: u64,
 }
 
 /// Run the scenario.
@@ -113,7 +115,11 @@ pub fn run(cfg: &YcsbScenarioConfig) -> YcsbScenarioResult {
         b.add_vmd_server(im, 100 * GIB / sc, 0);
         b.ensure_vmd_client(dst_host);
     }
-    let swap_kind = if agile { SwapKind::PerVmVmd } else { SwapKind::HostSsd };
+    let swap_kind = if agile {
+        SwapKind::PerVmVmd
+    } else {
+        SwapKind::HostSsd
+    };
 
     let mut vms = Vec::new();
     for i in 0..cfg.n_vms {
@@ -210,6 +216,7 @@ pub fn run(cfg: &YcsbScenarioConfig) -> YcsbScenarioResult {
         }
     }
     sim.run_until(SimTime::from_secs(cfg.duration_secs));
+    let events_executed = sim.events_executed();
     let world = sim.state();
 
     let series = report::average_throughput_series(world, &vms);
@@ -238,6 +245,7 @@ pub fn run(cfg: &YcsbScenarioConfig) -> YcsbScenarioResult {
         avg_during_migration,
         peak_reference,
         recovery_at_secs,
+        events_executed,
     }
 }
 

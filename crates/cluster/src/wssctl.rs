@@ -6,8 +6,10 @@
 //! device), and reschedules itself at the controller's chosen interval —
 //! 2 s while converging, 30 s once stable.
 
-use agile_sim_core::{SimTime, Simulation};
-use agile_wss::{ControllerParams, ReservationController, SwapActivityMonitor, VmWss, WatermarkTrigger};
+use agile_sim_core::{FastEvent, SimTime, Simulation};
+use agile_wss::{
+    ControllerParams, ReservationController, SwapActivityMonitor, VmWss, WatermarkTrigger,
+};
 
 use crate::guest::{charge_evictions, EvictTarget};
 use crate::world::{World, WssExec};
@@ -26,11 +28,20 @@ pub fn enable_tracking(
             controller: ReservationController::new(params),
         });
     }
-    sim.schedule_at(at, move |sim| sample(sim, vm_idx));
+    sim.schedule_fast(at, sample_timer(vm_idx));
+}
+
+/// The sampling chain's timer payload.
+fn sample_timer(vm_idx: usize) -> FastEvent {
+    FastEvent::Timer {
+        kind: crate::fast::K_WSS_SAMPLE,
+        a: vm_idx as u64,
+        b: 0,
+    }
 }
 
 /// One sampling tick.
-fn sample(sim: &mut Simulation<World>, vm_idx: usize) {
+pub(crate) fn sample(sim: &mut Simulation<World>, vm_idx: usize) {
     let now = sim.now();
     if sim.state().vms[vm_idx].wss.is_none() {
         return;
@@ -74,7 +85,7 @@ fn sample(sim: &mut Simulation<World>, vm_idx: usize) {
     buf.clear();
     sim.state_mut().evict_buf = buf;
     if let Some(dt) = next {
-        sim.schedule_in(dt, move |sim| sample(sim, vm_idx));
+        sim.schedule_fast_in(dt, sample_timer(vm_idx));
     }
 }
 

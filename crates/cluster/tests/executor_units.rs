@@ -175,8 +175,7 @@ fn rebalance_waterfills() {
             )
         };
         let dataset = Dataset::new(dr, 512 * MIB / 1024, 1024, page);
-        let mut model =
-            YcsbRedis::new(dataset, ir, KeyDist::UniformPrefix, YcsbParams::default());
+        let mut model = YcsbRedis::new(dataset, ir, KeyDist::UniformPrefix, YcsbParams::default());
         model.set_active_bytes(want_mb * MIB);
         b.attach_workload(vm, cli, WorkloadKind::Ycsb(model));
         vms.push(vm);
@@ -261,6 +260,9 @@ fn watermark_trigger_fires_migration() {
     assert_eq!(sim.state().migrations[0].vm, vms[0]);
     assert!(sim.state().migrations[0].finished);
     // And the host's aggregate is back under the low watermark.
-    let agg: u64 = wssctl::host_wss(&sim, host).iter().map(|v| v.wss_bytes).sum();
+    let agg: u64 = wssctl::host_wss(&sim, host)
+        .iter()
+        .map(|v| v.wss_bytes)
+        .sum();
     assert!(agg <= trigger.low_bytes, "{agg} > {}", trigger.low_bytes);
 }

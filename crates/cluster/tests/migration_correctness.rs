@@ -82,7 +82,11 @@ fn setup(technique: Technique, with_workload: bool, seed: u64) -> Setup {
     if with_workload {
         start_all_workloads(&mut sim, SimTime::from_secs(1));
     }
-    Setup { sim, vm, dst_host: dst }
+    Setup {
+        sim,
+        vm,
+        dst_host: dst,
+    }
 }
 
 /// Run the migration to completion with content verification enabled.

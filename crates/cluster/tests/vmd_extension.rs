@@ -112,7 +112,11 @@ fn disk_spill_tier_absorbs_overflow() {
     sim.run_until(SimTime::from_secs(3));
     let mem = sim.state().vms[vm].vm.memory();
     assert!(mem.pagemap(victim).is_present());
-    assert_eq!(mem.version(victim), expect_version, "content survived the tiers");
+    assert_eq!(
+        mem.version(victim),
+        expect_version,
+        "content survived the tiers"
+    );
 }
 
 /// Availability gossip keeps a client's view converging toward server

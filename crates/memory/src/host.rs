@@ -68,7 +68,8 @@ impl HostMemory {
 
     /// Unreserved memory still available to grow reservations into.
     pub fn free_bytes(&self) -> u64 {
-        self.available_for_vms().saturating_sub(self.reserved_bytes())
+        self.available_for_vms()
+            .saturating_sub(self.reserved_bytes())
     }
 
     /// Reserved / available ratio. Above 1.0 the host is oversubscribed and

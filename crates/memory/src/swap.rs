@@ -152,10 +152,7 @@ mod tests {
 
     fn ssd_pair() -> (SsdSwap, SsdSwap) {
         let dev = Rc::new(RefCell::new(BlockDevice::new(BlockDeviceSpec::sata_ssd())));
-        (
-            SsdSwap::new(Rc::clone(&dev), 4096),
-            SsdSwap::new(dev, 4096),
-        )
+        (SsdSwap::new(Rc::clone(&dev), 4096), SsdSwap::new(dev, 4096))
     }
 
     #[test]

@@ -142,6 +142,12 @@ pub struct VmMemory {
     flags: Vec<PageFlags>,
     swap_slot: Vec<u32>,
     version: Vec<u32>,
+    /// Word-level shadow of the PRESENT flag (bit `p` of word `p / 64`),
+    /// kept in sync at every residency transition so whole-address-space
+    /// scans run 64 pages per load instead of per-byte flag reads.
+    present_map: Vec<u64>,
+    /// Word-level shadow of the SWAPPED flag.
+    swapped_map: Vec<u64>,
     links: LruLinks,
     active: LruList,
     inactive: LruList,
@@ -160,6 +166,8 @@ impl VmMemory {
             flags: vec![PageFlags::empty(); n],
             swap_slot: vec![NO_SLOT; n],
             version: vec![0; n],
+            present_map: vec![0; n.div_ceil(64)],
+            swapped_map: vec![0; n.div_ceil(64)],
             links: LruLinks::new(n),
             active: LruList::new(),
             inactive: LruList::new(),
@@ -222,6 +230,51 @@ impl VmMemory {
     #[inline]
     pub fn version(&self, pfn: u32) -> u32 {
         self.version[pfn as usize]
+    }
+
+    /// All content versions as a flat slice (index = PFN). Lets migration's
+    /// dirty scan compare whole cache lines instead of calling
+    /// [`VmMemory::version`] per page.
+    #[inline]
+    pub fn versions(&self) -> &[u32] {
+        &self.version
+    }
+
+    /// Word-level presence map: bit `p % 64` of word `p / 64` is set iff
+    /// page `p` is resident. Tail bits beyond [`VmMemory::pages`] are zero.
+    #[inline]
+    pub fn present_words(&self) -> &[u64] {
+        &self.present_map
+    }
+
+    /// Word-level swapped map, same layout as
+    /// [`VmMemory::present_words`].
+    #[inline]
+    pub fn swapped_words(&self) -> &[u64] {
+        &self.swapped_map
+    }
+
+    /// Visit every swapped-out page in ascending PFN order, word-at-a-time.
+    pub fn for_each_swapped(&self, mut f: impl FnMut(u32)) {
+        for (wi, &w) in self.swapped_map.iter().enumerate() {
+            let mut word = w;
+            while word != 0 {
+                let pfn = wi as u32 * 64 + word.trailing_zeros();
+                word &= word - 1;
+                f(pfn);
+            }
+        }
+    }
+
+    #[inline]
+    fn shadow(map: &mut [u64], pfn: u32, on: bool) {
+        let w = &mut map[pfn as usize / 64];
+        let mask = 1u64 << (pfn % 64);
+        if on {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
     }
 
     /// The `/proc/pid/pagemap` view of a page.
@@ -301,6 +354,8 @@ impl VmMemory {
             );
             self.counters.minor_faults += 1;
         }
+        Self::shadow(&mut self.present_map, pfn, true);
+        Self::shadow(&mut self.swapped_map, pfn, false);
         {
             let f = &mut self.flags[i];
             f.clear(PageFlags::IO_INFLIGHT | PageFlags::SWAPPED);
@@ -449,12 +504,11 @@ impl VmMemory {
         }
         let fl = &mut self.flags[i];
         fl.clear(
-            PageFlags::PRESENT
-                | PageFlags::DIRTY
-                | PageFlags::ACCESSED
-                | PageFlags::HAS_SWAP_COPY,
+            PageFlags::PRESENT | PageFlags::DIRTY | PageFlags::ACCESSED | PageFlags::HAS_SWAP_COPY,
         );
         fl.set(PageFlags::SWAPPED);
+        Self::shadow(&mut self.present_map, victim, false);
+        Self::shadow(&mut self.swapped_map, victim, true);
         self.swapped += 1;
         Eviction {
             pfn: victim,
@@ -498,6 +552,8 @@ impl VmMemory {
         let fl = &mut self.flags[i];
         fl.clear(PageFlags::SWAPPED | PageFlags::IO_INFLIGHT);
         fl.set(PageFlags::PRESENT | PageFlags::DIRTY);
+        Self::shadow(&mut self.present_map, pfn, true);
+        Self::shadow(&mut self.swapped_map, pfn, false);
         self.version[i] = version;
         self.active.push_front(&mut self.links, pfn);
         self.reclaim_to_limit(evictions);
@@ -514,6 +570,7 @@ impl VmMemory {
             "install_swapped over existing state"
         );
         self.flags[i].set(PageFlags::SWAPPED);
+        Self::shadow(&mut self.swapped_map, pfn, true);
         self.swap_slot[i] = slot;
         self.version[i] = version;
         self.swapped += 1;
@@ -528,6 +585,7 @@ impl VmMemory {
         let f = &mut self.flags[i];
         debug_assert!(f.swapped() && !f.present());
         f.clear(PageFlags::SWAPPED | PageFlags::HAS_SWAP_COPY);
+        Self::shadow(&mut self.swapped_map, pfn, false);
         self.swap_slot[i] = NO_SLOT;
         self.swapped -= 1;
     }
@@ -543,13 +601,35 @@ impl VmMemory {
     /// Internal consistency check (O(n); meant for tests and debugging).
     pub fn check_invariants(&self) {
         let mut on_lists = 0u32;
-        for pfn in self.active.iter(&self.links).chain(self.inactive.iter(&self.links)) {
-            assert!(self.flags[pfn as usize].present(), "listed page not present");
+        for pfn in self
+            .active
+            .iter(&self.links)
+            .chain(self.inactive.iter(&self.links))
+        {
+            assert!(
+                self.flags[pfn as usize].present(),
+                "listed page not present"
+            );
             on_lists += 1;
         }
         assert_eq!(on_lists, self.resident_pages());
         let swapped_scan = self.flags.iter().filter(|f| f.swapped()).count() as u32;
         assert_eq!(swapped_scan, self.swapped, "swapped counter out of sync");
+        // The word-level shadow maps must agree with the per-page flags.
+        let present_words: u32 = self.present_map.iter().map(|w| w.count_ones()).sum();
+        assert_eq!(
+            present_words,
+            self.resident_pages(),
+            "present map out of sync"
+        );
+        let swapped_words: u32 = self.swapped_map.iter().map(|w| w.count_ones()).sum();
+        assert_eq!(swapped_words, self.swapped, "swapped map out of sync");
+        for (i, f) in self.flags.iter().enumerate() {
+            let in_present = self.present_map[i / 64] & (1 << (i % 64)) != 0;
+            let in_swapped = self.swapped_map[i / 64] & (1 << (i % 64)) != 0;
+            assert_eq!(in_present, f.present(), "present shadow wrong for page {i}");
+            assert_eq!(in_swapped, f.swapped(), "swapped shadow wrong for page {i}");
+        }
         for (i, f) in self.flags.iter().enumerate() {
             if f.swapped() {
                 assert!(!f.present(), "page {i} both present and swapped");
@@ -560,8 +640,7 @@ impl VmMemory {
             }
             if f.present() && !f.any(PageFlags::HAS_SWAP_COPY) {
                 assert_eq!(
-                    self.swap_slot[i],
-                    NO_SLOT,
+                    self.swap_slot[i], NO_SLOT,
                     "present page {i} without swap copy must hold no slot"
                 );
             }
@@ -671,7 +750,10 @@ mod tests {
         // ...then force everything out: the clean copy drops for free.
         let mut evs3 = Vec::new();
         m.set_limit_pages(0, &mut evs3);
-        let e = evs3.iter().find(|e| e.pfn == victim).expect("victim evicted");
+        let e = evs3
+            .iter()
+            .find(|e| e.pfn == victim)
+            .expect("victim evicted");
         assert!(!e.needs_write, "clean swap-cache copy should drop free");
         assert_eq!(e.slot, slot, "slot reused");
         assert!(m.counters().clean_drops >= 1);
@@ -689,7 +771,10 @@ mod tests {
         m.fault_in(victim, true, &mut tmp); // write during fault-in
         let mut evs3 = Vec::new();
         m.set_limit_pages(0, &mut evs3);
-        let e = evs3.iter().find(|e| e.pfn == victim).expect("victim evicted");
+        let e = evs3
+            .iter()
+            .find(|e| e.pfn == victim)
+            .expect("victim evicted");
         assert!(e.needs_write, "dirty page must be rewritten");
         m.check_invariants();
     }

@@ -1,11 +1,17 @@
-//! Property-based tests for the memory substrate.
+//! Randomized property tests for the memory substrate, driven by the
+//! deterministic simulation RNG (fixed seeds, so failures reproduce).
 
-use agile_memory::{Eviction, LruLinks, LruList, PagemapEntry, SlotAllocator, Touch, VmMemory, VmMemoryConfig};
-use proptest::prelude::*;
+use agile_memory::{
+    Eviction, LruLinks, LruList, PagemapEntry, SlotAllocator, Touch, VmMemory, VmMemoryConfig,
+};
+use agile_sim_core::DetRng;
 
 /// A random guest access trace: (page, write).
-fn trace(pages: u32) -> impl Strategy<Value = Vec<(u32, bool)>> {
-    proptest::collection::vec((0..pages, proptest::bool::ANY), 1..400)
+fn trace(rng: &mut DetRng, pages: u32, max_len: usize) -> Vec<(u32, bool)> {
+    let len = 1 + rng.index(max_len as u64) as usize;
+    (0..len)
+        .map(|_| (rng.index(pages as u64) as u32, rng.chance(0.5)))
+        .collect()
 }
 
 /// Apply a trace, resolving faults immediately (a zero-latency device).
@@ -27,14 +33,21 @@ fn apply(mem: &mut VmMemory, trace: &[(u32, bool)]) -> Vec<Eviction> {
     all
 }
 
-proptest! {
-    /// Core residency invariant: the VM never exceeds its reservation, and
-    /// every page is in exactly one of {resident, swapped, untouched}.
-    #[test]
-    fn residency_never_exceeds_limit(t in trace(64), limit in 1u32..32) {
-        let mut mem = VmMemory::new(VmMemoryConfig { pages: 64, page_size: 4096, limit_pages: limit });
+/// Core residency invariant: the VM never exceeds its reservation, and
+/// every page is in exactly one of {resident, swapped, untouched}.
+#[test]
+fn residency_never_exceeds_limit() {
+    for case in 0..120u64 {
+        let mut rng = DetRng::seed_from(0x11ee * 7 + case);
+        let limit = 1 + rng.index(31) as u32;
+        let t = trace(&mut rng, 64, 400);
+        let mut mem = VmMemory::new(VmMemoryConfig {
+            pages: 64,
+            page_size: 4096,
+            limit_pages: limit,
+        });
         apply(&mut mem, &t);
-        prop_assert!(mem.resident_pages() <= limit);
+        assert!(mem.resident_pages() <= limit, "case {case}");
         mem.check_invariants();
         let mut resident = 0;
         let mut swapped = 0;
@@ -45,15 +58,24 @@ proptest! {
                 PagemapEntry::None => {}
             }
         }
-        prop_assert_eq!(resident, mem.resident_pages());
-        prop_assert_eq!(swapped, mem.swapped_pages());
+        assert_eq!(resident, mem.resident_pages(), "case {case}");
+        assert_eq!(swapped, mem.swapped_pages(), "case {case}");
     }
+}
 
-    /// Content versions: a page's version equals the number of writes it
-    /// received, regardless of how often it was evicted and faulted back.
-    #[test]
-    fn versions_count_writes_exactly(t in trace(32), limit in 1u32..16) {
-        let mut mem = VmMemory::new(VmMemoryConfig { pages: 32, page_size: 4096, limit_pages: limit });
+/// Content versions: a page's version equals the number of writes it
+/// received, regardless of how often it was evicted and faulted back.
+#[test]
+fn versions_count_writes_exactly() {
+    for case in 0..120u64 {
+        let mut rng = DetRng::seed_from(0x22ee * 13 + case);
+        let limit = 1 + rng.index(15) as u32;
+        let t = trace(&mut rng, 32, 400);
+        let mut mem = VmMemory::new(VmMemoryConfig {
+            pages: 32,
+            page_size: 4096,
+            limit_pages: limit,
+        });
         apply(&mut mem, &t);
         let mut writes = [0u32; 32];
         for &(p, w) in &t {
@@ -62,33 +84,47 @@ proptest! {
             }
         }
         for p in 0..32u32 {
-            prop_assert_eq!(mem.version(p), writes[p as usize], "page {}", p);
+            assert_eq!(mem.version(p), writes[p as usize], "case {case} page {p}");
         }
     }
+}
 
-    /// Swap slots are never shared by two pages.
-    #[test]
-    fn swap_slots_are_exclusive(t in trace(64), limit in 1u32..16) {
-        let mut mem = VmMemory::new(VmMemoryConfig { pages: 64, page_size: 4096, limit_pages: limit });
+/// Swap slots are never shared by two pages.
+#[test]
+fn swap_slots_are_exclusive() {
+    for case in 0..120u64 {
+        let mut rng = DetRng::seed_from(0x33ee * 17 + case);
+        let limit = 1 + rng.index(15) as u32;
+        let t = trace(&mut rng, 64, 400);
+        let mut mem = VmMemory::new(VmMemoryConfig {
+            pages: 64,
+            page_size: 4096,
+            limit_pages: limit,
+        });
         apply(&mut mem, &t);
         let mut seen = std::collections::HashSet::new();
         for p in 0..64 {
             if let PagemapEntry::Swapped { slot } = mem.pagemap(p) {
-                prop_assert!(seen.insert(slot), "slot {} shared", slot);
+                assert!(seen.insert(slot), "case {case}: slot {slot} shared");
             }
         }
     }
+}
 
-    /// Eviction records are consistent: a needs_write=false eviction can
-    /// only happen for a page whose last fault-in was a swap-in with no
-    /// intervening write (we verify the weaker invariant that clean drops
-    /// never lose content — replay yields identical versions).
-    #[test]
-    fn clean_drops_preserve_content(t in trace(24), limit in 2u32..8) {
-        let mut mem = VmMemory::new(VmMemoryConfig { pages: 24, page_size: 4096, limit_pages: limit });
+/// Clean drops never lose content — after re-faulting everything in,
+/// versions still equal the write counts.
+#[test]
+fn clean_drops_preserve_content() {
+    for case in 0..120u64 {
+        let mut rng = DetRng::seed_from(0x44ee * 19 + case);
+        let limit = 2 + rng.index(6) as u32;
+        let t = trace(&mut rng, 24, 400);
+        let mut mem = VmMemory::new(VmMemoryConfig {
+            pages: 24,
+            page_size: 4096,
+            limit_pages: limit,
+        });
         apply(&mut mem, &t);
-        // Re-fault everything in with a large limit: versions must match
-        // the write counts (i.e. nothing was lost by clean drops).
         let mut evs = Vec::new();
         mem.set_limit_pages(24, &mut evs);
         for p in 0..24u32 {
@@ -104,18 +140,24 @@ proptest! {
             }
         }
         for p in 0..24u32 {
-            prop_assert_eq!(mem.version(p), writes[p as usize]);
+            assert_eq!(mem.version(p), writes[p as usize], "case {case} page {p}");
         }
         mem.check_invariants();
     }
+}
 
-    /// LRU list model check against a Vec<u32> reference.
-    #[test]
-    fn lru_matches_reference_model(ops in proptest::collection::vec((0u8..4, 0u32..16), 1..200)) {
+/// LRU list model check against a Vec<u32> reference.
+#[test]
+fn lru_matches_reference_model() {
+    for case in 0..120u64 {
+        let mut rng = DetRng::seed_from(0x55ee * 23 + case);
+        let n_ops = 1 + rng.index(200) as usize;
         let mut links = LruLinks::new(16);
         let mut list = LruList::new();
         let mut model: Vec<u32> = Vec::new(); // front = MRU
-        for (op, page) in ops {
+        for _ in 0..n_ops {
+            let op = rng.index(4) as u8;
+            let page = rng.index(16) as u32;
             match op {
                 0 => {
                     // push_front if absent
@@ -135,7 +177,7 @@ proptest! {
                     // pop_back
                     let got = list.pop_back(&mut links);
                     let want = model.pop();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "case {case}");
                 }
                 _ => {
                     // move_to_front if present
@@ -146,30 +188,34 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(list.len() as usize, model.len());
+            assert_eq!(list.len() as usize, model.len(), "case {case}");
             let listed: Vec<u32> = list.iter(&links).collect();
-            prop_assert_eq!(&listed, &model);
-            prop_assert_eq!(list.front(), model.first().copied());
-            prop_assert_eq!(list.back(), model.last().copied());
+            assert_eq!(&listed, &model, "case {case}");
+            assert_eq!(list.front(), model.first().copied(), "case {case}");
+            assert_eq!(list.back(), model.last().copied(), "case {case}");
         }
     }
+}
 
-    /// Slot allocator: live count is exact and double allocation of the
-    /// same live slot never happens.
-    #[test]
-    fn slot_allocator_consistency(ops in proptest::collection::vec(proptest::bool::ANY, 1..200)) {
+/// Slot allocator: live count is exact and double allocation of the same
+/// live slot never happens.
+#[test]
+fn slot_allocator_consistency() {
+    for case in 0..120u64 {
+        let mut rng = DetRng::seed_from(0x66ee * 29 + case);
+        let n_ops = 1 + rng.index(200) as usize;
         let mut a = SlotAllocator::unbounded();
         let mut live: Vec<u32> = Vec::new();
-        for alloc in ops {
-            if alloc || live.is_empty() {
+        for _ in 0..n_ops {
+            if rng.chance(0.5) || live.is_empty() {
                 let s = a.alloc().unwrap();
-                prop_assert!(!live.contains(&s), "slot {} double-allocated", s);
+                assert!(!live.contains(&s), "case {case}: slot {s} double-allocated");
                 live.push(s);
             } else {
                 let s = live.swap_remove(live.len() / 2);
                 a.free(s);
             }
-            prop_assert_eq!(a.live() as usize, live.len());
+            assert_eq!(a.live() as usize, live.len(), "case {case}");
         }
     }
 }

@@ -129,6 +129,90 @@ impl Bitmap {
         })
     }
 
+    /// Visit every set bit in ascending order, word-at-a-time: each word is
+    /// loaded once and its bits peeled with `trailing_zeros`, so sparse maps
+    /// cost one load per 64 pages plus one shift per set page.
+    #[inline]
+    pub fn for_each_set(&self, mut f: impl FnMut(u32)) {
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut word = w;
+            while word != 0 {
+                let bit = wi as u32 * 64 + word.trailing_zeros();
+                word &= word - 1;
+                f(bit);
+            }
+        }
+    }
+
+    /// Visit and clear every set bit in ascending order (word-wise
+    /// clear-and-collect): each word is read once and zeroed whole, so a
+    /// full drain never revisits cleared prefixes.
+    pub fn drain_set(&mut self, mut f: impl FnMut(u32)) {
+        for (wi, w) in self.words.iter_mut().enumerate() {
+            let mut word = std::mem::take(w);
+            while word != 0 {
+                let bit = wi as u32 * 64 + word.trailing_zeros();
+                word &= word - 1;
+                f(bit);
+            }
+        }
+        self.ones = 0;
+    }
+
+    /// Raw backing words. Bits at positions `>= len()` are always zero.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Build a bitmap marking every index where `a[i] != b[i]`, assembling
+    /// 64 comparisons per output word — the pre-copy round planner's "which
+    /// pages changed since I sent them" scan, kept free of per-bit index
+    /// arithmetic so the compare loop vectorizes.
+    pub fn diff_u32(a: &[u32], b: &[u32]) -> Self {
+        assert_eq!(a.len(), b.len(), "diff_u32 requires equal-length slices");
+        let len = u32::try_from(a.len()).expect("bitmap length fits u32");
+        let mut words = Vec::with_capacity(a.len().div_ceil(64));
+        let mut ones = 0u32;
+        for (ca, cb) in a.chunks(64).zip(b.chunks(64)) {
+            let mut w = 0u64;
+            for (bit, (x, y)) in ca.iter().zip(cb).enumerate() {
+                w |= u64::from(x != y) << bit;
+            }
+            ones += w.count_ones();
+            words.push(w);
+        }
+        Bitmap { words, len, ones }
+    }
+
+    /// True when every one of the `len` pages is set in at least one of
+    /// `maps` (which must all have the same length). Checked 64 pages at a
+    /// time by OR-ing the maps' words.
+    pub fn all_covered(maps: &[&Bitmap]) -> bool {
+        let Some(first) = maps.first() else {
+            return false;
+        };
+        debug_assert!(maps.iter().all(|m| m.len == first.len));
+        if first.len == 0 {
+            return true;
+        }
+        let full_words = first.len as usize / 64;
+        for wi in 0..first.words.len() {
+            let mut acc = 0u64;
+            for m in maps {
+                acc |= m.words[wi];
+            }
+            let expect = if wi < full_words {
+                u64::MAX
+            } else {
+                (1u64 << (first.len % 64)) - 1
+            };
+            if acc & expect != expect {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Bytes this bitmap occupies on the wire (the handoff message carries
     /// the dirty bitmap to the destination).
     pub fn wire_bytes(&self) -> u64 {
@@ -208,5 +292,67 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.next_set(0), None);
         assert_eq!(b.iter_set().count(), 0);
+    }
+
+    #[test]
+    fn for_each_set_matches_iter_set() {
+        let mut b = Bitmap::zeros(300);
+        for i in [0u32, 1, 63, 64, 65, 128, 191, 192, 299] {
+            b.set(i);
+        }
+        let mut seen = Vec::new();
+        b.for_each_set(|p| seen.push(p));
+        assert_eq!(seen, b.iter_set().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_set_collects_and_clears() {
+        let mut b = Bitmap::zeros(200);
+        for i in (0..200).step_by(7) {
+            b.set(i);
+        }
+        let expect: Vec<u32> = b.iter_set().collect();
+        let mut seen = Vec::new();
+        b.drain_set(|p| seen.push(p));
+        assert_eq!(seen, expect);
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.next_set(0), None);
+    }
+
+    #[test]
+    fn diff_u32_marks_changed_indices() {
+        let a: Vec<u32> = (0..200).collect();
+        let mut b = a.clone();
+        for i in [0usize, 63, 64, 65, 127, 199] {
+            b[i] += 1;
+        }
+        let d = Bitmap::diff_u32(&a, &b);
+        assert_eq!(d.len(), 200);
+        assert_eq!(d.count_ones(), 6);
+        assert_eq!(
+            d.iter_set().collect::<Vec<_>>(),
+            vec![0, 63, 64, 65, 127, 199]
+        );
+        let same = Bitmap::diff_u32(&a, &a);
+        assert_eq!(same.count_ones(), 0);
+    }
+
+    #[test]
+    fn all_covered_ors_across_maps() {
+        let mut a = Bitmap::zeros(130);
+        let mut b = Bitmap::zeros(130);
+        for i in 0..130 {
+            if i % 2 == 0 {
+                a.set(i);
+            } else {
+                b.set(i);
+            }
+        }
+        assert!(!Bitmap::all_covered(&[&a]));
+        assert!(Bitmap::all_covered(&[&a, &b]));
+        b.clear(129);
+        assert!(!Bitmap::all_covered(&[&a, &b]));
+        assert!(Bitmap::all_covered(&[&Bitmap::zeros(0)]));
+        assert!(Bitmap::all_covered(&[&Bitmap::ones(64)]));
     }
 }

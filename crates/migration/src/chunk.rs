@@ -96,10 +96,7 @@ mod tests {
         });
         c.zero.push(4);
         assert_eq!(c.entries(), 4);
-        assert_eq!(
-            c.wire_bytes(4096),
-            CHUNK_HEADER + 2 * (16 + 4096) + 16 + 16
-        );
+        assert_eq!(c.wire_bytes(4096), CHUNK_HEADER + 2 * (16 + 4096) + 16 + 16);
     }
 
     #[test]

@@ -131,10 +131,7 @@ impl DestSession {
             }
         }
         for sm in &chunk.swapped {
-            debug_assert!(
-                !self.received.get(sm.pfn),
-                "swapped marker after full page"
-            );
+            debug_assert!(!self.received.get(sm.pfn), "swapped marker after full page");
             self.swapped.set(sm.pfn);
             self.swap_slots[sm.pfn as usize] = sm.slot;
             self.swap_versions[sm.pfn as usize] = sm.version;
@@ -157,18 +154,23 @@ impl DestSession {
     /// content instead of being mistaken for a race duplicate.
     pub fn on_handoff(&mut self, dirty: Bitmap, mem: &mut VmMemory) {
         assert!(self.dirty.is_none(), "handoff delivered twice");
-        for pfn in dirty.iter_set().collect::<Vec<_>>() {
-            if self.received.clear(pfn) {
-                self.pages_discarded_at_resume += 1;
+        let received = &mut self.received;
+        let swapped = &mut self.swapped;
+        let known_zero = &mut self.known_zero;
+        let mut discarded = 0u64;
+        dirty.for_each_set(|pfn| {
+            if received.clear(pfn) {
+                discarded += 1;
             }
             // A swapped marker (or zero marker) for a dirtied page points
             // at stale content; the source freed its slot when the guest
             // wrote, so the tracking entry is dropped without a free.
-            if self.swapped.clear(pfn) {
+            if swapped.clear(pfn) {
                 mem.discard_swapped(pfn);
             }
-            self.known_zero.clear(pfn);
-        }
+            known_zero.clear(pfn);
+        });
+        self.pages_discarded_at_resume += discarded;
         self.dirty = Some(dirty);
     }
 
@@ -213,13 +215,10 @@ impl DestSession {
     /// Are any pages still neither received, swapped-resident, nor zero?
     /// (Completion check for tests.)
     pub fn fully_accounted(&self) -> bool {
-        let n = self.received.len();
-        (0..n).all(|p| {
-            self.received.get(p)
-                || self.swapped.get(p)
-                || self.known_zero.get(p)
-                || self.dirty.as_ref().is_some_and(|d| d.get(p))
-        })
+        match &self.dirty {
+            Some(d) => Bitmap::all_covered(&[&self.received, &self.swapped, &self.known_zero, d]),
+            None => Bitmap::all_covered(&[&self.received, &self.swapped, &self.known_zero]),
+        }
     }
 }
 

@@ -29,7 +29,9 @@ pub mod metrics;
 pub mod source;
 
 pub use bitmap::Bitmap;
-pub use chunk::{Chunk, FullPage, SwappedMarker, CHUNK_HEADER, MARKER_ENTRY_BYTES, PAGE_ENTRY_HEADER};
+pub use chunk::{
+    Chunk, FullPage, SwappedMarker, CHUNK_HEADER, MARKER_ENTRY_BYTES, PAGE_ENTRY_HEADER,
+};
 pub use dest::{DestSession, FaultRoute};
 pub use metrics::{MigrationMetrics, Technique};
 pub use source::{SourceCmd, SourceConfig, SourceEvent, SourceSession};

@@ -83,7 +83,8 @@ impl MigrationMetrics {
     /// Total migration time (start → source released). `None` while the
     /// migration is in flight.
     pub fn total_time(&self) -> Option<SimDuration> {
-        self.completed_at.map(|t| t.saturating_since(self.started_at))
+        self.completed_at
+            .map(|t| t.saturating_since(self.started_at))
     }
 
     /// Downtime: suspension → resumption at the destination.
@@ -96,7 +97,8 @@ impl MigrationMetrics {
 
     /// Time the VM executed at the source while migrating (live phase).
     pub fn live_phase(&self) -> Option<SimDuration> {
-        self.suspended_at.map(|t| t.saturating_since(self.started_at))
+        self.suspended_at
+            .map(|t| t.saturating_since(self.started_at))
     }
 }
 

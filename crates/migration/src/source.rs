@@ -117,13 +117,20 @@ pub enum SourceCmd {
 enum Phase {
     Idle,
     /// Live pre-copy round. `bitmap` is `None` for round 1 (all pages).
-    LiveRound { round: u32, cursor: u32 },
+    LiveRound {
+        round: u32,
+        cursor: u32,
+    },
     /// Pre-copy stop-and-copy: VM suspended, draining the dirty set.
-    StopAndCopy { cursor: u32 },
+    StopAndCopy {
+        cursor: u32,
+    },
     /// Handoff queued; awaiting delivery confirmation.
     AwaitHandoff,
     /// Post-copy phase: pushing the remaining set, serving demand.
-    Push { cursor: u32 },
+    Push {
+        cursor: u32,
+    },
     Done,
 }
 
@@ -213,7 +220,10 @@ impl SourceSession {
         assert_eq!(self.phase, Phase::Idle, "session already started");
         match self.cfg.technique {
             Technique::PreCopy | Technique::Agile => {
-                self.phase = Phase::LiveRound { round: 1, cursor: 0 };
+                self.phase = Phase::LiveRound {
+                    round: 1,
+                    cursor: 0,
+                };
                 self.channel_ready(now, mem)
             }
             Technique::PostCopy => {
@@ -224,7 +234,10 @@ impl SourceSession {
                 self.phase = Phase::AwaitHandoff;
                 let wire = self.cfg.handoff_base_bytes + Bitmap::zeros(self.n_pages).wire_bytes();
                 self.metrics.migration_bytes += wire;
-                vec![SourceCmd::Suspend, SourceCmd::SendHandoff { wire_bytes: wire }]
+                vec![
+                    SourceCmd::Suspend,
+                    SourceCmd::SendHandoff { wire_bytes: wire },
+                ]
             }
         }
     }
@@ -238,14 +251,20 @@ impl SourceSession {
                 match self.build_chunk(cursor, mem, /*live*/ true) {
                     Build::Ready(chunk) => {
                         let next = self.advance_cursor(&chunk);
-                        self.phase = Phase::LiveRound { round, cursor: next };
+                        self.phase = Phase::LiveRound {
+                            round,
+                            cursor: next,
+                        };
                         self.emit_chunk(chunk, false)
                     }
                     Build::NeedsSwapIn { pages, chunk } => {
-                        let next = self.advance_cursor(&chunk).max(
-                            pages.iter().map(|(p, _)| p + 1).max().unwrap_or(0),
-                        );
-                        self.phase = Phase::LiveRound { round, cursor: next };
+                        let next = self
+                            .advance_cursor(&chunk)
+                            .max(pages.iter().map(|(p, _)| p + 1).max().unwrap_or(0));
+                        self.phase = Phase::LiveRound {
+                            round,
+                            cursor: next,
+                        };
                         self.request_swapin(pages, chunk)
                     }
                     Build::EndOfPass(chunk) => {
@@ -349,14 +368,20 @@ impl SourceSession {
                 return if swapins.is_empty() {
                     Build::EndOfPass(chunk)
                 } else {
-                    Build::NeedsSwapIn { pages: swapins, chunk }
+                    Build::NeedsSwapIn {
+                        pages: swapins,
+                        chunk,
+                    }
                 };
             };
             if chunk.entries() + swapins.len() >= budget {
                 return if swapins.is_empty() {
                     Build::Ready(chunk)
                 } else {
-                    Build::NeedsSwapIn { pages: swapins, chunk }
+                    Build::NeedsSwapIn {
+                        pages: swapins,
+                        chunk,
+                    }
                 };
             }
             self.take_from_pass(p);
@@ -493,18 +518,16 @@ impl SourceSession {
         self.metrics.migration_bytes += wire;
         self.pass_set = Some(dirty);
         self.phase = Phase::AwaitHandoff;
-        vec![SourceCmd::Suspend, SourceCmd::SendHandoff { wire_bytes: wire }]
+        vec![
+            SourceCmd::Suspend,
+            SourceCmd::SendHandoff { wire_bytes: wire },
+        ]
     }
 
-    /// Pages whose content changed since we last shipped an entry for them.
+    /// Pages whose content changed since we last shipped an entry for them,
+    /// compared 64 pages per output word.
     fn dirty_bitmap(&self, mem: &VmMemory) -> Bitmap {
-        let mut b = Bitmap::zeros(self.n_pages);
-        for pfn in 0..self.n_pages {
-            if mem.version(pfn) != self.sent_version[pfn as usize] {
-                b.set(pfn);
-            }
-        }
-        b
+        Bitmap::diff_u32(mem.versions(), &self.sent_version)
     }
 
     /// The dirty bitmap that travels in the handoff (destination needs it

@@ -1,48 +1,57 @@
-//! Property-based tests: bitmap algebra and protocol-session invariants
-//! under arbitrary write/migration interleavings.
+//! Randomized tests: bitmap algebra and protocol-session invariants under
+//! arbitrary write/migration interleavings, driven by the deterministic
+//! simulation RNG (fixed seeds, so failures reproduce).
 
 use agile_memory::{PagemapEntry, VmMemory, VmMemoryConfig};
 use agile_migration::{
     Bitmap, DestSession, SourceCmd, SourceConfig, SourceEvent, SourceSession, Technique,
 };
-use agile_sim_core::SimTime;
-use proptest::prelude::*;
+use agile_sim_core::{DetRng, SimTime};
 
-proptest! {
-    /// Bitmap against a reference HashSet model.
-    #[test]
-    fn bitmap_matches_set_model(ops in proptest::collection::vec((0u8..3, 0u32..200), 1..300)) {
+/// Bitmap against a reference BTreeSet model.
+#[test]
+fn bitmap_matches_set_model() {
+    for case in 0..150u64 {
+        let mut rng = DetRng::seed_from(0xb17 * 3 + case);
+        let n_ops = 1 + rng.index(300) as usize;
         let mut b = Bitmap::zeros(200);
         let mut model = std::collections::BTreeSet::new();
-        for (op, i) in ops {
+        for _ in 0..n_ops {
+            let op = rng.index(3) as u8;
+            let i = rng.index(200) as u32;
             match op {
                 0 => {
                     let was = b.set(i);
-                    prop_assert_eq!(was, !model.insert(i));
+                    assert_eq!(was, !model.insert(i), "case {case}");
                 }
                 1 => {
                     let was = b.clear(i);
-                    prop_assert_eq!(was, model.remove(&i));
+                    assert_eq!(was, model.remove(&i), "case {case}");
                 }
                 _ => {
-                    prop_assert_eq!(b.get(i), model.contains(&i));
+                    assert_eq!(b.get(i), model.contains(&i), "case {case}");
                 }
             }
-            prop_assert_eq!(b.count_ones() as usize, model.len());
+            assert_eq!(b.count_ones() as usize, model.len(), "case {case}");
         }
         let listed: Vec<u32> = b.iter_set().collect();
         let expect: Vec<u32> = model.into_iter().collect();
-        prop_assert_eq!(listed, expect);
+        assert_eq!(listed, expect, "case {case}");
     }
+}
 
-    /// For ANY interleaving of guest writes with an Agile migration, the
-    /// protocol delivers the source's final content: run a migration with
-    /// writes injected between event steps and verify versions at the end.
-    #[test]
-    fn agile_protocol_never_loses_writes(
-        writes in proptest::collection::vec((0u32..64, 0u8..8), 0..60),
-        limit in 8u32..48,
-    ) {
+/// For ANY interleaving of guest writes with an Agile migration, the
+/// protocol delivers the source's final content: run a migration with
+/// writes injected between event steps and verify versions at the end.
+#[test]
+fn agile_protocol_never_loses_writes() {
+    for case in 0..100u64 {
+        let mut rng = DetRng::seed_from(0xa91e * 5 + case);
+        let limit = 8 + rng.index(40) as u32;
+        let n_writes = rng.index(60) as usize;
+        let writes: Vec<(u32, u8)> = (0..n_writes)
+            .map(|_| (rng.index(64) as u32, rng.index(8) as u8))
+            .collect();
         let n_pages = 64u32;
         let mut src_mem = VmMemory::new(VmMemoryConfig {
             pages: n_pages,
@@ -79,7 +88,7 @@ proptest! {
         let mut guard = 0;
         while let Some(ev) = queue.pop() {
             guard += 1;
-            prop_assert!(guard < 100_000, "runaway protocol");
+            assert!(guard < 100_000, "case {case}: runaway protocol");
             let cmds = src.on_event(SimTime::ZERO, ev, &src_mem);
             for cmd in cmds {
                 match cmd {
@@ -133,26 +142,28 @@ proptest! {
                 }
             }
         }
-        prop_assert!(src.is_done());
+        assert!(src.is_done(), "case {case}");
         // Destination holds the source's final content: either the page
         // arrived in full (version equal) or it is tracked as swapped with
         // the right version recorded.
         for p in 0..n_pages {
-            prop_assert_eq!(
+            assert_eq!(
                 dst_mem.version(p),
                 src_mem.version(p),
-                "page {} lost an update",
-                p
+                "case {case}: page {p} lost an update"
             );
         }
     }
+}
 
-    /// Pre-copy under the same regime also converges and preserves
-    /// content (rounds are bounded by the config).
-    #[test]
-    fn precopy_protocol_never_loses_writes(
-        writes in proptest::collection::vec(0u32..32, 0..40),
-    ) {
+/// Pre-copy under the same regime also converges and preserves content
+/// (rounds are bounded by the config).
+#[test]
+fn precopy_protocol_never_loses_writes() {
+    for case in 0..100u64 {
+        let mut rng = DetRng::seed_from(0x9aec * 7 + case);
+        let n_writes = rng.index(40) as usize;
+        let writes: Vec<u32> = (0..n_writes).map(|_| rng.index(32) as u32).collect();
         let n_pages = 32u32;
         let mut src_mem = VmMemory::new(VmMemoryConfig {
             pages: n_pages,
@@ -187,7 +198,7 @@ proptest! {
         let mut guard = 0;
         while let Some(ev) = queue.pop() {
             guard += 1;
-            prop_assert!(guard < 100_000);
+            assert!(guard < 100_000, "case {case}");
             let cmds = src.on_event(SimTime::ZERO, ev, &src_mem);
             for cmd in cmds {
                 match cmd {
@@ -217,9 +228,13 @@ proptest! {
                 }
             }
         }
-        prop_assert!(src.is_done());
+        assert!(src.is_done(), "case {case}");
         for p in 0..n_pages {
-            prop_assert_eq!(dst_mem.version(p), src_mem.version(p), "page {}", p);
+            assert_eq!(
+                dst_mem.version(p),
+                src_mem.version(p),
+                "case {case}: page {p}"
+            );
         }
     }
 }

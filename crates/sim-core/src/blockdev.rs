@@ -155,12 +155,21 @@ impl BlockDevice {
     /// returns the completion time of the last one. Cheaper than calling
     /// [`BlockDevice::submit`] in a loop when only the batch completion
     /// matters.
-    pub fn submit_batch(&mut self, now: SimTime, kind: IoKind, ops: u64, bytes_per_op: u64) -> SimTime {
+    pub fn submit_batch(
+        &mut self,
+        now: SimTime,
+        kind: IoKind,
+        ops: u64,
+        bytes_per_op: u64,
+    ) -> SimTime {
         if ops == 0 {
             return now;
         }
         let start = self.busy_until.max(now);
-        let service = self.spec.service_time(kind, bytes_per_op).saturating_mul(ops);
+        let service = self
+            .spec
+            .service_time(kind, bytes_per_op)
+            .saturating_mul(ops);
         let done = start + service;
         self.busy_until = done;
         match kind {
@@ -270,7 +279,10 @@ mod tests {
         // A later op starts fresh, not behind the old horizon.
         let t = done + SimDuration::from_secs(1);
         let done2 = d.submit(t, IoKind::Write, 4096);
-        assert_eq!(done2.saturating_since(t), d.spec().service_time(IoKind::Write, 4096));
+        assert_eq!(
+            done2.saturating_since(t),
+            d.spec().service_time(IoKind::Write, 4096)
+        );
     }
 
     #[test]

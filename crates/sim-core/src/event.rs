@@ -1,48 +1,196 @@
 //! Event queue and simulation executor.
 //!
 //! [`Simulation`] owns the world state `W`, the virtual clock, and a
-//! priority queue of scheduled events. An event is a boxed `FnOnce` that
-//! receives `&mut Simulation<W>` — it may inspect and mutate the world,
-//! schedule further events, and cancel pending ones.
+//! priority queue of scheduled events. The general-case event is a boxed
+//! `FnOnce` that receives `&mut Simulation<W>`; the three highest-volume
+//! event kinds (timer ticks, flow completions, device-op completions) can
+//! instead be scheduled as plain-data [`FastEvent`]s that never touch the
+//! allocator and dispatch through a single installed function pointer.
+//!
+//! Storage is a generation-tagged slab of event slots indexed by an
+//! index-based 4-ary min-heap:
+//!
+//! * scheduling writes one slot (reusing a free one when available) and
+//!   pushes a `(time, seq, slot, gen)` key into the heap — no hashing;
+//! * cancellation bumps the slot's generation and frees it immediately
+//!   (O(1)); the stale heap key is discarded when it surfaces at the top;
+//! * popping checks the key's generation against the slot's — a mismatch
+//!   means the event was cancelled, so the key is skipped.
 //!
 //! Determinism: events are ordered by `(time, sequence-number)`. The
 //! sequence number is assigned at scheduling time, so two events scheduled
 //! for the same instant fire in the order they were scheduled, on every run.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
-
 use crate::time::{SimDuration, SimTime};
 
 /// Handle to a scheduled event, usable to cancel it before it fires.
+///
+/// The handle is a slab slot index plus the generation the slot had when the
+/// event was scheduled; once the event fires or is cancelled the generation
+/// advances and the handle goes permanently stale, so cancelling a fired or
+/// cancelled event is a cheap, safe no-op.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
 
 type EventFn<W> = Box<dyn FnOnce(&mut Simulation<W>)>;
 type PeriodicFn<W> = Box<dyn FnMut(&mut Simulation<W>) -> bool>;
 
-struct Scheduled<W> {
-    time: SimTime,
-    seq: u64,
-    f: EventFn<W>,
+/// A plain-data event that schedules and fires without heap allocation.
+///
+/// The simulation core does not interpret the payloads; the embedding layer
+/// installs one dispatcher with [`Simulation::set_fast_handler`] and gives
+/// the words whatever meaning it needs. The variants mirror the three event
+/// kinds that dominate every scenario's event volume.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FastEvent {
+    /// A timer tick: `kind` selects the tick family, `a`/`b` carry payload
+    /// words (an object id and a generation, typically).
+    Timer {
+        /// Dispatcher-defined tick family.
+        kind: u32,
+        /// First payload word.
+        a: u64,
+        /// Second payload word.
+        b: u64,
+    },
+    /// A network flow completion / poll point is due.
+    FlowDue {
+        /// Dispatcher-defined token identifying the poll domain.
+        token: u64,
+    },
+    /// A device or swap operation completed.
+    DeviceOp {
+        /// Dispatcher-defined request identifier.
+        req: u64,
+    },
 }
 
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+/// What a live event slot holds.
+enum Payload<W> {
+    /// General case: a boxed one-shot closure.
+    Closure(EventFn<W>),
+    /// Allocation-free plain-data event, routed to the installed handler.
+    Fast(FastEvent),
+    /// Self-rescheduling periodic closure; the box is moved to a fresh slot
+    /// on each tick instead of being reallocated.
+    Periodic(PeriodicFn<W>, SimDuration),
+    /// Free slot; the value is the next free slot index (`u32::MAX` ends
+    /// the list).
+    Vacant(u32),
+}
+
+struct Slot<W> {
+    gen: u32,
+    payload: Payload<W>,
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
+/// Heap key: total order `(time, seq)`; `slot`/`gen` locate the payload and
+/// detect cancellation.
+#[derive(Clone, Copy)]
+struct HeapKey {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+    gen: u32,
+}
+
+impl HeapKey {
+    #[inline]
+    fn rank(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Index-based 4-ary min-heap of [`HeapKey`]s. Flatter than a binary heap
+/// (half the levels), so pops touch fewer cache lines, and pushes — the
+/// common operation in a DES, where most events fire near the clock — do
+/// fewer comparisons per level than a pairing of binary-heap levels.
+struct MinHeap {
+    keys: Vec<HeapKey>,
 }
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+
+impl MinHeap {
+    const ARITY: usize = 4;
+
+    fn new() -> Self {
+        MinHeap { keys: Vec::new() }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<&HeapKey> {
+        self.keys.first()
+    }
+
+    fn push(&mut self, key: HeapKey) {
+        self.keys.push(key);
+        self.sift_up(self.keys.len() - 1);
+    }
+
+    fn pop(&mut self) -> Option<HeapKey> {
+        let n = self.keys.len();
+        if n == 0 {
+            return None;
+        }
+        self.keys.swap(0, n - 1);
+        let top = self.keys.pop();
+        if !self.keys.is_empty() {
+            // The displaced key came from the bottom, so it almost always
+            // belongs near the bottom again: walk the hole down choosing the
+            // best child without comparing against the key at each level,
+            // then sift the key up from where the hole lands. Saves one
+            // comparison per level on the common path (the same strategy the
+            // standard library's BinaryHeap uses).
+            self.sift_down_to_bottom(0);
+        }
+        top
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        let key = self.keys[i];
+        let rank = key.rank();
+        while i > 0 {
+            let parent = (i - 1) / Self::ARITY;
+            if self.keys[parent].rank() <= rank {
+                break;
+            }
+            self.keys[i] = self.keys[parent];
+            i = parent;
+        }
+        self.keys[i] = key;
+    }
+
+    /// Move the hole at `i` all the way to a leaf along the min-child path,
+    /// then place `keys[i]`'s value by sifting up from the leaf.
+    #[inline]
+    fn sift_down_to_bottom(&mut self, mut i: usize) {
+        let n = self.keys.len();
+        let key = self.keys[i];
+        loop {
+            let first_child = i * Self::ARITY + 1;
+            if first_child >= n {
+                break;
+            }
+            let last_child = (first_child + Self::ARITY).min(n);
+            let mut best = first_child;
+            let mut best_rank = self.keys[first_child].rank();
+            for c in (first_child + 1)..last_child {
+                let r = self.keys[c].rank();
+                if r < best_rank {
+                    best = c;
+                    best_rank = r;
+                }
+            }
+            self.keys[i] = self.keys[best];
+            i = best;
+        }
+        self.keys[i] = key;
+        self.sift_up(i);
     }
 }
 
@@ -51,11 +199,16 @@ impl<W> Ord for Scheduled<W> {
 pub struct Simulation<W> {
     now: SimTime,
     state: W,
-    queue: BinaryHeap<Scheduled<W>>,
-    cancelled: HashSet<u64>,
+    heap: MinHeap,
+    slots: Vec<Slot<W>>,
+    free_head: u32,
+    /// Count of scheduled-and-not-yet-fired-or-cancelled events. Stale heap
+    /// keys are excluded, so this never under-counts or underflows.
+    live: usize,
     next_seq: u64,
     executed: u64,
     stopped: bool,
+    fast_handler: Option<fn(&mut Simulation<W>, FastEvent)>,
 }
 
 impl<W> Simulation<W> {
@@ -64,11 +217,14 @@ impl<W> Simulation<W> {
         Simulation {
             now: SimTime::ZERO,
             state,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            heap: MinHeap::new(),
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+            live: 0,
             next_seq: 0,
             executed: 0,
             stopped: false,
+            fast_handler: None,
         }
     }
 
@@ -95,10 +251,56 @@ impl<W> Simulation<W> {
         self.executed
     }
 
-    /// Number of events currently pending (including cancelled ones not yet
-    /// drained from the heap).
+    /// Number of events currently pending. Cancelled and fired events are
+    /// excluded exactly.
     pub fn events_pending(&self) -> usize {
-        self.queue.len() - self.cancelled.len()
+        self.live
+    }
+
+    /// Install the dispatcher for [`FastEvent`]s. The embedding layer calls
+    /// this once at world construction; scheduling a fast event without a
+    /// handler installed panics when the event fires.
+    pub fn set_fast_handler(&mut self, handler: fn(&mut Simulation<W>, FastEvent)) {
+        self.fast_handler = Some(handler);
+    }
+
+    /// Allocate a slot for `payload` and push its heap key. Returns the id.
+    fn insert(&mut self, at: SimTime, payload: Payload<W>) -> EventId {
+        let time = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = if self.free_head != NO_SLOT {
+            let slot = self.free_head;
+            let s = &mut self.slots[slot as usize];
+            match s.payload {
+                Payload::Vacant(next) => self.free_head = next,
+                _ => unreachable!("free list points at an occupied slot"),
+            }
+            s.payload = payload;
+            slot
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("event slab exceeded u32 slots");
+            self.slots.push(Slot { gen: 0, payload });
+            slot
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.heap.push(HeapKey {
+            time,
+            seq,
+            slot,
+            gen,
+        });
+        self.live += 1;
+        EventId { slot, gen }
+    }
+
+    /// Free `slot`, returning its payload and invalidating outstanding ids.
+    fn release(&mut self, slot: u32) -> Payload<W> {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        let payload = std::mem::replace(&mut s.payload, Payload::Vacant(self.free_head));
+        self.free_head = slot;
+        payload
     }
 
     /// Schedule `f` to fire at absolute time `at`. Scheduling in the past
@@ -108,7 +310,7 @@ impl<W> Simulation<W> {
     where
         F: FnOnce(&mut Simulation<W>) + 'static,
     {
-        self.schedule_boxed(at, Box::new(f))
+        self.insert(at, Payload::Closure(Box::new(f)))
     }
 
     /// Schedule `f` to fire after `delay`.
@@ -116,36 +318,52 @@ impl<W> Simulation<W> {
     where
         F: FnOnce(&mut Simulation<W>) + 'static,
     {
-        self.schedule_boxed(self.now + delay, Box::new(f))
+        self.insert(self.now + delay, Payload::Closure(Box::new(f)))
     }
 
     /// Schedule an already-boxed event (avoids double boxing in helpers).
     pub fn schedule_boxed(&mut self, at: SimTime, f: EventFn<W>) -> EventId {
-        let time = at.max(self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.queue.push(Scheduled { time, seq, f });
-        EventId(seq)
+        self.insert(at, Payload::Closure(f))
+    }
+
+    /// Schedule a plain-data [`FastEvent`] at absolute time `at` — no heap
+    /// allocation on this path. Requires a handler installed via
+    /// [`Simulation::set_fast_handler`] before the event fires.
+    pub fn schedule_fast(&mut self, at: SimTime, ev: FastEvent) -> EventId {
+        self.insert(at, Payload::Fast(ev))
+    }
+
+    /// Schedule a plain-data [`FastEvent`] after `delay`.
+    pub fn schedule_fast_in(&mut self, delay: SimDuration, ev: FastEvent) -> EventId {
+        self.insert(self.now + delay, Payload::Fast(ev))
     }
 
     /// Schedule `f` to fire every `period`, starting at `start`, for as long
-    /// as it returns `true`.
+    /// as it returns `true`. The closure is boxed once; ticks move the box
+    /// between slots without reallocating.
     pub fn schedule_every<F>(&mut self, start: SimTime, period: SimDuration, f: F)
     where
         F: FnMut(&mut Simulation<W>) -> bool + 'static,
         W: 'static,
     {
-        assert!(!period.is_zero(), "schedule_every requires a non-zero period");
-        self.schedule_boxed(start, periodic_tick(Box::new(f), period));
+        assert!(
+            !period.is_zero(),
+            "schedule_every requires a non-zero period"
+        );
+        self.insert(start, Payload::Periodic(Box::new(f), period));
     }
 
     /// Cancel a pending event. Cancelling an already-fired or already-
     /// cancelled event is a no-op and returns `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
+        match self.slots.get(id.slot as usize) {
+            Some(s) if s.gen == id.gen && !matches!(s.payload, Payload::Vacant(_)) => {
+                self.release(id.slot);
+                self.live -= 1;
+                true
+            }
+            _ => false,
         }
-        self.cancelled.insert(id.0)
     }
 
     /// Request that the run loop stop after the current event returns.
@@ -159,14 +377,32 @@ impl<W> Simulation<W> {
         if self.stopped {
             return false;
         }
-        while let Some(ev) = self.queue.pop() {
-            if self.cancelled.remove(&ev.seq) {
+        while let Some(key) = self.heap.pop() {
+            if self.slots[key.slot as usize].gen != key.gen {
+                // Cancelled: the slot was released (and possibly reused)
+                // after this key was pushed.
                 continue;
             }
-            debug_assert!(ev.time >= self.now, "event queue went backwards");
-            self.now = ev.time;
+            debug_assert!(key.time >= self.now, "event queue went backwards");
+            self.now = key.time;
             self.executed += 1;
-            (ev.f)(self);
+            self.live -= 1;
+            match self.release(key.slot) {
+                Payload::Closure(f) => f(self),
+                Payload::Fast(ev) => {
+                    let handler = self
+                        .fast_handler
+                        .expect("FastEvent fired with no handler installed");
+                    handler(self, ev);
+                }
+                Payload::Periodic(mut f, period) => {
+                    if f(self) {
+                        let next = self.now + period;
+                        self.insert(next, Payload::Periodic(f, period));
+                    }
+                }
+                Payload::Vacant(_) => unreachable!("live heap key pointed at a vacant slot"),
+            }
             return true;
         }
         false
@@ -177,6 +413,18 @@ impl<W> Simulation<W> {
         while self.step() {}
     }
 
+    /// Earliest pending event time, pruning stale (cancelled) heap keys off
+    /// the top along the way.
+    fn next_live_time(&mut self) -> Option<SimTime> {
+        while let Some(key) = self.heap.peek() {
+            if self.slots[key.slot as usize].gen == key.gen {
+                return Some(key.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
     /// Run until the clock reaches `deadline` (exclusive of events scheduled
     /// after it), the queue empties, or the simulation is stopped. On a
     /// normal deadline exit the clock is advanced to `deadline`.
@@ -185,8 +433,8 @@ impl<W> Simulation<W> {
             if self.stopped {
                 return;
             }
-            match self.queue.peek() {
-                Some(ev) if ev.time <= deadline => {
+            match self.next_live_time() {
+                Some(t) if t <= deadline => {
                     if !self.step() {
                         return;
                     }
@@ -203,18 +451,6 @@ impl<W> Simulation<W> {
     pub fn into_state(self) -> W {
         self.state
     }
-}
-
-/// Build the self-rescheduling closure for [`Simulation::schedule_every`].
-/// The `dyn` indirection is what lets the closure reschedule a fresh copy of
-/// itself without creating an infinitely recursive type.
-fn periodic_tick<W: 'static>(mut f: PeriodicFn<W>, period: SimDuration) -> EventFn<W> {
-    Box::new(move |sim| {
-        if f(sim) {
-            let next = sim.now() + period;
-            sim.schedule_boxed(next, periodic_tick(f, period));
-        }
-    })
 }
 
 #[cfg(test)]
@@ -273,7 +509,40 @@ mod tests {
     #[test]
     fn cancel_unknown_id_is_false() {
         let mut sim = Simulation::new(());
-        assert!(!sim.cancel(EventId(999)));
+        assert!(!sim.cancel(EventId { slot: 999, gen: 0 }));
+    }
+
+    #[test]
+    fn cancel_fired_id_keeps_pending_count_correct() {
+        // Regression: the seed implementation recorded any cancelled seq in
+        // a set and subtracted the set's size from the queue length, so
+        // cancelling an id that had already fired corrupted (and could
+        // underflow) events_pending() forever.
+        let mut sim = Simulation::new(0u64);
+        let id = sim.schedule_at(SimTime::from_secs(1), |s| *s.state_mut() += 1);
+        sim.run();
+        assert_eq!(sim.events_pending(), 0);
+        assert!(!sim.cancel(id), "cancelling a fired event reports false");
+        assert_eq!(sim.events_pending(), 0);
+        sim.schedule_at(SimTime::from_secs(2), |_| {});
+        assert_eq!(sim.events_pending(), 1);
+        assert!(!sim.cancel(id), "the stale id can never cancel a new event");
+        assert_eq!(sim.events_pending(), 1);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_old_ids() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        let a = sim.schedule_at(SimTime::from_secs(1), |s| s.state_mut().push(1));
+        assert!(sim.cancel(a));
+        // Reuses slot 0 with a bumped generation.
+        let _b = sim.schedule_at(SimTime::from_secs(1), |s| s.state_mut().push(2));
+        assert!(
+            !sim.cancel(a),
+            "old id must not cancel the slot's new tenant"
+        );
+        sim.run();
+        assert_eq!(sim.state(), &[2]);
     }
 
     #[test]
@@ -289,6 +558,19 @@ mod tests {
         assert_eq!(sim.state(), &[1, 2, 3, 4, 5]);
         // Clock advances to the deadline even with no events there.
         assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn run_until_skips_cancelled_head() {
+        let mut sim = Simulation::new(0u64);
+        let id = sim.schedule_at(SimTime::from_secs(1), |s| *s.state_mut() += 1);
+        sim.schedule_at(SimTime::from_secs(5), |s| *s.state_mut() += 10);
+        sim.cancel(id);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(*sim.state(), 0);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        sim.run();
+        assert_eq!(*sim.state(), 10);
     }
 
     #[test]
@@ -337,5 +619,101 @@ mod tests {
         assert_eq!(sim.events_pending(), 2);
         sim.cancel(a);
         assert_eq!(sim.events_pending(), 1);
+    }
+
+    #[test]
+    fn fast_events_dispatch_through_installed_handler() {
+        fn dispatch(sim: &mut Simulation<Vec<FastEvent>>, ev: FastEvent) {
+            sim.state_mut().push(ev);
+        }
+        let mut sim = Simulation::new(Vec::new());
+        sim.set_fast_handler(dispatch);
+        sim.schedule_fast(SimTime::from_secs(2), FastEvent::DeviceOp { req: 9 });
+        sim.schedule_fast(
+            SimTime::from_secs(1),
+            FastEvent::Timer {
+                kind: 3,
+                a: 1,
+                b: 2,
+            },
+        );
+        sim.schedule_fast_in(SimDuration::from_secs(3), FastEvent::FlowDue { token: 7 });
+        sim.run();
+        assert_eq!(
+            sim.state(),
+            &[
+                FastEvent::Timer {
+                    kind: 3,
+                    a: 1,
+                    b: 2
+                },
+                FastEvent::DeviceOp { req: 9 },
+                FastEvent::FlowDue { token: 7 },
+            ]
+        );
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn fast_events_cancel_like_closures() {
+        fn dispatch(sim: &mut Simulation<u64>, _ev: FastEvent) {
+            *sim.state_mut() += 1;
+        }
+        let mut sim = Simulation::new(0u64);
+        sim.set_fast_handler(dispatch);
+        let id = sim.schedule_fast(SimTime::from_secs(1), FastEvent::FlowDue { token: 0 });
+        sim.schedule_fast(SimTime::from_secs(2), FastEvent::FlowDue { token: 1 });
+        assert!(sim.cancel(id));
+        assert_eq!(sim.events_pending(), 1);
+        sim.run();
+        assert_eq!(*sim.state(), 1);
+    }
+
+    #[test]
+    fn mixed_fast_and_boxed_preserve_scheduling_order() {
+        fn dispatch(sim: &mut Simulation<Vec<u32>>, ev: FastEvent) {
+            if let FastEvent::Timer { kind, .. } = ev {
+                sim.state_mut().push(kind);
+            }
+        }
+        let mut sim = Simulation::new(Vec::new());
+        sim.set_fast_handler(dispatch);
+        let t = SimTime::from_secs(1);
+        sim.schedule_fast(
+            t,
+            FastEvent::Timer {
+                kind: 0,
+                a: 0,
+                b: 0,
+            },
+        );
+        sim.schedule_at(t, |s| s.state_mut().push(1));
+        sim.schedule_fast(
+            t,
+            FastEvent::Timer {
+                kind: 2,
+                a: 0,
+                b: 0,
+            },
+        );
+        sim.schedule_at(t, |s| s.state_mut().push(3));
+        sim.run();
+        assert_eq!(sim.state(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn heavy_schedule_cancel_interleave_stays_consistent() {
+        let mut sim = Simulation::new(0u64);
+        let mut ids = Vec::new();
+        for i in 0..1000u64 {
+            ids.push(sim.schedule_at(SimTime::from_millis(i % 97), |s| *s.state_mut() += 1));
+        }
+        for id in ids.iter().step_by(2) {
+            assert!(sim.cancel(*id));
+        }
+        assert_eq!(sim.events_pending(), 500);
+        sim.run();
+        assert_eq!(*sim.state(), 500);
+        assert_eq!(sim.events_pending(), 0);
     }
 }

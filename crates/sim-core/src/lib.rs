@@ -39,7 +39,7 @@ pub mod time;
 pub mod units;
 
 pub use blockdev::{BlockDevice, BlockDeviceSpec, IoCounters, IoKind};
-pub use event::{EventId, Simulation};
+pub use event::{EventId, FastEvent, Simulation};
 pub use net::{ChannelId, Delivery, Network, NodeId, SegmentId};
 pub use rng::{DetRng, SeedSequence};
 pub use stats::{percentile, Summary, ThroughputMeter, TimeSeries};

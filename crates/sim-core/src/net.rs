@@ -15,6 +15,21 @@
 //! [`Network::poll`] to collect deliveries. After any mutation (send, open,
 //! close) the driver re-arms. Segment delivery = serialization at the
 //! allocated rate + one-way propagation delay.
+//!
+//! The hot path is incremental and allocation-free in steady state:
+//!
+//! * the water-filling pass reuses persistent scratch buffers and removes
+//!   frozen channels by swap-remove instead of `retain`/`clone` per round;
+//! * membership of the active set is tracked explicitly (swap-remove list +
+//!   position map), so recomputation only runs when the set changes;
+//! * each channel caches the absolute instant its head segment finishes
+//!   serializing; the cache is refreshed only when the channel's rate
+//!   actually changes (epsilon-compared) or its head segment changes, so an
+//!   arrival that leaves other NICs' shares untouched does not reschedule
+//!   their completions;
+//! * closing a channel removes its in-flight segments outright, so the
+//!   delivery heap never carries dead entries and
+//!   [`Network::next_event_time`] is a peek, not a scan.
 
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -46,6 +61,13 @@ pub struct Delivery {
     pub delivered_at: SimTime,
 }
 
+/// Rates closer than this (bytes/sec) count as unchanged: far below one
+/// byte per simulated second, far above f64 noise at 1 Gbps magnitudes.
+const RATE_EPS: f64 = 1e-6;
+
+/// Sentinel for "not in the active list".
+const NO_POS: u32 = u32::MAX;
+
 #[derive(Clone, Debug)]
 struct Segment {
     tag: u64,
@@ -63,6 +85,10 @@ struct Channel {
     /// Optional per-channel rate cap (bytes/sec), e.g. a migration
     /// bandwidth limit.
     cap: Option<f64>,
+    /// Absolute instant the head segment finishes serializing at the
+    /// current rate; `SimTime::MAX` when idle or rate 0. Only refreshed
+    /// when the rate or the head segment changes.
+    head_done: SimTime,
     delivered_bytes: u64,
     closed: bool,
 }
@@ -92,7 +118,6 @@ struct InFlight {
     deliver_at: SimTime,
     seq: u64,
     delivery: Delivery,
-    cancelled: bool,
 }
 
 impl PartialEq for InFlight {
@@ -113,6 +138,18 @@ impl Ord for InFlight {
     }
 }
 
+/// Persistent scratch for the water-filling pass, reused across calls so
+/// steady-state recomputation performs no allocation.
+#[derive(Debug, Default)]
+struct Waterfill {
+    tx_cap: Vec<f64>,
+    rx_cap: Vec<f64>,
+    tx_load: Vec<u32>,
+    rx_load: Vec<u32>,
+    unfrozen: Vec<u32>,
+    capped: Vec<u32>,
+}
+
 /// The cluster network: NICs plus channels plus in-flight segments.
 #[derive(Debug)]
 pub struct Network {
@@ -125,6 +162,11 @@ pub struct Network {
     next_flight_seq: u64,
     /// Sub-byte residue threshold below which a segment counts as done.
     epsilon: f64,
+    /// Indices of channels with data to send (unordered; swap-removed).
+    active: Vec<u32>,
+    /// Channel index → its position in `active`, or `NO_POS`.
+    active_pos: Vec<u32>,
+    scratch: Waterfill,
 }
 
 impl Network {
@@ -140,6 +182,9 @@ impl Network {
             next_segment: 0,
             next_flight_seq: 0,
             epsilon: 0.5,
+            active: Vec::new(),
+            active_pos: Vec::new(),
+            scratch: Waterfill::default(),
         }
     }
 
@@ -167,10 +212,33 @@ impl Network {
             queue: VecDeque::new(),
             rate: 0.0,
             cap: None,
+            head_done: SimTime::MAX,
             delivered_bytes: 0,
             closed: false,
         });
+        self.active_pos.push(NO_POS);
         ChannelId(self.channels.len() - 1)
+    }
+
+    /// Add `ci` to the active set.
+    fn activate(&mut self, ci: usize) {
+        debug_assert_eq!(self.active_pos[ci], NO_POS);
+        self.active_pos[ci] = self.active.len() as u32;
+        self.active.push(ci as u32);
+    }
+
+    /// Swap-remove `ci` from the active set and zero its allocation.
+    fn deactivate(&mut self, ci: usize) {
+        let pos = self.active_pos[ci];
+        debug_assert_ne!(pos, NO_POS);
+        self.active.swap_remove(pos as usize);
+        if let Some(&moved) = self.active.get(pos as usize) {
+            self.active_pos[moved as usize] = pos;
+        }
+        self.active_pos[ci] = NO_POS;
+        let ch = &mut self.channels[ci];
+        ch.rate = 0.0;
+        ch.head_done = SimTime::MAX;
     }
 
     /// Set (or clear) a rate cap on a channel, e.g. QEMU's
@@ -196,6 +264,7 @@ impl Network {
             remaining: bytes as f64,
         });
         if !was_active {
+            self.activate(ch.0);
             self.recompute_rates();
         }
         // Zero-byte segments complete instantly; flush them into flight.
@@ -235,21 +304,19 @@ impl Network {
         if channel.closed {
             return 0;
         }
+        let was_active = channel.is_active();
         channel.closed = true;
         let mut dropped = channel.queue.len();
         channel.queue.clear();
-        // Lazily cancel in-flight segments from this channel.
-        let mut heap = std::mem::take(&mut self.in_flight);
-        let mut rebuilt = BinaryHeap::with_capacity(heap.len());
-        while let Some(mut f) = heap.pop() {
-            if f.delivery.channel == ch && !f.cancelled {
-                f.cancelled = true;
-                dropped += 1;
-            }
-            rebuilt.push(f);
+        // Remove (not just mark) this channel's in-flight segments, so the
+        // delivery heap stays free of dead entries.
+        let before = self.in_flight.len();
+        self.in_flight.retain(|f| f.delivery.channel != ch);
+        dropped += before - self.in_flight.len();
+        if was_active {
+            self.deactivate(ch.0);
+            self.recompute_rates();
         }
-        self.in_flight = rebuilt;
-        self.recompute_rates();
         dropped
     }
 
@@ -280,25 +347,15 @@ impl Network {
     /// The earliest instant at which a delivery or serialization completion
     /// will occur, or `None` if the network is quiescent.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        let mut earliest: Option<SimTime> = None;
-        for f in &self.in_flight {
-            if !f.cancelled {
+        // The in-flight heap holds no cancelled entries, so its top is the
+        // earliest delivery.
+        let mut earliest: Option<SimTime> = self.in_flight.peek().map(|f| f.deliver_at);
+        for &ci in &self.active {
+            let ch = &self.channels[ci as usize];
+            if ch.rate > 0.0 {
                 earliest = Some(match earliest {
-                    Some(t) => t.min(f.deliver_at),
-                    None => f.deliver_at,
-                });
-                // BinaryHeap iteration is unordered; keep scanning — but the
-                // top element would do if not cancelled. We scan for safety.
-            }
-        }
-        for ch in &self.channels {
-            if ch.is_active() && ch.rate > 0.0 {
-                let head = &ch.queue[0];
-                let dt = SimDuration::from_secs_f64(head.remaining.max(0.0) / ch.rate);
-                let t = self.last_update + dt;
-                earliest = Some(match earliest {
-                    Some(e) => e.min(t),
-                    None => t,
+                    Some(e) => e.min(ch.head_done),
+                    None => ch.head_done,
                 });
             }
         }
@@ -315,9 +372,6 @@ impl Network {
                 break;
             }
             let f = self.in_flight.pop().expect("peeked");
-            if f.cancelled {
-                continue;
-            }
             let ch = &mut self.channels[f.delivery.channel.0];
             ch.delivered_bytes += f.delivery.bytes;
             self.nodes[ch.dst.0].counters.rx_bytes += f.delivery.bytes;
@@ -332,45 +386,41 @@ impl Network {
         if now <= self.last_update {
             return;
         }
-        let mut t = self.last_update;
         // Serialization completions can unblock the next segment in a
         // queue, changing rates. Process piecewise-constant-rate intervals.
         loop {
-            // Find earliest serialization completion before `now`.
-            let mut next_done: Option<SimTime> = None;
-            for ch in &self.channels {
-                if ch.is_active() && ch.rate > 0.0 {
-                    let head = &ch.queue[0];
-                    let done = t + SimDuration::from_secs_f64(head.remaining.max(0.0) / ch.rate);
-                    next_done = Some(match next_done {
-                        Some(d) => d.min(done),
-                        None => done,
-                    });
+            let t = self.last_update;
+            // Earliest cached serialization completion among active
+            // channels.
+            let mut next_done = SimTime::MAX;
+            for &ci in &self.active {
+                let ch = &self.channels[ci as usize];
+                if ch.rate > 0.0 {
+                    next_done = next_done.min(ch.head_done);
                 }
             }
-            let step_to = match next_done {
-                Some(d) if d <= now => d,
-                _ => now,
+            let step_to = if next_done <= now {
+                next_done.max(t)
+            } else {
+                now
             };
             let dt = step_to.saturating_since(t).as_secs_f64();
             if dt > 0.0 {
-                for ch in &mut self.channels {
-                    if ch.is_active() && ch.rate > 0.0 {
+                for &ci in &self.active {
+                    let ch = &mut self.channels[ci as usize];
+                    if ch.rate > 0.0 {
                         let moved = ch.rate * dt;
-                        let head = &mut ch.queue[0];
-                        head.remaining -= moved;
+                        ch.queue[0].remaining -= moved;
                     }
                 }
             }
-            t = step_to;
-            self.last_update = t;
-            let completed_any = self.complete_ready(t);
-            if t >= now {
+            self.last_update = step_to;
+            let completed_any = self.complete_ready(step_to);
+            if step_to >= now {
                 break;
             }
             if !completed_any {
                 // No progress possible (all rates zero); jump to now.
-                self.last_update = now;
                 break;
             }
         }
@@ -378,26 +428,38 @@ impl Network {
     }
 
     /// Move any fully-serialized head segments into flight; recompute rates
-    /// if channel membership changed. Returns whether anything completed.
+    /// if channel membership changed (a head completing with more queued
+    /// behind it leaves every allocation untouched). Returns whether
+    /// anything completed.
     fn complete_ready(&mut self, t: SimTime) -> bool {
         let mut membership_changed = false;
         let mut any = false;
-        for idx in 0..self.channels.len() {
+        let mut i = 0;
+        while i < self.active.len() {
+            let ci = self.active[i] as usize;
+            let mut popped = false;
             loop {
-                let ch = &mut self.channels[idx];
-                if ch.closed || ch.queue.is_empty() {
-                    break;
-                }
-                let done = ch.queue[0].remaining <= self.epsilon;
-                if !done {
-                    break;
+                let ch = &mut self.channels[ci];
+                match ch.queue.front() {
+                    Some(head) if head.remaining <= self.epsilon => {}
+                    Some(_) => {
+                        if popped && ch.rate > 0.0 {
+                            // New head starts serializing now.
+                            ch.head_done = t + SimDuration::from_secs_f64(
+                                ch.queue[0].remaining.max(0.0) / ch.rate,
+                            );
+                        }
+                        break;
+                    }
+                    None => break,
                 }
                 let seg = ch.queue.pop_front().expect("non-empty");
                 any = true;
+                popped = true;
                 let src = ch.src;
                 self.nodes[src.0].counters.tx_bytes += seg.bytes;
                 let delivery = Delivery {
-                    channel: ChannelId(idx),
+                    channel: ChannelId(ci),
                     tag: seg.tag,
                     bytes: seg.bytes,
                     delivered_at: t + self.prop_delay,
@@ -408,65 +470,84 @@ impl Network {
                     deliver_at: delivery.delivered_at,
                     seq,
                     delivery,
-                    cancelled: false,
                 });
-                let ch = &self.channels[idx];
-                if ch.queue.is_empty() {
-                    membership_changed = true;
-                }
                 // Zero-byte follow-up segments also complete in this loop.
             }
+            if self.channels[ci].queue.is_empty() {
+                // Swap-remove puts an unvisited channel at `i`; don't
+                // advance.
+                self.deactivate(ci);
+                membership_changed = true;
+            } else {
+                i += 1;
+            }
         }
-        if membership_changed || any {
+        if membership_changed {
             self.recompute_rates();
         }
         any
     }
 
     /// Water-filling max-min fair allocation across active channels,
-    /// constrained by per-node tx/rx capacity and per-channel caps.
+    /// constrained by per-node tx/rx capacity and per-channel caps. Scratch
+    /// buffers persist across calls; a channel whose allocation does not
+    /// move by more than [`RATE_EPS`] keeps its cached completion time.
     fn recompute_rates(&mut self) {
-        let n_nodes = self.nodes.len();
-        let mut tx_cap: Vec<f64> = self.nodes.iter().map(|n| n.tx_bw).collect();
-        let mut rx_cap: Vec<f64> = self.nodes.iter().map(|n| n.rx_bw).collect();
-        let mut tx_load = vec![0usize; n_nodes];
-        let mut rx_load = vec![0usize; n_nodes];
-
-        let mut unfrozen: Vec<usize> = Vec::new();
-        for (i, ch) in self.channels.iter_mut().enumerate() {
-            ch.rate = 0.0;
-            if ch.is_active() {
-                unfrozen.push(i);
-                tx_load[ch.src.0] += 1;
-                rx_load[ch.dst.0] += 1;
-            }
+        let Network {
+            nodes,
+            channels,
+            scratch,
+            active,
+            last_update,
+            ..
+        } = self;
+        let n_nodes = nodes.len();
+        scratch.tx_cap.clear();
+        scratch.tx_cap.extend(nodes.iter().map(|n| n.tx_bw));
+        scratch.rx_cap.clear();
+        scratch.rx_cap.extend(nodes.iter().map(|n| n.rx_bw));
+        scratch.tx_load.clear();
+        scratch.tx_load.resize(n_nodes, 0);
+        scratch.rx_load.clear();
+        scratch.rx_load.resize(n_nodes, 0);
+        scratch.unfrozen.clear();
+        for &ci in active.iter() {
+            let ch = &channels[ci as usize];
+            debug_assert!(ch.is_active());
+            scratch.unfrozen.push(ci);
+            scratch.tx_load[ch.src.0] += 1;
+            scratch.rx_load[ch.dst.0] += 1;
         }
 
-        while !unfrozen.is_empty() {
+        while !scratch.unfrozen.is_empty() {
             // Candidate fair share at each saturated resource.
             let mut min_share = f64::INFINITY;
             for n in 0..n_nodes {
-                if tx_load[n] > 0 {
-                    min_share = min_share.min(tx_cap[n] / tx_load[n] as f64);
+                if scratch.tx_load[n] > 0 {
+                    min_share = min_share.min(scratch.tx_cap[n] / f64::from(scratch.tx_load[n]));
                 }
-                if rx_load[n] > 0 {
-                    min_share = min_share.min(rx_cap[n] / rx_load[n] as f64);
+                if scratch.rx_load[n] > 0 {
+                    min_share = min_share.min(scratch.rx_cap[n] / f64::from(scratch.rx_load[n]));
                 }
             }
             // A capped channel below the fair share freezes at its cap.
-            let mut capped: Vec<usize> = Vec::new();
-            for &ci in &unfrozen {
-                if let Some(cap) = self.channels[ci].cap {
-                    if cap < min_share {
-                        capped.push(ci);
-                    }
+            scratch.capped.clear();
+            let mut k = 0;
+            while k < scratch.unfrozen.len() {
+                let ci = scratch.unfrozen[k];
+                let below_cap = channels[ci as usize].cap.is_some_and(|cap| cap < min_share);
+                if below_cap {
+                    scratch.unfrozen.swap_remove(k);
+                    scratch.capped.push(ci);
+                } else {
+                    k += 1;
                 }
             }
-            if !capped.is_empty() {
-                for ci in capped {
-                    let cap = self.channels[ci].cap.expect("capped");
-                    self.freeze(ci, cap, &mut tx_cap, &mut rx_cap, &mut tx_load, &mut rx_load);
-                    unfrozen.retain(|&c| c != ci);
+            if !scratch.capped.is_empty() {
+                for idx in 0..scratch.capped.len() {
+                    let ci = scratch.capped[idx];
+                    let cap = channels[ci as usize].cap.expect("capped");
+                    freeze(channels, scratch, *last_update, ci, cap);
                 }
                 continue;
             }
@@ -476,45 +557,59 @@ impl Network {
             // Freeze every channel touching a bottleneck resource.
             let share = min_share;
             let mut frozen_any = false;
-            let snapshot: Vec<usize> = unfrozen.clone();
-            for ci in snapshot {
+            let mut k = 0;
+            while k < scratch.unfrozen.len() {
+                let ci = scratch.unfrozen[k];
                 let (s, d) = {
-                    let ch = &self.channels[ci];
+                    let ch = &channels[ci as usize];
                     (ch.src.0, ch.dst.0)
                 };
-                let tx_share = tx_cap[s] / tx_load[s] as f64;
-                let rx_share = rx_cap[d] / rx_load[d] as f64;
+                let tx_share = scratch.tx_cap[s] / f64::from(scratch.tx_load[s]);
+                let rx_share = scratch.rx_cap[d] / f64::from(scratch.rx_load[d]);
                 if tx_share <= share * (1.0 + 1e-12) || rx_share <= share * (1.0 + 1e-12) {
-                    self.freeze(ci, share, &mut tx_cap, &mut rx_cap, &mut tx_load, &mut rx_load);
-                    unfrozen.retain(|&c| c != ci);
+                    scratch.unfrozen.swap_remove(k);
+                    freeze(channels, scratch, *last_update, ci, share);
                     frozen_any = true;
+                } else {
+                    k += 1;
                 }
             }
             if !frozen_any {
                 // Numerical safety valve: freeze everything at the share.
-                for ci in std::mem::take(&mut unfrozen) {
-                    self.freeze(ci, share, &mut tx_cap, &mut rx_cap, &mut tx_load, &mut rx_load);
+                while let Some(ci) = scratch.unfrozen.pop() {
+                    freeze(channels, scratch, *last_update, ci, share);
                 }
             }
         }
     }
+}
 
-    fn freeze(
-        &mut self,
-        ci: usize,
-        rate: f64,
-        tx_cap: &mut [f64],
-        rx_cap: &mut [f64],
-        tx_load: &mut [usize],
-        rx_load: &mut [usize],
-    ) {
-        let ch = &mut self.channels[ci];
-        ch.rate = rate.max(0.0);
-        tx_cap[ch.src.0] = (tx_cap[ch.src.0] - ch.rate).max(0.0);
-        rx_cap[ch.dst.0] = (rx_cap[ch.dst.0] - ch.rate).max(0.0);
-        tx_load[ch.src.0] -= 1;
-        rx_load[ch.dst.0] -= 1;
+/// Fix channel `ci`'s allocation at `rate`, consuming capacity at both
+/// endpoints. The cached head-completion instant is refreshed only when the
+/// rate moved by more than [`RATE_EPS`] — unchanged channels keep their
+/// scheduled completion.
+fn freeze(
+    channels: &mut [Channel],
+    scratch: &mut Waterfill,
+    last_update: SimTime,
+    ci: u32,
+    rate: f64,
+) {
+    let ch = &mut channels[ci as usize];
+    let new_rate = rate.max(0.0);
+    scratch.tx_cap[ch.src.0] = (scratch.tx_cap[ch.src.0] - new_rate).max(0.0);
+    scratch.rx_cap[ch.dst.0] = (scratch.rx_cap[ch.dst.0] - new_rate).max(0.0);
+    scratch.tx_load[ch.src.0] -= 1;
+    scratch.rx_load[ch.dst.0] -= 1;
+    if (new_rate - ch.rate).abs() <= RATE_EPS {
+        return;
     }
+    ch.rate = new_rate;
+    ch.head_done = if new_rate > 0.0 {
+        last_update + SimDuration::from_secs_f64(ch.queue[0].remaining.max(0.0) / new_rate)
+    } else {
+        SimTime::MAX
+    };
 }
 
 #[cfg(test)]
@@ -581,8 +676,18 @@ mod tests {
         let done = drain(&mut net);
         // ab finishes at 1 s (0.5 Gbps), then ac runs at 1 Gbps:
         // ac moved 62.5 MB in the first second, 62.5 MB remain → +0.5 s.
-        let t_ab = done.iter().find(|(tag, _)| *tag == 1).unwrap().1.as_secs_f64();
-        let t_ac = done.iter().find(|(tag, _)| *tag == 2).unwrap().1.as_secs_f64();
+        let t_ab = done
+            .iter()
+            .find(|(tag, _)| *tag == 1)
+            .unwrap()
+            .1
+            .as_secs_f64();
+        let t_ac = done
+            .iter()
+            .find(|(tag, _)| *tag == 2)
+            .unwrap()
+            .1
+            .as_secs_f64();
         assert!((t_ab - 1.0).abs() < 1e-2, "t_ab={t_ab}");
         assert!((t_ac - 1.5).abs() < 1e-2, "t_ac={t_ac}");
     }
@@ -642,7 +747,10 @@ mod tests {
         net.send(SimTime::from_secs(1), ch, 0, 9);
         let done = drain(&mut net);
         assert_eq!(done.len(), 1);
-        assert_eq!(done[0].1, SimTime::from_secs(1) + SimDuration::from_micros(50));
+        assert_eq!(
+            done[0].1,
+            SimTime::from_secs(1) + SimDuration::from_micros(50)
+        );
     }
 
     #[test]
@@ -654,6 +762,34 @@ mod tests {
         let dropped = net.close_channel(SimTime::ZERO, ch);
         assert_eq!(dropped, 2);
         assert!(drain(&mut net).is_empty());
+    }
+
+    #[test]
+    fn close_channel_drops_in_flight_segments() {
+        let (mut net, a, b, _) = net3();
+        let ch = net.open_channel(a, b);
+        let keep = net.open_channel(a, b);
+        // A zero-byte message is fully serialized immediately: in flight.
+        net.send(SimTime::ZERO, ch, 0, 1);
+        net.send(SimTime::ZERO, keep, 0, 2);
+        let dropped = net.close_channel(SimTime::ZERO, ch);
+        assert_eq!(dropped, 1);
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, 2);
+        assert_eq!(net.next_event_time(), None);
+    }
+
+    #[test]
+    fn close_idle_channel_is_free() {
+        let (mut net, a, b, _) = net3();
+        let idle = net.open_channel(a, b);
+        let busy = net.open_channel(a, b);
+        net.send(SimTime::ZERO, busy, 125_000_000, 1);
+        let rate_before = net.channel_rate(busy);
+        assert_eq!(net.close_channel(SimTime::ZERO, idle), 0);
+        assert_eq!(net.channel_rate(busy), rate_before);
+        assert_eq!(drain(&mut net).len(), 1);
     }
 
     #[test]
@@ -671,7 +807,7 @@ mod tests {
         let ab = net.open_channel(a, b);
         let ac = net.open_channel(a, c);
         net.send(SimTime::ZERO, ab, 250_000_000, 1); // 2 s alone
-        // After 1 s, a second flow starts.
+                                                     // After 1 s, a second flow starts.
         net.send(SimTime::from_secs(1), ac, 62_500_000, 2);
         let done = drain(&mut net);
         let t_ab = done.iter().find(|(t, _)| *t == 1).unwrap().1.as_secs_f64();
@@ -704,5 +840,27 @@ mod tests {
         assert!(net.next_event_time().is_some());
         drain(&mut net);
         assert_eq!(net.next_event_time(), None);
+    }
+
+    #[test]
+    fn back_to_back_heads_keep_rate_without_recompute() {
+        // A multi-segment queue completes heads without perturbing the
+        // allocation; deliveries stay correctly ordered and complete.
+        let (mut net, a, b, c) = net3();
+        let ab = net.open_channel(a, b);
+        let ac = net.open_channel(a, c);
+        for i in 0..8u64 {
+            net.send(SimTime::ZERO, ab, 12_500_000, i);
+        }
+        net.send(SimTime::ZERO, ac, 100_000_000, 100);
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 9);
+        let ab_times: Vec<_> = done.iter().filter(|(t, _)| *t < 100).collect();
+        assert_eq!(ab_times.len(), 8);
+        for w in ab_times.windows(2) {
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(net.delivered_bytes(ab), 8 * 12_500_000);
+        assert_eq!(net.delivered_bytes(ac), 100_000_000);
     }
 }

@@ -7,9 +7,6 @@
 //! one component's draw pattern does not perturb any other component's
 //! stream.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// SplitMix64 step — used to derive independent stream seeds from a master
 /// seed. This is the standard seed-sequencing construction from Steele et
 /// al., "Fast Splittable Pseudorandom Number Generators" (OOPSLA 2014).
@@ -65,21 +62,29 @@ impl SeedSequence {
 
 /// A deterministic RNG stream.
 ///
-/// Thin wrapper around `SmallRng` (xoshiro256++) that records its seed for
-/// diagnostics and offers the handful of draw shapes the simulator needs.
+/// A self-contained xoshiro256++ generator (Blackman & Vigna) seeded through
+/// SplitMix64 expansion, recording its seed for diagnostics and offering the
+/// handful of draw shapes the simulator needs. The implementation is local so
+/// that the stream is bit-stable regardless of any external crate's version.
 #[derive(Clone, Debug)]
 pub struct DetRng {
     seed: u64,
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl DetRng {
     /// Construct from an explicit 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        DetRng {
-            seed,
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        // Expand the 64-bit seed into the 256-bit state with SplitMix64,
+        // the construction xoshiro's authors recommend for seeding.
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { seed, s }
     }
 
     /// The seed this stream started from.
@@ -90,27 +95,52 @@ impl DetRng {
     /// Uniform `u64` over the full range.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform in `[0, n)`. Panics if `n == 0`.
     #[inline]
     pub fn index(&mut self, n: u64) -> u64 {
         assert!(n > 0, "index() requires a non-empty range");
-        self.inner.gen_range(0..n)
+        // Widening-multiply rejection sampling (Lemire): unbiased and
+        // needs one draw almost always.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n {
+                return (m >> 64) as u64;
+            }
+            // Low word small enough that bias is possible: reject the
+            // draws that would over-represent small residues.
+            let threshold = n.wrapping_neg() % n;
+            if lo >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform in `[lo, hi)` for `f64`. Panics on an empty range.
     #[inline]
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "range_f64 requires lo < hi");
-        self.inner.gen_range(lo..hi)
+        lo + self.unit_f64() * (hi - lo)
     }
 
     /// Uniform in `[0, 1)`.
     #[inline]
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
@@ -121,7 +151,7 @@ impl DetRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit_f64() < p
         }
     }
 
@@ -133,7 +163,7 @@ impl DetRng {
             return 0.0;
         }
         // Inverse-CDF; guard the log argument away from 0.
-        let u = self.inner.gen::<f64>().max(1e-18);
+        let u = self.unit_f64().max(1e-18);
         -mean * u.ln()
     }
 }
@@ -155,7 +185,10 @@ mod tests {
     fn different_labels_differ() {
         let seq = SeedSequence::new(7);
         assert_ne!(seq.stream_seed("a"), seq.stream_seed("b"));
-        assert_ne!(seq.stream_seed("workload.vm0"), seq.stream_seed("workload.vm1"));
+        assert_ne!(
+            seq.stream_seed("workload.vm0"),
+            seq.stream_seed("workload.vm1")
+        );
     }
 
     #[test]

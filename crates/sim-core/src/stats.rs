@@ -125,12 +125,7 @@ impl ThroughputMeter {
         }
         let lo = (from_sec / self.bin_secs) as usize;
         let hi = to_sec.div_ceil(self.bin_secs) as usize;
-        let sum: u64 = self
-            .bins
-            .iter()
-            .skip(lo)
-            .take(hi.saturating_sub(lo))
-            .sum();
+        let sum: u64 = self.bins.iter().skip(lo).take(hi.saturating_sub(lo)).sum();
         sum as f64 / (to_sec - from_sec) as f64
     }
 
@@ -149,7 +144,11 @@ impl ThroughputMeter {
             }
             total += m.total;
         }
-        ThroughputMeter { bin_secs, bins, total }
+        ThroughputMeter {
+            bin_secs,
+            bins,
+            total,
+        }
     }
 }
 
@@ -240,7 +239,9 @@ mod tests {
         for s in 0..10 {
             ts.push(SimTime::from_secs(s), s as f64);
         }
-        let vals: Vec<f64> = ts.window(SimTime::from_secs(3), SimTime::from_secs(6)).collect();
+        let vals: Vec<f64> = ts
+            .window(SimTime::from_secs(3), SimTime::from_secs(6))
+            .collect();
         assert_eq!(vals, vec![3.0, 4.0, 5.0]);
     }
 

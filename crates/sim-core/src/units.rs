@@ -26,7 +26,10 @@ impl Bandwidth {
     /// Construct from bytes per second.
     #[inline]
     pub fn bytes_per_sec(b: f64) -> Self {
-        assert!(b.is_finite() && b >= 0.0, "bandwidth must be finite and non-negative");
+        assert!(
+            b.is_finite() && b >= 0.0,
+            "bandwidth must be finite and non-negative"
+        );
         Bandwidth(b)
     }
 

@@ -1,15 +1,19 @@
-//! Property-based tests for the simulation kernel.
+//! Randomized property tests for the simulation kernel, driven by the
+//! deterministic simulation RNG (fixed seeds, so failures reproduce).
 
 use agile_sim_core::{
-    Bandwidth, BlockDevice, BlockDeviceSpec, IoKind, Network, SimDuration, SimTime, Simulation,
+    Bandwidth, BlockDevice, BlockDeviceSpec, DetRng, IoKind, Network, SimDuration, SimTime,
+    Simulation,
 };
-use proptest::prelude::*;
 
-proptest! {
-    /// Events fire in nondecreasing time order regardless of the
-    /// scheduling order, and ties preserve scheduling order.
-    #[test]
-    fn event_order_is_total(times in proptest::collection::vec(0u64..1000, 1..50)) {
+/// Events fire in nondecreasing time order regardless of the scheduling
+/// order, and ties preserve scheduling order.
+#[test]
+fn event_order_is_total() {
+    for case in 0..150u64 {
+        let mut rng = DetRng::seed_from(0xe0e0 * 3 + case);
+        let n = 1 + rng.index(49) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.index(1000)).collect();
         let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
         for (i, &t) in times.iter().enumerate() {
             sim.schedule_at(SimTime::from_millis(t), move |s| {
@@ -19,19 +23,25 @@ proptest! {
         }
         sim.run();
         let fired = sim.state();
-        prop_assert_eq!(fired.len(), times.len());
+        assert_eq!(fired.len(), times.len(), "case {case}");
         for w in fired.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            assert!(w[0].0 <= w[1].0, "case {case}: time went backwards");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "tie broke scheduling order");
+                assert!(w[0].1 < w[1].1, "case {case}: tie broke scheduling order");
             }
         }
     }
+}
 
-    /// run_until never executes events past the deadline, and a subsequent
-    /// run() executes exactly the rest.
-    #[test]
-    fn run_until_partitions_events(times in proptest::collection::vec(0u64..1000, 1..50), split in 0u64..1000) {
+/// run_until never executes events past the deadline, and a subsequent
+/// run() executes exactly the rest.
+#[test]
+fn run_until_partitions_events() {
+    for case in 0..150u64 {
+        let mut rng = DetRng::seed_from(0xe1e1 * 5 + case);
+        let n = 1 + rng.index(49) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.index(1000)).collect();
+        let split = rng.index(1000);
         let mut sim = Simulation::new(0usize);
         for &t in &times {
             sim.schedule_at(SimTime::from_millis(t), |s| *s.state_mut() += 1);
@@ -39,37 +49,75 @@ proptest! {
         sim.run_until(SimTime::from_millis(split));
         let before = *sim.state();
         let expect_before = times.iter().filter(|&&t| t <= split).count();
-        prop_assert_eq!(before, expect_before);
+        assert_eq!(before, expect_before, "case {case}");
         sim.run();
-        prop_assert_eq!(*sim.state(), times.len());
+        assert_eq!(*sim.state(), times.len(), "case {case}");
     }
+}
 
-    /// Block device: completions are FIFO and total busy time equals the
-    /// sum of service times.
-    #[test]
-    fn blockdev_fifo_and_conservation(ops in proptest::collection::vec((0u64..1000u64, 0usize..2, 512u64..65536), 1..40)) {
+/// Block device: completions are FIFO and total busy time equals the sum
+/// of service times.
+#[test]
+fn blockdev_fifo_and_conservation() {
+    for case in 0..150u64 {
+        let mut rng = DetRng::seed_from(0xe2e2 * 7 + case);
+        let n = 1 + rng.index(39) as usize;
+        let mut ops: Vec<(u64, usize, u64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.index(1000),
+                    rng.index(2) as usize,
+                    512 + rng.index(65536 - 512),
+                )
+            })
+            .collect();
+        ops.sort_by_key(|(t, _, _)| *t);
         let mut dev = BlockDevice::new(BlockDeviceSpec::sata_ssd());
-        let mut sorted = ops.clone();
-        sorted.sort_by_key(|(t, _, _)| *t);
         let mut last_completion = SimTime::ZERO;
         let mut service_sum = SimDuration::ZERO;
-        for (t, kind, bytes) in sorted {
-            let kind = if kind == 0 { IoKind::Read } else { IoKind::Write };
+        for (t, kind, bytes) in ops {
+            let kind = if kind == 0 {
+                IoKind::Read
+            } else {
+                IoKind::Write
+            };
             let done = dev.submit(SimTime::from_micros(t), kind, bytes);
-            prop_assert!(done >= last_completion, "completions must be FIFO");
+            assert!(
+                done >= last_completion,
+                "case {case}: completions must be FIFO"
+            );
             last_completion = done;
             service_sum += dev.spec().service_time(kind, bytes);
         }
-        prop_assert_eq!(dev.counters().busy_nanos, service_sum.as_nanos());
+        assert_eq!(
+            dev.counters().busy_nanos,
+            service_sum.as_nanos(),
+            "case {case}"
+        );
     }
+}
 
-    /// Fluid network conservation: with arbitrary concurrent transfers,
-    /// every byte sent is eventually delivered, and per-node tx equals the
-    /// sum of its channels' bytes.
-    #[test]
-    fn network_delivers_every_byte(transfers in proptest::collection::vec((0usize..3, 0usize..3, 1u64..2_000_000), 1..20)) {
+/// Fluid network conservation: with arbitrary concurrent transfers, every
+/// byte sent is eventually delivered, and per-node tx equals the sum of
+/// its channels' bytes.
+#[test]
+fn network_delivers_every_byte() {
+    for case in 0..120u64 {
+        let mut rng = DetRng::seed_from(0xe3e3 * 11 + case);
+        let n = 1 + rng.index(19) as usize;
+        let transfers: Vec<(usize, usize, u64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.index(3) as usize,
+                    rng.index(3) as usize,
+                    1 + rng.index(2_000_000 - 1),
+                )
+            })
+            .collect();
         let mut net = Network::new(SimDuration::from_micros(50));
-        let nodes: Vec<_> = (0..3).map(|_| net.add_symmetric_node(Bandwidth::gbps(1.0))).collect();
+        let nodes: Vec<_> = (0..3)
+            .map(|_| net.add_symmetric_node(Bandwidth::gbps(1.0)))
+            .collect();
         let mut chans = Vec::new();
         let mut total = 0u64;
         let mut per_node_tx = [0u64; 3];
@@ -85,27 +133,104 @@ proptest! {
         let mut guard = 0;
         while let Some(t) = net.next_event_time() {
             guard += 1;
-            prop_assert!(guard < 10_000, "network did not quiesce");
+            assert!(guard < 10_000, "case {case}: network did not quiesce");
             for d in net.poll(t) {
                 delivered += d.bytes;
-                prop_assert!(seen.insert(d.tag), "duplicate delivery");
+                assert!(seen.insert(d.tag), "case {case}: duplicate delivery");
             }
         }
-        prop_assert_eq!(delivered, total);
-        prop_assert_eq!(seen.len(), transfers.len());
+        assert_eq!(delivered, total, "case {case}");
+        assert_eq!(seen.len(), transfers.len(), "case {case}");
         for (i, node) in nodes.iter().enumerate() {
-            prop_assert_eq!(net.node_tx_bytes(*node), per_node_tx[i]);
+            assert_eq!(net.node_tx_bytes(*node), per_node_tx[i], "case {case}");
         }
         for (ch, bytes) in chans {
-            prop_assert_eq!(net.delivered_bytes(ch), bytes);
+            assert_eq!(net.delivered_bytes(ch), bytes, "case {case}");
         }
     }
+}
 
-    /// Max-min allocation never exceeds any NIC's capacity.
-    #[test]
-    fn network_rates_respect_capacity(transfers in proptest::collection::vec((0usize..4, 0usize..4, 1u64..10_000_000), 2..16)) {
+/// The slab queue pops in exactly the order a reference binary heap
+/// (lazy-cancellation model, the seed implementation) would, under random
+/// interleavings of schedules and cancels mixing boxed closures with
+/// typed fast events.
+#[test]
+fn slab_pop_order_matches_reference_heap_under_cancel() {
+    use agile_sim_core::FastEvent;
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashSet};
+
+    for case in 0..150u64 {
+        let mut rng = DetRng::seed_from(0xe5e5 * 17 + case);
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        sim.set_fast_handler(|sim, ev| {
+            if let FastEvent::Timer { a, .. } = ev {
+                sim.state_mut().push(a);
+            }
+        });
+        // Reference model: a min-heap of (time, seq) keys with a cancelled
+        // set consulted lazily at pop — the seed's BinaryHeap + HashSet.
+        let mut reference: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut cancelled: HashSet<u64> = HashSet::new();
+        let mut live: Vec<(agile_sim_core::EventId, u64, u64)> = Vec::new();
+        let mut label = 0u64;
+        for _ in 0..300 {
+            if rng.chance(0.35) && !live.is_empty() {
+                let k = rng.index(live.len() as u64) as usize;
+                let (id, _, l) = live.swap_remove(k);
+                assert!(sim.cancel(id), "case {case}: live event failed to cancel");
+                cancelled.insert(l);
+            } else {
+                let t = rng.index(1000);
+                let l = label;
+                label += 1;
+                let id = if rng.chance(0.5) {
+                    sim.schedule_fast(
+                        SimTime::from_millis(t),
+                        FastEvent::Timer {
+                            kind: 0,
+                            a: l,
+                            b: 0,
+                        },
+                    )
+                } else {
+                    sim.schedule_at(SimTime::from_millis(t), move |s| s.state_mut().push(l))
+                };
+                reference.push(Reverse((t, l)));
+                live.push((id, t, l));
+            }
+        }
+        assert_eq!(sim.events_pending(), live.len(), "case {case}");
+        sim.run();
+        let mut expect = Vec::new();
+        while let Some(Reverse((_, l))) = reference.pop() {
+            if !cancelled.contains(&l) {
+                expect.push(l);
+            }
+        }
+        assert_eq!(sim.state(), &expect, "case {case}: pop order diverged");
+    }
+}
+
+/// Max-min allocation never exceeds any NIC's capacity.
+#[test]
+fn network_rates_respect_capacity() {
+    for case in 0..150u64 {
+        let mut rng = DetRng::seed_from(0xe4e4 * 13 + case);
+        let n = 2 + rng.index(14) as usize;
+        let transfers: Vec<(usize, usize, u64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.index(4) as usize,
+                    rng.index(4) as usize,
+                    1 + rng.index(10_000_000 - 1),
+                )
+            })
+            .collect();
         let mut net = Network::new(SimDuration::from_micros(50));
-        let nodes: Vec<_> = (0..4).map(|_| net.add_symmetric_node(Bandwidth::gbps(1.0))).collect();
+        let nodes: Vec<_> = (0..4)
+            .map(|_| net.add_symmetric_node(Bandwidth::gbps(1.0)))
+            .collect();
         let mut chans = Vec::new();
         for (i, &(s, d, bytes)) in transfers.iter().enumerate() {
             let ch = net.open_channel(nodes[s], nodes[d]);
@@ -117,13 +242,21 @@ proptest! {
         let mut rx = [0.0f64; 4];
         for &(ch, s, d) in &chans {
             let r = net.channel_rate(ch);
-            prop_assert!(r >= 0.0);
+            assert!(r >= 0.0, "case {case}");
             tx[s] += r;
             rx[d] += r;
         }
-        for n in 0..4 {
-            prop_assert!(tx[n] <= cap * 1.000001, "tx overcommitted: {}", tx[n]);
-            prop_assert!(rx[n] <= cap * 1.000001, "rx overcommitted: {}", rx[n]);
+        for nn in 0..4 {
+            assert!(
+                tx[nn] <= cap * 1.000001,
+                "case {case}: tx overcommitted: {}",
+                tx[nn]
+            );
+            assert!(
+                rx[nn] <= cap * 1.000001,
+                "case {case}: rx overcommitted: {}",
+                rx[nn]
+            );
         }
     }
 }

@@ -122,8 +122,20 @@ mod tests {
         let mut l = GuestLayout::new(1000, 100);
         let a = l.alloc_region("a", 200);
         let b = l.alloc_region("b", 300);
-        assert_eq!(a, PageRange { start: 100, len: 200 });
-        assert_eq!(b, PageRange { start: 300, len: 300 });
+        assert_eq!(
+            a,
+            PageRange {
+                start: 100,
+                len: 200
+            }
+        );
+        assert_eq!(
+            b,
+            PageRange {
+                start: 300,
+                len: 300
+            }
+        );
         assert_eq!(l.free_pages(), 400);
         assert_eq!(l.region("a"), Some(a));
         assert_eq!(l.region("nope"), None);

@@ -187,7 +187,8 @@ impl VmdClient {
             if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
                 info.free_pages += 1;
             }
-            self.outbox.push_back((server, ClientMsg::Free { ns, slot }));
+            self.outbox
+                .push_back((server, ClientMsg::Free { ns, slot }));
         }
     }
 
@@ -320,7 +321,13 @@ mod tests {
         c.write(&mut d, ns, 0, 1, 1);
         let first: Vec<ServerId> = c.drain_outbox().map(|(s, _)| s).collect();
         // Ack it so the writeback entry clears.
-        c.on_server_msg(first[0], ServerMsg::WriteAck { req: 1, free_pages: 9 });
+        c.on_server_msg(
+            first[0],
+            ServerMsg::WriteAck {
+                req: 1,
+                free_pages: 9,
+            },
+        );
         c.write(&mut d, ns, 0, 2, 2);
         let second: Vec<ServerId> = c.drain_outbox().map(|(s, _)| s).collect();
         assert_eq!(first, second, "overwrite must not move the slot");
@@ -338,7 +345,13 @@ mod tests {
         );
         // After the ack, reads go to the network.
         c.drain_outbox().for_each(drop);
-        c.on_server_msg(ServerId(0), ServerMsg::WriteAck { req: 1, free_pages: 9 });
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::WriteAck {
+                req: 1,
+                free_pages: 9,
+            },
+        );
         assert_eq!(c.read(&d, ns, 3, 3), ReadIssue::Sent);
         let msgs: Vec<ClientMsg> = c.drain_outbox().map(|(_, m)| m).collect();
         assert!(matches!(msgs[0], ClientMsg::ReadReq { slot: 3, .. }));
@@ -351,10 +364,22 @@ mod tests {
         c.write(&mut d, ns, 0, 1, 1);
         c.write(&mut d, ns, 0, 2, 2); // supersedes before ack
         c.drain_outbox().for_each(drop);
-        c.on_server_msg(ServerId(0), ServerMsg::WriteAck { req: 1, free_pages: 9 });
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::WriteAck {
+                req: 1,
+                free_pages: 9,
+            },
+        );
         // Old ack must not clear the newer buffered version.
         assert_eq!(c.read(&d, ns, 0, 9), ReadIssue::Local { version: 2 });
-        c.on_server_msg(ServerId(0), ServerMsg::WriteAck { req: 2, free_pages: 9 });
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::WriteAck {
+                req: 2,
+                free_pages: 9,
+            },
+        );
         assert_eq!(c.read(&d, ns, 0, 10), ReadIssue::Sent);
     }
 
@@ -364,7 +389,13 @@ mod tests {
         let ns = d.create_namespace();
         c.write(&mut d, ns, 0, 42, 1);
         c.drain_outbox().for_each(drop);
-        c.on_server_msg(ServerId(0), ServerMsg::WriteAck { req: 1, free_pages: 9 });
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::WriteAck {
+                req: 1,
+                free_pages: 9,
+            },
+        );
         assert_eq!(c.read(&d, ns, 0, 2), ReadIssue::Sent);
         let done = c.on_server_msg(
             ServerId(0),
@@ -374,7 +405,13 @@ mod tests {
                 free_pages: 9,
             },
         );
-        assert_eq!(done, Some(VmdCompletion::ReadDone { req: 2, version: 42 }));
+        assert_eq!(
+            done,
+            Some(VmdCompletion::ReadDone {
+                req: 2,
+                version: 42
+            })
+        );
         assert_eq!(c.inflight(), 0);
     }
 

@@ -1,16 +1,14 @@
-//! Property tests: VMD store consistency under arbitrary operation
-//! sequences, namespace isolation, and placement stability.
+//! Randomized tests: VMD store consistency under arbitrary operation
+//! sequences, namespace isolation, and placement stability, driven by the
+//! deterministic simulation RNG (fixed seeds, so failures reproduce).
 
+use agile_sim_core::DetRng;
 use agile_vmd::{ClientId, ClientMsg, ServerId, VmdClient, VmdDirectory, VmdServer};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 /// Deliver every outbox message to its server and feed replies back;
 /// returns completed read results keyed by req id.
-fn pump(
-    client: &mut VmdClient,
-    servers: &mut [VmdServer],
-) -> HashMap<u64, u32> {
+fn pump(client: &mut VmdClient, servers: &mut [VmdServer]) -> HashMap<u64, u32> {
     let mut reads = HashMap::new();
     loop {
         let msgs: Vec<(ServerId, ClientMsg)> = client.drain_outbox().collect();
@@ -31,15 +29,16 @@ fn pump(
     reads
 }
 
-proptest! {
-    /// Whatever interleaving of writes/overwrites across namespaces, a
-    /// read always returns the latest version written to that (ns, slot).
-    #[test]
-    fn store_is_linearizable_per_slot(
-        ops in proptest::collection::vec((0u32..3, 0u32..16, 1u32..1000), 1..100)
-    ) {
-        let mut servers: Vec<VmdServer> =
-            (0..3).map(|i| VmdServer::new(ServerId(i), 10_000, 0)).collect();
+/// Whatever interleaving of writes/overwrites across namespaces, a read
+/// always returns the latest version written to that (ns, slot).
+#[test]
+fn store_is_linearizable_per_slot() {
+    for case in 0..120u64 {
+        let mut rng = DetRng::seed_from(0xd1d * 3 + case);
+        let n_ops = 1 + rng.index(100) as usize;
+        let mut servers: Vec<VmdServer> = (0..3)
+            .map(|i| VmdServer::new(ServerId(i), 10_000, 0))
+            .collect();
         let mut client = VmdClient::new(
             ClientId(0),
             servers.iter().map(|s| (s.id(), s.free_pages())),
@@ -48,36 +47,49 @@ proptest! {
         let namespaces: Vec<_> = (0..3).map(|_| dir.create_namespace()).collect();
         let mut model: HashMap<(u32, u32), u32> = HashMap::new();
         let mut req = 0u64;
-        for (ns_i, slot, version) in ops {
+        for _ in 0..n_ops {
+            let ns_i = rng.index(3) as u32;
+            let slot = rng.index(16) as u32;
+            let version = 1 + rng.index(999) as u32;
             let ns = namespaces[ns_i as usize];
             client.write(&mut dir, ns, slot, version, req);
             req += 1;
             model.insert((ns_i, slot), version);
             pump(&mut client, &mut servers);
         }
-        // Read everything back.
-        for (&(ns_i, slot), &version) in &model {
+        // Read everything back (BTreeMap-like order via sorted keys for
+        // reproducible failure messages).
+        let mut keys: Vec<(u32, u32)> = model.keys().copied().collect();
+        keys.sort_unstable();
+        for (ns_i, slot) in keys {
+            let version = model[&(ns_i, slot)];
             let ns = namespaces[ns_i as usize];
             let issue = client.read(&dir, ns, slot, req);
             match issue {
-                agile_vmd::ReadIssue::Local { version: v } => prop_assert_eq!(v, version),
+                agile_vmd::ReadIssue::Local { version: v } => {
+                    assert_eq!(v, version, "case {case}")
+                }
                 agile_vmd::ReadIssue::Sent => {
                     let reads = pump(&mut client, &mut servers);
-                    prop_assert_eq!(reads.get(&req), Some(&version));
+                    assert_eq!(reads.get(&req), Some(&version), "case {case}");
                 }
             }
             req += 1;
         }
     }
+}
 
-    /// Placement is stable (overwrites stay on the original server) and
-    /// server accounting matches the number of distinct slots written.
-    #[test]
-    fn placement_stable_and_accounting_exact(
-        slots in proptest::collection::vec(0u32..32, 1..80)
-    ) {
-        let mut servers: Vec<VmdServer> =
-            (0..4).map(|i| VmdServer::new(ServerId(i), 1_000, 0)).collect();
+/// Placement is stable (overwrites stay on the original server) and
+/// server accounting matches the number of distinct slots written.
+#[test]
+fn placement_stable_and_accounting_exact() {
+    for case in 0..120u64 {
+        let mut rng = DetRng::seed_from(0xd2d * 5 + case);
+        let n_slots = 1 + rng.index(80) as usize;
+        let slots: Vec<u32> = (0..n_slots).map(|_| rng.index(32) as u32).collect();
+        let mut servers: Vec<VmdServer> = (0..4)
+            .map(|i| VmdServer::new(ServerId(i), 1_000, 0))
+            .collect();
         let mut client = VmdClient::new(
             ClientId(0),
             servers.iter().map(|s| (s.id(), s.free_pages())),
@@ -89,7 +101,7 @@ proptest! {
             client.write(&mut dir, ns, slot, i as u32, i as u64);
             let placed = dir.lookup(ns, slot).expect("placed on write");
             if let Some(prev) = first_placement.get(&slot) {
-                prop_assert_eq!(*prev, placed, "slot {} moved servers", slot);
+                assert_eq!(*prev, placed, "case {case}: slot {slot} moved servers");
             } else {
                 first_placement.insert(slot, placed);
             }
@@ -97,7 +109,7 @@ proptest! {
         }
         let distinct: std::collections::BTreeSet<u32> = slots.iter().copied().collect();
         let stored: u64 = servers.iter().map(|s| s.stored_pages()).sum();
-        prop_assert_eq!(stored, distinct.len() as u64);
-        prop_assert_eq!(dir.placed_slots(), distinct.len());
+        assert_eq!(stored, distinct.len() as u64, "case {case}");
+        assert_eq!(dir.placed_slots(), distinct.len(), "case {case}");
     }
 }

@@ -77,7 +77,13 @@ pub struct SysbenchOltp {
 impl SysbenchOltp {
     /// Build over `rows` (the InnoDB buffer pool region), `index` (hot
     /// B-tree upper levels), and `log` (redo log circular buffer).
-    pub fn new(rows: Dataset, index: PageRange, log: PageRange, dist: KeyDist, params: OltpParams) -> Self {
+    pub fn new(
+        rows: Dataset,
+        index: PageRange,
+        log: PageRange,
+        dist: KeyDist,
+        params: OltpParams,
+    ) -> Self {
         assert!(index.len >= 2 && log.len >= 1);
         SysbenchOltp {
             params,
@@ -186,9 +192,18 @@ mod tests {
     use super::*;
 
     fn model() -> SysbenchOltp {
-        let rows_region = PageRange { start: 10_000, len: 100_000 };
-        let index_region = PageRange { start: 100, len: 500 };
-        let log_region = PageRange { start: 700, len: 32 };
+        let rows_region = PageRange {
+            start: 10_000,
+            len: 100_000,
+        };
+        let index_region = PageRange {
+            start: 100,
+            len: 500,
+        };
+        let log_region = PageRange {
+            start: 700,
+            len: 32,
+        };
         let rows = Dataset::filling(rows_region, 256, 4096);
         SysbenchOltp::new(
             rows,
@@ -250,7 +265,7 @@ mod tests {
             m.next_op(&mut rng);
         }
         let (op, _) = m.next_op(&mut rng); // first range select
-        // 2 index + up to 4 row pages.
+                                           // 2 index + up to 4 row pages.
         assert!(op.touches.len() >= 3 && op.touches.len() <= 6);
         let rows: Vec<u32> = op.touches.iter().skip(2).map(|(p, _)| p).collect();
         for w in rows.windows(2) {

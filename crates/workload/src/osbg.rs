@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn touches_concentrate_on_the_hot_fraction() {
-        let bg = OsBackground::new(PageRange { start: 0, len: 1000 });
+        let bg = OsBackground::new(PageRange {
+            start: 0,
+            len: 1000,
+        });
         let mut rng = DetRng::seed_from(9);
         let mut hot_hits = 0usize;
         let mut total = 0usize;
@@ -106,7 +109,10 @@ mod tests {
 
     #[test]
     fn bursts_stay_in_region() {
-        let bg = OsBackground::new(PageRange { start: 50, len: 100 });
+        let bg = OsBackground::new(PageRange {
+            start: 50,
+            len: 100,
+        });
         let mut rng = DetRng::seed_from(1);
         for _ in 0..200 {
             let (op, gap) = bg.next_burst(&mut rng);

@@ -162,8 +162,14 @@ mod tests {
     use super::*;
 
     fn model(read_ratio: f64) -> YcsbRedis {
-        let data_region = PageRange { start: 1000, len: 10_000 };
-        let index_region = PageRange { start: 100, len: 200 };
+        let data_region = PageRange {
+            start: 1000,
+            len: 10_000,
+        };
+        let index_region = PageRange {
+            start: 100,
+            len: 200,
+        };
         let dataset = Dataset::filling(data_region, 1024, 4096);
         YcsbRedis::new(
             dataset,
@@ -235,7 +241,11 @@ mod tests {
             let op = m.next_op(&mut rng);
             seen.insert(op.touches.get(1).0);
         }
-        assert!(seen.len() > 2000, "only {} distinct value pages", seen.len());
+        assert!(
+            seen.len() > 2000,
+            "only {} distinct value pages",
+            seen.len()
+        );
     }
 
     #[test]

@@ -134,7 +134,11 @@ fn main() {
                 "t={t:>4}s  aggregate tracked WSS {:>10}  [{}]{}",
                 fmt_bytes(agg),
                 placed.join(" "),
-                if migrating > 0 { "  (migrating…)" } else { "" }
+                if migrating > 0 {
+                    "  (migrating…)"
+                } else {
+                    ""
+                }
             );
             t < 240
         }
@@ -164,7 +168,10 @@ fn main() {
             "  vm{} → standby: {} in {:.1} s ({} as offsets)",
             m.vm,
             fmt_bytes(metrics.migration_bytes),
-            metrics.total_time().map(|d| d.as_secs_f64()).unwrap_or(f64::NAN),
+            metrics
+                .total_time()
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::NAN),
             metrics.pages_sent_as_offsets,
         );
     }

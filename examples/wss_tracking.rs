@@ -22,7 +22,10 @@ fn main() {
     println!("running at 1/{scale} of the paper's sizes\n");
     let r = wss::run(&cfg);
 
-    println!("time     reservation        (true WSS {})", fmt_bytes(r.true_wss_bytes));
+    println!(
+        "time     reservation        (true WSS {})",
+        fmt_bytes(r.true_wss_bytes)
+    );
     let mut last_printed = f64::NEG_INFINITY;
     for &(t, v) in &r.reservation_series {
         // Print every ~20 s of simulated time.
@@ -32,8 +35,8 @@ fn main() {
             last_printed = t;
         }
     }
-    let err = (r.final_reservation as f64 - r.true_wss_bytes as f64).abs()
-        / r.true_wss_bytes as f64;
+    let err =
+        (r.final_reservation as f64 - r.true_wss_bytes as f64).abs() / r.true_wss_bytes as f64;
     println!(
         "\nfinal reservation {} vs true working set {} ({:.1}% off)",
         fmt_bytes(r.final_reservation),
