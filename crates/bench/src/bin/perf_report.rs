@@ -10,6 +10,13 @@
 //! The JSON is flat: a `results` array of `{name, ns_per_iter, per_sec}`
 //! micro-kernel entries plus the sweep wall-clock, so a driver can diff
 //! two runs without parsing human-oriented output.
+//!
+//! `--check-against <BENCH_1.json>` turns the run into a regression gate:
+//! each measured kernel is compared against the same-named entry in the
+//! baseline report and the process exits non-zero if any hot path slowed
+//! down by more than 25%. `SEED_*` kernels (the checked-in reference
+//! implementations) are measured but not gated — they exist to compute
+//! speedups, not to be fast.
 
 use agile_bench::harness::{bench, black_box, BenchResult};
 use agile_bench::Args;
@@ -231,6 +238,116 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Max tolerated slowdown before the gate fails: current may be at most
+/// 1.25× the baseline ns/iter. Micro-benchmarks on shared CI runners
+/// jitter by ~10%; 25% headroom keeps the gate quiet on noise while still
+/// catching a hot path regressing to allocation or linear scans.
+const GATE_SLOWDOWN: f64 = 1.25;
+
+/// Scrape `(name, ns_per_iter)` pairs out of a baseline `BENCH_1.json`.
+///
+/// The file is this binary's own flat output — one result object per
+/// line — so a line scan is exact and no JSON library is needed (the
+/// workspace is dependency-free by design).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = line
+            .split("\"name\": \"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+        else {
+            continue;
+        };
+        let Some(ns) = line
+            .split("\"ns_per_iter\": ")
+            .nth(1)
+            .and_then(|rest| rest.split([',', '}']).next())
+            .and_then(|num| num.trim().parse::<f64>().ok())
+        else {
+            continue;
+        };
+        out.push((name.to_string(), ns));
+    }
+    out
+}
+
+/// Indices of non-`SEED_` kernels whose measured ns/iter exceeds
+/// [`GATE_SLOWDOWN`] × their baseline entry.
+fn failing_kernels(results: &[BenchResult], baseline: &[(String, f64)]) -> Vec<usize> {
+    results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.name.contains("SEED_"))
+        .filter(|(_, r)| {
+            baseline
+                .iter()
+                .find(|(n, _)| n == &r.name)
+                .is_some_and(|(_, base)| r.ns_per_iter > base * GATE_SLOWDOWN)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Re-measure one kernel by its result name (for gate retries).
+fn kernel_by_name(name: &str) -> Option<fn() -> BenchResult> {
+    Some(match name {
+        "event_queue/fast_schedule_pop_1k_pending" => kernel_event_queue,
+        "event_queue/timeout_cancel_cycle" => kernel_event_cancel,
+        "network/waterfill_32_active" => kernel_waterfill,
+        "network/send_poll_cycle_16ch" => kernel_send_poll,
+        "bitmap/for_each_set_sparse_2.6M" => kernel_bitmap_scan,
+        "vmmemory/touch_fault_evict_cycle" => kernel_touch_path,
+        _ => return None,
+    })
+}
+
+/// Gate the measured kernels against a baseline report. A kernel that
+/// reads slow gets re-measured up to twice (keeping its best time) —
+/// wall-clock micro-benchmarks on shared runners see transient 1.5–2x
+/// spikes from scheduler interference, and only a *persistent* slowdown
+/// is a regression. Returns whether any kernel still fails after retries.
+fn check_against(results: &[BenchResult], baseline: &[(String, f64)]) -> bool {
+    let mut gated: Vec<BenchResult> = results.to_vec();
+    let mut failing = failing_kernels(&gated, baseline);
+    for retry in 0..2 {
+        if failing.is_empty() {
+            break;
+        }
+        println!(
+            "-- gate retry {} ({} kernel(s) read slow; re-measuring) --",
+            retry + 1,
+            failing.len()
+        );
+        for &i in &failing {
+            if let Some(f) = kernel_by_name(&gated[i].name) {
+                let r = f();
+                if r.ns_per_iter < gated[i].ns_per_iter {
+                    gated[i] = r;
+                }
+            }
+        }
+        failing = failing_kernels(&gated, baseline);
+    }
+    println!("-- regression gate (fail above {GATE_SLOWDOWN:.2}x baseline) --");
+    for r in &gated {
+        if r.name.contains("SEED_") {
+            continue;
+        }
+        let Some((_, base_ns)) = baseline.iter().find(|(n, _)| n == &r.name) else {
+            println!("{:<44} (new kernel, no baseline — skipped)", r.name);
+            continue;
+        };
+        let ratio = r.ns_per_iter / base_ns;
+        let verdict = if ratio > GATE_SLOWDOWN { "FAIL" } else { "ok" };
+        println!(
+            "{:<44} {:>10.1} ns vs {:>10.1} ns baseline  ({:>5.2}x)  {}",
+            r.name, r.ns_per_iter, base_ns, ratio, verdict
+        );
+    }
+    !failing.is_empty()
+}
+
 fn main() {
     let args = Args::parse();
     let out_dir = args
@@ -283,4 +400,19 @@ fn main() {
     let path = out_dir.join("BENCH_1.json");
     std::fs::write(&path, &json).expect("write BENCH_1.json");
     println!("wrote {}", path.display());
+
+    if let Some(baseline_path) = args.get::<String>("check-against") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline = parse_baseline(&text);
+        assert!(
+            !baseline.is_empty(),
+            "baseline {baseline_path} contains no results — wrong file?"
+        );
+        if check_against(&results, &baseline) {
+            eprintln!("perf_report: hot-path regression beyond {GATE_SLOWDOWN:.2}x baseline");
+            std::process::exit(1);
+        }
+        println!("gate passed: no kernel above {GATE_SLOWDOWN:.2}x baseline");
+    }
 }

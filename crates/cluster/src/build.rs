@@ -84,7 +84,11 @@ impl ClusterBuilder {
         let id = ServerId(self.world.vmd.servers.len() as u32);
         let server = VmdServer::new(id, mem_bytes / page_size, disk_bytes / page_size);
         let free = server.free_pages();
-        self.world.vmd.servers.push(VmdServerEntry { server, host });
+        self.world.vmd.servers.push(VmdServerEntry {
+            server,
+            host,
+            alive: true,
+        });
         // Existing clients learn about the new server.
         for entry in &self.world.vmd.clients {
             entry.client.borrow_mut().add_server(id, free);
@@ -105,7 +109,9 @@ impl ClusterBuilder {
             .iter()
             .map(|e| (e.server.id(), e.server.free_pages()))
             .collect();
-        let client = Rc::new(RefCell::new(VmdClient::new(id, servers)));
+        let mut c = VmdClient::new(id, servers);
+        c.set_replication(self.world.cfg.vmd_replication);
+        let client = Rc::new(RefCell::new(c));
         self.world.vmd.clients.push(VmdClientEntry { client, host });
         let idx = self.world.vmd.clients.len() - 1;
         self.world.vmd.host_client.insert(host, idx);

@@ -27,6 +27,15 @@ pub struct ClusterConfig {
     pub vmd_server_delay: SimDuration,
     /// Per-minor-fault CPU cost (zero-fill).
     pub minor_fault_cost: SimDuration,
+    /// Replication factor for VMD writes (1 = unreplicated, the paper's
+    /// baseline; k > 1 places every slot on k distinct intermediate hosts
+    /// so a server crash loses no swapped-out state).
+    pub vmd_replication: usize,
+    /// How long after a VMD server crash the cluster's failure detector
+    /// fires (missed-gossip timeout): clients then mark the server
+    /// suspect, fail over in-flight requests, and background
+    /// re-replication starts.
+    pub vmd_detect_delay: SimDuration,
     /// Master seed for all RNG streams.
     pub seed: u64,
 }
@@ -42,6 +51,8 @@ impl Default for ClusterConfig {
             migration_window: 4,
             vmd_server_delay: SimDuration::from_micros(40),
             minor_fault_cost: SimDuration::from_micros(2),
+            vmd_replication: 1,
+            vmd_detect_delay: SimDuration::from_millis(500),
             seed: 42,
         }
     }

@@ -14,7 +14,7 @@
 use agile_sim_core::{FastEvent, Simulation};
 
 use crate::world::World;
-use crate::{guest, netdrv, vmdio, wssctl};
+use crate::{chaosctl, guest, netdrv, vmdio, wssctl};
 
 /// `Timer.kind`: advance op `a` (generation `b`) — a parked op waking.
 pub const K_STEP_OP: u32 = 0;
@@ -26,6 +26,10 @@ pub const K_CLIENT_SEND: u32 = 2;
 pub const K_OS_BG: u32 = 3;
 /// `Timer.kind`: WSS sampling tick for VM `a`.
 pub const K_WSS_SAMPLE: u32 = 4;
+/// `Timer.kind`: fire fault `a` of the installed chaos schedule.
+pub const K_CHAOS_FAULT: u32 = 5;
+/// `Timer.kind`: one paced background re-replication tick.
+pub const K_REPAIR_PUMP: u32 = 6;
 
 /// Route one fast event to its handler. Installed via
 /// [`Simulation::set_fast_handler`].
@@ -39,6 +43,8 @@ pub fn dispatch(sim: &mut Simulation<World>, ev: FastEvent) {
             K_CLIENT_SEND => guest::client_send_next(sim, a as usize),
             K_OS_BG => guest::os_bg_fire(sim, a as usize, b as u32),
             K_WSS_SAMPLE => wssctl::sample(sim, a as usize),
+            K_CHAOS_FAULT => chaosctl::fire(sim, a as usize),
+            K_REPAIR_PUMP => chaosctl::repair_tick(sim),
             other => panic!("unknown fast timer kind {other}"),
         },
     }

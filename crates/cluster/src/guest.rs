@@ -273,8 +273,40 @@ pub fn step_op(sim: &mut Simulation<World>, id: usize, gen: u32) {
             use agile_migration::FaultRoute;
             match route {
                 FaultRoute::FromSource => {
-                    park_and_request_from_source(sim, vm_idx, m, pfn, id);
-                    return;
+                    if !sim.state().migrations[m].conn_down {
+                        park_and_request_from_source(sim, vm_idx, m, pfn, id);
+                        return;
+                    }
+                    // The source is unreachable (post-resume connection
+                    // drop). If the page sits in the portable swap
+                    // namespace a normal major fault pulls it from the
+                    // surviving VMD replicas; otherwise its content is
+                    // gone — zero-fill and report the loss.
+                    let swapped = sim.state().vms[vm_idx]
+                        .vm
+                        .memory()
+                        .page_flags(pfn)
+                        .swapped();
+                    if !swapped {
+                        let mut buf = std::mem::take(&mut sim.state_mut().evict_buf);
+                        buf.clear();
+                        {
+                            let w = sim.state_mut();
+                            let (vms, migs) = (&mut w.vms, &mut w.migrations);
+                            migs[m].dst.install_zero_fill(
+                                pfn,
+                                vms[vm_idx].vm.memory_mut(),
+                                &mut buf,
+                            );
+                            migs[m].pages_lost_on_conn_drop += 1;
+                        }
+                        charge_evictions(sim, EvictTarget::Vm(vm_idx), &buf);
+                        buf.clear();
+                        sim.state_mut().evict_buf = buf;
+                        continue; // now present → Hit
+                    }
+                    // swapped: fall through to the normal touch — the
+                    // major fault reads from the surviving replicas.
                 }
                 FaultRoute::ZeroFill => {
                     let mut buf = std::mem::take(&mut sim.state_mut().evict_buf);
@@ -512,7 +544,7 @@ pub fn complete_guest_fault(
 }
 
 /// Credit migration swap-in batches that piggybacked on this page read.
-fn credit_piggybacks(sim: &mut Simulation<World>, vm_idx: usize, pfn: u32) {
+pub(crate) fn credit_piggybacks(sim: &mut Simulation<World>, vm_idx: usize, pfn: u32) {
     let riders = sim.state_mut().swapin_piggyback.remove(&(vm_idx, pfn));
     if let Some(riders) = riders {
         for (mig, batch) in riders {

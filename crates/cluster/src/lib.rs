@@ -21,6 +21,7 @@
 //!   Tables I–III.
 
 pub mod build;
+pub mod chaosctl;
 pub mod config;
 pub mod fast;
 pub mod guest;

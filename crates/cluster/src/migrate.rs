@@ -11,7 +11,7 @@
 use agile_memory::SsdSwap;
 use agile_memory::{SwapIssue, VmMemory, VmMemoryConfig};
 use agile_migration::{DestSession, SourceCmd, SourceConfig, SourceEvent, SourceSession};
-use agile_sim_core::{SimTime, Simulation};
+use agile_sim_core::{SimDuration, SimTime, Simulation};
 use agile_vm::{HostId, VmState};
 use agile_vmd::VmdSwapDevice;
 
@@ -43,54 +43,7 @@ pub fn start_migration(
         let demand_ch = w.net.open_channel(src_node, dst_node);
         let req_ch = w.net.open_channel(dst_node, src_node);
         let n_pages = w.vms[vm_idx].vm.memory().pages();
-        let page_size = w.cfg.page_size;
-        let mut dest_mem = VmMemory::new(VmMemoryConfig {
-            pages: n_pages,
-            page_size,
-            limit_pages: (dest_reservation_bytes / page_size) as u32,
-        });
-        // The portable namespace's slot space is shared metadata: the
-        // arriving image allocates/frees from the same allocator as the
-        // departing one. Baseline images join the destination host's
-        // shared partition slot space instead.
-        match w.vms[vm_idx].swap.namespace() {
-            Some(ns) => {
-                dest_mem.use_shared_slots(std::rc::Rc::clone(&w.vmd.allocators[&ns]));
-            }
-            None => {
-                let alloc = w.hosts[dest_host]
-                    .swap_slots
-                    .as_ref()
-                    .expect("destination host swap partition has an allocator");
-                dest_mem.use_shared_slots(std::rc::Rc::clone(alloc));
-            }
-        }
-        // The destination-side swap binding: the portable VMD namespace
-        // re-bound through the destination's client (Agile), or the
-        // destination host's own SSD partition (baselines).
-        let dest_swap = match &w.vms[vm_idx].swap {
-            SwapDev::Vmd(v) => {
-                let client_idx = *w
-                    .vmd
-                    .host_client
-                    .get(&dest_host)
-                    .expect("destination host has no VMD client");
-                let client = std::rc::Rc::clone(&w.vmd.clients[client_idx].client);
-                SwapDev::Vmd(VmdSwapDevice::new(
-                    client,
-                    std::rc::Rc::clone(&w.vmd.directory),
-                    v.namespace(),
-                    page_size,
-                ))
-            }
-            SwapDev::Ssd(_) => {
-                let dev = w.hosts[dest_host]
-                    .ssd
-                    .as_ref()
-                    .expect("destination host has no swap SSD");
-                SwapDev::Ssd(SsdSwap::new(std::rc::Rc::clone(dev), page_size))
-            }
-        };
+        let (dest_mem, dest_swap) = build_dest_image(w, vm_idx, dest_host, dest_reservation_bytes);
         let technique = src_cfg.technique;
         let src = SourceSession::new(src_cfg, n_pages, now);
         let dst = DestSession::new(technique, n_pages);
@@ -117,6 +70,11 @@ pub fn start_migration(
             source_swap: None,
             swapin_remaining: std::collections::HashMap::new(),
             verify_content: false,
+            attempt: 0,
+            retries: 0,
+            dest_reservation: dest_reservation_bytes,
+            conn_down: false,
+            pages_lost_on_conn_drop: 0,
         });
         w.vms[vm_idx].migration = Some(idx);
         idx
@@ -125,6 +83,66 @@ pub fn start_migration(
     process_cmds(sim, mig, cmds);
     pump(sim, mig);
     mig
+}
+
+/// Build the destination memory image and swap binding for one migration
+/// attempt.
+///
+/// The portable namespace's slot space is shared metadata: the arriving
+/// image allocates/frees from the same allocator as the departing one.
+/// Baseline images join the destination host's shared partition slot
+/// space instead. The swap binding is the portable VMD namespace re-bound
+/// through the destination's client (Agile), or the destination host's
+/// own SSD partition (baselines).
+fn build_dest_image(
+    w: &World,
+    vm_idx: usize,
+    dest_host: usize,
+    dest_reservation_bytes: u64,
+) -> (VmMemory, SwapDev) {
+    let n_pages = w.vms[vm_idx].vm.memory().pages();
+    let page_size = w.cfg.page_size;
+    let mut dest_mem = VmMemory::new(VmMemoryConfig {
+        pages: n_pages,
+        page_size,
+        limit_pages: (dest_reservation_bytes / page_size) as u32,
+    });
+    match w.vms[vm_idx].swap.namespace() {
+        Some(ns) => {
+            dest_mem.use_shared_slots(std::rc::Rc::clone(&w.vmd.allocators[&ns]));
+        }
+        None => {
+            let alloc = w.hosts[dest_host]
+                .swap_slots
+                .as_ref()
+                .expect("destination host swap partition has an allocator");
+            dest_mem.use_shared_slots(std::rc::Rc::clone(alloc));
+        }
+    }
+    let dest_swap = match &w.vms[vm_idx].swap {
+        SwapDev::Vmd(v) => {
+            let client_idx = *w
+                .vmd
+                .host_client
+                .get(&dest_host)
+                .expect("destination host has no VMD client");
+            let client = std::rc::Rc::clone(&w.vmd.clients[client_idx].client);
+            SwapDev::Vmd(VmdSwapDevice::new(
+                client,
+                std::rc::Rc::clone(&w.vmd.directory),
+                v.namespace(),
+                page_size,
+            ))
+        }
+        SwapDev::Ssd(_) => {
+            let dev = w.hosts[dest_host]
+                .ssd
+                .as_ref()
+                .expect("destination host has no swap SSD");
+            SwapDev::Ssd(SsdSwap::new(std::rc::Rc::clone(dev), page_size))
+        }
+    };
+    (dest_mem, dest_swap)
 }
 
 /// Feed one event to the source session against the right memory image.
@@ -369,6 +387,9 @@ pub fn complete_migration_swapin(sim: &mut Simulation<World>, mig: usize, batch:
     if applied_to_vm {
         guest::wake_page(sim, vm_idx, pfn);
     }
+    // A later batch (e.g. a post-abort retry pass) may have piggybacked
+    // on this read while it was in flight.
+    guest::credit_piggybacks(sim, vm_idx, pfn);
     credit_swapin(sim, mig, batch);
 }
 
@@ -378,10 +399,12 @@ pub fn credit_swapin(sim: &mut Simulation<World>, mig: usize, batch: u64) {
     let done = {
         let w = sim.state_mut();
         let m = &mut w.migrations[mig];
-        let rem = m
-            .swapin_remaining
-            .get_mut(&batch)
-            .expect("unknown swap-in batch");
+        // A batch missing from the map belonged to an aborted attempt:
+        // the read still installed its page, but the session that issued
+        // it is gone. Nothing to credit.
+        let Some(rem) = m.swapin_remaining.get_mut(&batch) else {
+            return;
+        };
         *rem -= 1;
         if *rem == 0 {
             m.swapin_remaining.remove(&batch);
@@ -596,4 +619,193 @@ fn verify_content(w: &World, mig: usize) {
         checked += 1;
     }
     assert_eq!(checked, src.pages());
+}
+
+// ------------------- connection-drop fault handling -------------------
+
+/// Base backoff before retrying an aborted migration attempt (scaled by
+/// the attempt number).
+const RETRY_BACKOFF: SimDuration = SimDuration::from_millis(500);
+
+/// Every TCP connection of migration `mig` just dropped (fault injection).
+///
+/// Before the destination has resumed, the attempt aborts cheaply: all
+/// in-flight traffic is lost, the VM keeps running (or thaws back) at the
+/// source, and the source retries from scratch after a backoff. After
+/// resume there is no source to roll back to: the migration finalizes
+/// degraded — missing pages are demand-paged from the portable swap
+/// namespace's replicas where a swap copy exists, and zero-filled (and
+/// counted as lost) where not.
+pub fn drop_connections(sim: &mut Simulation<World>, mig: usize) {
+    let resumed = {
+        let w = sim.state();
+        if mig >= w.migrations.len() || w.migrations[mig].finished {
+            return;
+        }
+        w.migrations[mig].dst.resumed()
+    };
+    // Tear the channels down first: queued *and* in-flight segments are
+    // dropped, so no stale delivery callback from this attempt can fire.
+    {
+        let now = sim.now();
+        let w = sim.state_mut();
+        let (stream_ch, demand_ch, req_ch) = {
+            let m = &w.migrations[mig];
+            (m.stream_ch, m.demand_ch, m.req_ch)
+        };
+        w.net.close_channel(now, stream_ch);
+        w.net.close_channel(now, demand_ch);
+        w.net.close_channel(now, req_ch);
+    }
+    touch_net(sim);
+    if resumed {
+        conn_down_degraded(sim, mig);
+    } else {
+        abort_and_retry(sim, mig);
+    }
+}
+
+/// Pre-resume abort: roll the attempt back and schedule a retry.
+fn abort_and_retry(sim: &mut Simulation<World>, mig: usize) {
+    let (vm_idx, attempt, was_suspended) = {
+        let w = sim.state_mut();
+        let (vm_idx, dest_host, resv) = {
+            let m = &w.migrations[mig];
+            (m.vm, m.dest_host, m.dest_reservation)
+        };
+        let (dest_mem, dest_swap) = build_dest_image(w, vm_idx, dest_host, resv);
+        let technique = w.migrations[mig].src.metrics().technique;
+        let n_pages = w.vms[vm_idx].vm.memory().pages();
+        let m = &mut w.migrations[mig];
+        m.in_flight = 0;
+        m.demand_in_flight = 0;
+        // Stale batches from this attempt no-op in `credit_swapin`; their
+        // reads still land in the source image, which only helps the retry.
+        m.swapin_remaining.clear();
+        m.src.reset_for_retry();
+        m.dst = DestSession::new(technique, n_pages);
+        // Slots the aborted destination image allocated stay leaked from
+        // the shared allocator — bounded by one attempt's destination
+        // evictions (zero unless the reservation was undersized).
+        m.dest_mem = Some(dest_mem);
+        m.dest_swap = Some(dest_swap);
+        m.attempt += 1;
+        m.retries += 1;
+        let attempt = m.attempt;
+        let was_suspended = matches!(w.vms[vm_idx].vm.state(), VmState::Suspended { .. });
+        if !matches!(w.vms[vm_idx].vm.state(), VmState::Running { .. }) {
+            w.vms[vm_idx].vm.cancel_migration();
+        }
+        (vm_idx, attempt, was_suspended)
+    };
+    if was_suspended {
+        // The guest was frozen for the handoff that just got lost; it
+        // thaws back at the source.
+        guest::resume_guest(sim, vm_idx);
+    }
+    let backoff = RETRY_BACKOFF.saturating_mul(u64::from(attempt));
+    sim.schedule_in(backoff, move |sim| retry_attempt(sim, mig, attempt));
+}
+
+/// The backoff elapsed: restart the migration from scratch on fresh
+/// channels. A stale callback (superseded attempt, or the migration ended
+/// some other way) is a no-op.
+fn retry_attempt(sim: &mut Simulation<World>, mig: usize, attempt: u32) {
+    let proceed = {
+        let w = sim.state();
+        let m = &w.migrations[mig];
+        !m.finished && m.attempt == attempt && w.vms[m.vm].migration == Some(mig)
+    };
+    if !proceed {
+        return;
+    }
+    {
+        let w = sim.state_mut();
+        let (vm_idx, source_host, dest_host) = {
+            let m = &w.migrations[mig];
+            (m.vm, m.source_host, m.dest_host)
+        };
+        let src_node = w.hosts[source_host].node;
+        let dst_node = w.hosts[dest_host].node;
+        let stream_ch = w.net.open_channel(src_node, dst_node);
+        let demand_ch = w.net.open_channel(src_node, dst_node);
+        let req_ch = w.net.open_channel(dst_node, src_node);
+        let technique = {
+            let m = &mut w.migrations[mig];
+            m.stream_ch = stream_ch;
+            m.demand_ch = demand_ch;
+            m.req_ch = req_ch;
+            m.src.metrics().technique
+        };
+        if !matches!(technique, agile_migration::Technique::PostCopy) {
+            w.vms[vm_idx].vm.begin_precopy(HostId(dest_host as u32));
+        }
+    }
+    let cmds = drive_src(sim, mig, SourceEvent::Start);
+    process_cmds(sim, mig, cmds);
+    pump(sim, mig);
+}
+
+/// Post-resume connection drop: no rollback target exists, so the
+/// migration finalizes degraded. Pages never received and without a swap
+/// copy are zero-filled and counted; swapped pages keep faulting from the
+/// (replicated) per-VM swap device as usual.
+fn conn_down_degraded(sim: &mut Simulation<World>, mig: usize) {
+    use agile_memory::PageFlags;
+    use agile_migration::FaultRoute;
+    let vm_idx = {
+        let w = sim.state_mut();
+        let m = &mut w.migrations[mig];
+        m.conn_down = true;
+        m.src_done = true;
+        m.in_flight = 0;
+        m.demand_in_flight = 0;
+        m.swapin_remaining.clear();
+        // Content can now be legitimately lost (it is reported per page
+        // instead); the end-to-end version check no longer applies.
+        m.verify_content = false;
+        m.vm
+    };
+    // Sweep every page still owed by the source: with a swap copy it will
+    // demand-page from the replicas; without one its content is gone —
+    // zero-fill now and count the loss.
+    let mut buf = std::mem::take(&mut sim.state_mut().evict_buf);
+    buf.clear();
+    {
+        let w = sim.state_mut();
+        let (vms, migs) = (&mut w.vms, &mut w.migrations);
+        let m = &mut migs[mig];
+        let mem = vms[vm_idx].vm.memory_mut();
+        for pfn in 0..mem.pages() {
+            if !matches!(m.dst.classify_fault(pfn), FaultRoute::FromSource) {
+                continue;
+            }
+            let f = mem.page_flags(pfn);
+            if !f.present() && !f.swapped() && !f.any(PageFlags::IO_INFLIGHT) {
+                m.dst.install_zero_fill(pfn, mem, &mut buf);
+                m.pages_lost_on_conn_drop += 1;
+            }
+        }
+    }
+    charge_evictions(sim, EvictTarget::Vm(vm_idx), &buf);
+    buf.clear();
+    sim.state_mut().evict_buf = buf;
+    // Ops parked on a demand response that will never arrive: wake them so
+    // they re-fault down the degraded path (the sweep made most of them
+    // plain hits). Pages with reads genuinely in flight stay parked —
+    // their completions still arrive through the swap device.
+    let stuck: Vec<u32> = {
+        let w = sim.state();
+        let mem = w.vms[vm_idx].vm.memory();
+        w.vms[vm_idx]
+            .pending_faults
+            .keys()
+            .copied()
+            .filter(|&pfn| !mem.page_flags(pfn).any(PageFlags::IO_INFLIGHT))
+            .collect()
+    };
+    for pfn in stuck {
+        guest::wake_page(sim, vm_idx, pfn);
+    }
+    maybe_finalize(sim, mig);
 }

@@ -13,6 +13,7 @@
 //! every byte quantity, which preserves the *ratios* that drive the
 //! qualitative results.
 
+pub mod chaos;
 pub mod single_vm;
 pub mod sysbench;
 pub mod wss;

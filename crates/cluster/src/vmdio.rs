@@ -57,6 +57,11 @@ pub fn on_server_recv(
         let page_size = sim.state().cfg.page_size;
         let (reply, tier) = {
             let w = sim.state_mut();
+            if !w.vmd.servers[server_idx].alive {
+                // Crashed host: the message is silently lost; the client's
+                // failure detector and failover machinery deal with it.
+                return;
+            }
             let r = w.vmd.servers[server_idx].server.handle(msg);
             (r.msg, r.tier)
         };
@@ -109,16 +114,74 @@ pub fn on_client_recv(
 ) {
     let completion = {
         let w = sim.state_mut();
+        if !w.vmd.servers[server_idx].alive {
+            // A reply that was in flight when the server crashed: drop it,
+            // or it would clear the suspect mark and re-route traffic to a
+            // dead host.
+            return;
+        }
         let mut c = w.vmd.clients[client_idx].client.borrow_mut();
         c.on_server_msg(ServerId(server_idx as u32), msg)
     };
-    match completion {
-        Some(VmdCompletion::ReadDone { req, .. }) => resolve_swap_completion(sim, req),
-        Some(VmdCompletion::WriteDone { req }) => {
+    if let Some(completion) = completion {
+        handle_completion(sim, client_idx, completion);
+        if sim.state().vmd.clients[client_idx]
+            .client
+            .borrow()
+            .has_outbox()
+        {
+            flush_client(sim, client_idx);
+        }
+    }
+}
+
+/// Act on a client completion: resolve swap I/O, or run the failover /
+/// repair step the sans-IO client asked the executor to perform.
+pub fn handle_completion(sim: &mut Simulation<World>, client_idx: usize, c: VmdCompletion) {
+    match c {
+        VmdCompletion::ReadDone { req, .. } => resolve_swap_completion(sim, req),
+        VmdCompletion::WriteDone { req } => {
             // Eviction write-backs need no follow-up.
             sim.state_mut().swap_reqs.remove(&req);
         }
-        None => {}
+        VmdCompletion::ReadFailed { req, .. } => {
+            // Every replica is gone: the read's content is lost. Unblock
+            // whoever waits on it with stale data and count the loss —
+            // reported, never wedged.
+            sim.state_mut().chaos.lost_reads += 1;
+            resolve_swap_completion(sim, req);
+        }
+        VmdCompletion::ReadNak { req } => {
+            let next = {
+                let w = sim.state_mut();
+                let dir = std::rc::Rc::clone(&w.vmd.directory);
+                let dir = dir.borrow();
+                let mut client = w.vmd.clients[client_idx].client.borrow_mut();
+                client.read_failover(&dir, req)
+            };
+            if let Some(next) = next {
+                handle_completion(sim, client_idx, next);
+            }
+        }
+        VmdCompletion::WriteNak { req } => {
+            let next = {
+                let w = sim.state_mut();
+                let dir = std::rc::Rc::clone(&w.vmd.directory);
+                let mut dir = dir.borrow_mut();
+                let mut client = w.vmd.clients[client_idx].client.borrow_mut();
+                client.write_failover(&mut dir, req)
+            };
+            if let Some(next) = next {
+                handle_completion(sim, client_idx, next);
+            }
+        }
+        VmdCompletion::RepairRead { ns, slot, version } => {
+            let w = sim.state_mut();
+            let dir = std::rc::Rc::clone(&w.vmd.directory);
+            let mut dir = dir.borrow_mut();
+            let mut client = w.vmd.clients[client_idx].client.borrow_mut();
+            client.repair_write(&mut dir, ns, slot, version);
+        }
     }
 }
 
@@ -151,6 +214,11 @@ pub fn gossip_availability(sim: &mut Simulation<World>) -> bool {
     let n_servers = sim.state().vmd.servers.len();
     let n_clients = sim.state().vmd.clients.len();
     for s in 0..n_servers {
+        if !sim.state().vmd.servers[s].alive {
+            // A crashed host gossips nothing; its silence is what the
+            // clients' failure detector keys on.
+            continue;
+        }
         let msg = sim.state().vmd.servers[s].server.availability();
         for c in 0..n_clients {
             let w = sim.state_mut();

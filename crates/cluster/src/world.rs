@@ -250,6 +250,21 @@ pub struct MigrationExec {
     /// least) the source's final content version of every page — the
     /// end-to-end dirty-tracking check used by the integration tests.
     pub verify_content: bool,
+    /// Attempt counter: bumped on every abort so scheduled retry
+    /// callbacks from a superseded attempt become no-ops.
+    pub attempt: u32,
+    /// Completed abort-and-retry cycles.
+    pub retries: u32,
+    /// Destination cgroup reservation, retained so a retry can rebuild
+    /// the destination image.
+    pub dest_reservation: u64,
+    /// The migration connections dropped after the destination resumed:
+    /// remaining source state is unreachable and faults fall back to the
+    /// per-VM swap device (the replicated VMD namespace).
+    pub conn_down: bool,
+    /// Pages that could be recovered from neither the source (connection
+    /// down) nor the swap device; they were zero-filled and counted.
+    pub pages_lost_on_conn_drop: u64,
 }
 
 /// What a network delivery means.
@@ -352,6 +367,9 @@ pub struct VmdServerEntry {
     pub server: VmdServer,
     /// Host it runs on.
     pub host: usize,
+    /// False while the server is crashed: messages to and from it are
+    /// dropped by the transport and availability gossip skips it.
+    pub alive: bool,
 }
 
 /// The VMD subsystem.
@@ -432,6 +450,9 @@ pub struct World {
     pub swapin_piggyback: HashMap<(usize, u32), Vec<(usize, u64)>>,
     /// Scratch eviction buffer (reused; perf-book: no per-fault allocs).
     pub evict_buf: Vec<agile_memory::Eviction>,
+    /// Fault-injection executor state (empty in non-chaos runs: the
+    /// wiring adds zero events when no schedule is installed).
+    pub chaos: crate::chaosctl::ChaosExec,
 }
 
 impl World {
@@ -457,6 +478,7 @@ impl World {
             next_op_gen: 0,
             swapin_piggyback: HashMap::new(),
             evict_buf: Vec::new(),
+            chaos: crate::chaosctl::ChaosExec::default(),
         }
     }
 

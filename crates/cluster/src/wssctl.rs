@@ -118,7 +118,20 @@ pub fn arm_watermark_trigger(
 ) {
     sim.schedule_every(SimTime::ZERO + period, period, move |sim| {
         let vms = host_wss(sim, host);
-        let selected = trigger.select_vms(&vms);
+        // Suspect-aware selection: a VM whose portable namespace still has
+        // slots queued for re-replication after a VMD server crash is
+        // deferred — migrating it would ship offset markers whose only
+        // surviving replica is mid-repair. With no chaos the queue is
+        // always empty and this is exactly `select_vms`.
+        let selected = {
+            let w = sim.state();
+            let deferred: std::collections::HashSet<agile_vmd::NamespaceId> =
+                w.chaos.repair_queue.iter().map(|&(ns, _)| ns).collect();
+            trigger.select_vms_filtered(&vms, |vm| match w.vms[vm as usize].swap.namespace() {
+                Some(ns) => !deferred.contains(&ns),
+                None => true,
+            })
+        };
         for vm in selected {
             crate::migrate::start_migration(
                 sim,

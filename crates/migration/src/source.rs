@@ -205,6 +205,37 @@ impl SourceSession {
         }
     }
 
+    /// True before `Start` (or after [`SourceSession::reset_for_retry`]).
+    pub fn is_idle(&self) -> bool {
+        self.phase == Phase::Idle
+    }
+
+    /// True once the CPU handoff has been queued or delivered. Past this
+    /// point the destination may resume at any moment, so a dropped
+    /// connection can no longer be handled by rolling back to the source —
+    /// the executor must keep the destination running on demand paging.
+    pub fn handoff_committed(&self) -> bool {
+        matches!(
+            self.phase,
+            Phase::AwaitHandoff | Phase::Push { .. } | Phase::Done
+        )
+    }
+
+    /// Abort the current attempt (the migration connection dropped before
+    /// the destination resumed): forget all per-attempt transfer progress
+    /// so `Start` can run again against a fresh destination session.
+    /// Cumulative metrics survive — bytes wasted by the failed attempt
+    /// were really sent. Batch ids keep counting up so swap-ins still in
+    /// flight from the aborted attempt can never collide with the retry's.
+    pub fn reset_for_retry(&mut self) {
+        self.phase = Phase::Idle;
+        self.sent_version.iter_mut().for_each(|v| *v = 0);
+        self.shipped = Bitmap::zeros(self.n_pages);
+        self.pass_set = None;
+        self.stash = None;
+        self.demand_swapins.clear();
+    }
+
     /// Drive the state machine.
     pub fn on_event(&mut self, now: SimTime, ev: SourceEvent, mem: &VmMemory) -> Vec<SourceCmd> {
         match ev {
@@ -721,6 +752,35 @@ mod tests {
                 _ => None,
             })
             .sum()
+    }
+
+    #[test]
+    fn reset_for_retry_allows_a_clean_second_attempt() {
+        let mut mem = fixture(32);
+        let mut s = SourceSession::new(
+            SourceConfig {
+                chunk_pages: 8,
+                ..SourceConfig::new(Technique::Agile)
+            },
+            32,
+            SimTime::ZERO,
+        );
+        // First attempt: start, move a chunk or two, then the connection
+        // drops before the handoff.
+        s.on_event(SimTime::ZERO, SourceEvent::Start, &mem);
+        s.on_event(SimTime::ZERO, SourceEvent::ChannelReady, &mem);
+        assert!(!s.is_idle());
+        assert!(!s.handoff_committed());
+        s.reset_for_retry();
+        assert!(s.is_idle());
+        // Second attempt runs to completion from scratch: the full
+        // populated set ships again (the aborted destination was thrown
+        // away), then the handoff commits.
+        let cmds = drive_until_quiet(&mut s, &mut mem, SimTime::ZERO);
+        assert!(s.is_done());
+        assert!(s.handoff_committed());
+        assert_eq!(count_full(&cmds), 16, "retry re-covers every page");
+        assert_eq!(count_zero(&cmds), 16);
     }
 
     #[test]

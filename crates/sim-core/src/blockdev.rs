@@ -113,6 +113,8 @@ pub struct BlockDevice {
     spec: BlockDeviceSpec,
     busy_until: SimTime,
     counters: IoCounters,
+    /// Injected per-command latency (fault injection: a degraded device).
+    extra_latency: SimDuration,
 }
 
 impl BlockDevice {
@@ -122,7 +124,21 @@ impl BlockDevice {
             spec,
             busy_until: SimTime::ZERO,
             counters: IoCounters::default(),
+            extra_latency: SimDuration::ZERO,
         }
+    }
+
+    /// Inject (or clear, with `SimDuration::ZERO`) an additional
+    /// per-command service latency — a swap-device degradation fault.
+    /// Applies to commands submitted after the call; queued work is
+    /// unaffected.
+    pub fn set_extra_latency(&mut self, extra: SimDuration) {
+        self.extra_latency = extra;
+    }
+
+    /// The currently injected per-command latency.
+    pub fn extra_latency(&self) -> SimDuration {
+        self.extra_latency
     }
 
     /// The device's static spec.
@@ -134,7 +150,7 @@ impl BlockDevice {
     /// queues behind everything previously submitted.
     pub fn submit(&mut self, now: SimTime, kind: IoKind, bytes: u64) -> SimTime {
         let start = self.busy_until.max(now);
-        let service = self.spec.service_time(kind, bytes);
+        let service = self.spec.service_time(kind, bytes) + self.extra_latency;
         let done = start + service;
         self.busy_until = done;
         match kind {
@@ -166,10 +182,8 @@ impl BlockDevice {
             return now;
         }
         let start = self.busy_until.max(now);
-        let service = self
-            .spec
-            .service_time(kind, bytes_per_op)
-            .saturating_mul(ops);
+        let service =
+            (self.spec.service_time(kind, bytes_per_op) + self.extra_latency).saturating_mul(ops);
         let done = start + service;
         self.busy_until = done;
         match kind {
@@ -203,10 +217,11 @@ impl BlockDevice {
         }
         let start = self.busy_until.max(now);
         let bytes = pages * bytes_per_page;
-        let service = match kind {
-            IoKind::Read => self.spec.read_overhead + self.spec.read_bw.transfer_time(bytes),
-            IoKind::Write => self.spec.write_overhead + self.spec.write_bw.transfer_time(bytes),
-        };
+        let service = self.extra_latency
+            + match kind {
+                IoKind::Read => self.spec.read_overhead + self.spec.read_bw.transfer_time(bytes),
+                IoKind::Write => self.spec.write_overhead + self.spec.write_bw.transfer_time(bytes),
+            };
         let done = start + service;
         self.busy_until = done;
         match kind {
@@ -247,6 +262,22 @@ mod tests {
 
     fn dev() -> BlockDevice {
         BlockDevice::new(BlockDeviceSpec::sata_ssd())
+    }
+
+    #[test]
+    fn extra_latency_delays_commands_until_cleared() {
+        let mut d = dev();
+        let base = d.submit(SimTime::ZERO, IoKind::Read, 4096);
+        d.set_extra_latency(SimDuration::from_millis(5));
+        let slow = d.submit(base, IoKind::Read, 4096);
+        let delta = slow.saturating_since(base).as_secs_f64();
+        assert!(
+            (delta - (base.as_secs_f64() + 5e-3)).abs() < 1e-6,
+            "delta={delta}"
+        );
+        d.set_extra_latency(SimDuration::ZERO);
+        let fast = d.submit(slow, IoKind::Read, 4096);
+        assert!((fast.saturating_since(slow).as_secs_f64() - base.as_secs_f64()).abs() < 1e-9);
     }
 
     #[test]

@@ -249,6 +249,17 @@ impl Network {
         self.recompute_rates();
     }
 
+    /// Change a NIC's full-duplex capacity at runtime (fault injection: a
+    /// degraded or partitioned NIC). Zero bandwidth stalls every channel
+    /// through the node — queued segments are held, not dropped — and a
+    /// later restore lets them proceed.
+    pub fn set_node_bw(&mut self, now: SimTime, n: NodeId, tx: Bandwidth, rx: Bandwidth) {
+        self.advance_to(now);
+        self.nodes[n.0].tx_bw = tx.as_bytes_per_sec();
+        self.nodes[n.0].rx_bw = rx.as_bytes_per_sec();
+        self.recompute_rates();
+    }
+
     /// Queue a segment on a channel. Returns its id. `bytes == 0` is allowed
     /// (a pure control message costing only propagation delay).
     pub fn send(&mut self, now: SimTime, ch: ChannelId, bytes: u64, tag: u64) -> SegmentId {
@@ -840,6 +851,44 @@ mod tests {
         assert!(net.next_event_time().is_some());
         drain(&mut net);
         assert_eq!(net.next_event_time(), None);
+    }
+
+    #[test]
+    fn node_bw_degrade_stalls_and_restore_resumes() {
+        let (mut net, a, b, _) = net3();
+        let ch = net.open_channel(a, b);
+        net.send(SimTime::ZERO, ch, 125_000_000, 1); // 1 s at 1 Gbps
+                                                     // Partition a's NIC after 0.5 s: the transfer freezes in place.
+        net.set_node_bw(
+            SimTime::from_secs_f64(0.5),
+            a,
+            Bandwidth::bytes_per_sec(0.0),
+            Bandwidth::bytes_per_sec(0.0),
+        );
+        assert_eq!(net.channel_rate(ch), 0.0);
+        assert!(net.poll(SimTime::from_secs(5)).is_empty());
+        // Restore at t=5: the remaining 62.5 MB takes another 0.5 s.
+        net.set_node_bw(
+            SimTime::from_secs(5),
+            a,
+            Bandwidth::gbps(1.0),
+            Bandwidth::gbps(1.0),
+        );
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 1);
+        let t = done[0].1.as_secs_f64();
+        assert!((t - 5.50005).abs() < 1e-2, "t={t}");
+    }
+
+    #[test]
+    fn node_bw_degrade_to_fraction_slows_transfer() {
+        let (mut net, a, b, _) = net3();
+        let ch = net.open_channel(a, b);
+        net.set_node_bw(SimTime::ZERO, a, Bandwidth::gbps(0.1), Bandwidth::gbps(0.1));
+        net.send(SimTime::ZERO, ch, 12_500_000, 1); // 1 s at 0.1 Gbps
+        let done = drain(&mut net);
+        let t = done[0].1.as_secs_f64();
+        assert!((t - 1.0).abs() < 1e-2, "t={t}");
     }
 
     #[test]

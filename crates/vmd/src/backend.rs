@@ -30,6 +30,7 @@ pub struct VmdSwapDevice {
     ns: NamespaceId,
     page_size: u64,
     counters: IoCounters,
+    lost_reads: u64,
 }
 
 impl VmdSwapDevice {
@@ -46,7 +47,16 @@ impl VmdSwapDevice {
             ns,
             page_size,
             counters: IoCounters::default(),
+            lost_reads: 0,
         }
+    }
+
+    /// Reads that could not be served because every replica of the slot
+    /// was gone (possible only below replication factor 2). The guest is
+    /// unblocked with whatever stale content the page table holds — the
+    /// loss is reported here instead of wedging or killing the simulation.
+    pub fn lost_reads(&self) -> u64 {
+        self.lost_reads
     }
 
     /// The namespace this device exposes.
@@ -81,6 +91,12 @@ impl SwapBackend for VmdSwapDevice {
         match issue {
             ReadIssue::Local { .. } => SwapIssue::CompleteAt(now + LOCAL_HIT_LATENCY),
             ReadIssue::Sent => SwapIssue::Pending,
+            // Every replica gone: complete immediately so the guest is not
+            // wedged, and count the loss (surfaced in chaos reports).
+            ReadIssue::Failed(_) => {
+                self.lost_reads += 1;
+                SwapIssue::CompleteAt(now + LOCAL_HIT_LATENCY)
+            }
         }
     }
 

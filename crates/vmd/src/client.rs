@@ -15,11 +15,29 @@
 //! a slot is served locally (the data is still in client memory), which
 //! mirrors real swap-cache/writeback behaviour and avoids a protocol race
 //! where a read could overtake its write on a different TCP connection.
+//!
+//! ## Failure handling
+//!
+//! With `set_replication(k)`, first writes of a slot fan out to `k`
+//! distinct servers (deterministic ring order); overwrites go to the
+//! slot's existing replicas. Servers can be marked **suspect** (crashed,
+//! per the cluster's failure detector); suspect servers are skipped by
+//! placement and reads, pending requests aimed at them fail over to
+//! surviving replicas ([`VmdClient::mark_suspect`]), and a slot whose
+//! every replica is gone surfaces as a typed [`VmdError::LostSlot`] —
+//! counted, never panicked. Availability gossip from a server clears its
+//! suspect mark (rejoin). Background re-replication
+//! ([`VmdClient::begin_repair`] / [`VmdClient::repair_write`]) restores
+//! the replication factor after a crash.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
-use crate::directory::VmdDirectory;
-use crate::proto::{ClientId, ClientMsg, NamespaceId, ServerId, ServerMsg};
+use crate::directory::{ReplicaSet, VmdDirectory};
+use crate::proto::{ClientId, ClientMsg, NamespaceId, ServerId, ServerMsg, VmdError};
+
+/// Client-generated request ids (replica writes, repair traffic) live above
+/// this bound so they never collide with executor-assigned ids.
+const INTERNAL_REQ_BASE: u64 = 1 << 62;
 
 /// How a client read will complete.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -32,6 +50,9 @@ pub enum ReadIssue {
     /// A `ReadReq` was queued in the outbox; completion arrives later via
     /// [`VmdClient::on_server_msg`].
     Sent,
+    /// The read cannot be served: no live replica holds the slot. The
+    /// failure is data, not a panic — the caller decides how to degrade.
+    Failed(VmdError),
 }
 
 /// An asynchronous completion surfaced by [`VmdClient::on_server_msg`].
@@ -44,10 +65,39 @@ pub enum VmdCompletion {
         /// Stored content version.
         version: u32,
     },
-    /// A write was acknowledged by its server.
+    /// A write was acknowledged by its (primary) server.
     WriteDone {
         /// Request id passed to [`VmdClient::write`].
         req: u64,
+    },
+    /// A read ran out of replicas to try; the slot's data is lost.
+    ReadFailed {
+        /// Request id passed to [`VmdClient::read`].
+        req: u64,
+        /// The underlying failure.
+        err: VmdError,
+    },
+    /// A server NAKed this read; the executor should call
+    /// [`VmdClient::read_failover`] with directory access.
+    ReadNak {
+        /// The NAKed request id.
+        req: u64,
+    },
+    /// A server NAKed this write; the executor should call
+    /// [`VmdClient::write_failover`] with directory access.
+    WriteNak {
+        /// The NAKed request id.
+        req: u64,
+    },
+    /// A repair read completed; the executor should call
+    /// [`VmdClient::repair_write`] to copy the page to a new replica.
+    RepairRead {
+        /// Namespace being repaired.
+        ns: NamespaceId,
+        /// Slot being repaired.
+        slot: u32,
+        /// Content version read from the surviving replica.
+        version: u32,
     },
 }
 
@@ -58,6 +108,45 @@ struct ServerInfo {
     /// optimistically decremented on issued writes and corrected by
     /// acks/gossip.
     free_pages: u64,
+    /// True while the failure detector considers the server crashed.
+    suspect: bool,
+}
+
+/// Why a pending read was issued.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ReadPurpose {
+    /// Ordinary swap read: completion goes to the swap layer.
+    Swap,
+    /// Re-replication read: completion triggers a repair write.
+    Repair,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingRead {
+    ns: NamespaceId,
+    slot: u32,
+    server: ServerId,
+    /// Index into the slot's replica set of the server being tried.
+    attempt: u8,
+    purpose: ReadPurpose,
+}
+
+/// Which role a pending write plays in a replica set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WriteRole {
+    /// Carries the caller's request id; its ack surfaces `WriteDone`.
+    Primary,
+    /// Internal fan-out/repair copy; its ack only updates accounting.
+    Replica,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingWrite {
+    ns: NamespaceId,
+    slot: u32,
+    server: ServerId,
+    version: u32,
+    role: WriteRole,
 }
 
 /// One host's VMD client.
@@ -66,11 +155,20 @@ pub struct VmdClient {
     id: ClientId,
     servers: Vec<ServerInfo>,
     rr: usize,
+    /// Replica count for first writes (1 = the paper's unreplicated VMD).
+    replication: usize,
     outbox: VecDeque<(ServerId, ClientMsg)>,
-    pending_reads: HashMap<u64, ()>,
-    pending_writes: HashMap<u64, (NamespaceId, u32)>,
+    pending_reads: HashMap<u64, PendingRead>,
+    pending_writes: HashMap<u64, PendingWrite>,
     /// (ns, slot) → (version, latest write req).
     writeback: HashMap<(NamespaceId, u32), (u32, u64)>,
+    next_internal: u64,
+    /// Slots whose every replica is gone (observed by failed reads or
+    /// crash-time eviction). Sorted for deterministic reporting.
+    lost_slots: BTreeSet<(NamespaceId, u32)>,
+    /// Replies for requests no longer pending (duplicate delivery after a
+    /// crash-time failover re-issue) — dropped, counted.
+    stale_msgs: u64,
 }
 
 impl VmdClient {
@@ -81,13 +179,21 @@ impl VmdClient {
             id,
             servers: servers
                 .into_iter()
-                .map(|(id, free_pages)| ServerInfo { id, free_pages })
+                .map(|(id, free_pages)| ServerInfo {
+                    id,
+                    free_pages,
+                    suspect: false,
+                })
                 .collect(),
             rr: 0,
+            replication: 1,
             outbox: VecDeque::new(),
             pending_reads: HashMap::new(),
             pending_writes: HashMap::new(),
             writeback: HashMap::new(),
+            next_internal: INTERNAL_REQ_BASE,
+            lost_slots: BTreeSet::new(),
+            stale_msgs: 0,
         }
     }
 
@@ -96,13 +202,29 @@ impl VmdClient {
         self.id
     }
 
+    /// Set the replica count for first writes (clamped to the server
+    /// count at placement time). 1 — the default — reproduces the paper's
+    /// unreplicated placement exactly.
+    pub fn set_replication(&mut self, k: usize) {
+        self.replication = k.clamp(1, crate::directory::MAX_REPLICAS);
+    }
+
+    /// Current replica count for first writes.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
     /// Learn about a server that joined after this client was created
     /// (idempotent; updates the advertised capacity if already known).
     pub fn add_server(&mut self, id: ServerId, free_pages: u64) {
         if let Some(info) = self.servers.iter_mut().find(|i| i.id == id) {
             info.free_pages = free_pages;
         } else {
-            self.servers.push(ServerInfo { id, free_pages });
+            self.servers.push(ServerInfo {
+                id,
+                free_pages,
+                suspect: false,
+            });
         }
     }
 
@@ -121,16 +243,54 @@ impl VmdClient {
         self.pending_reads.len() + self.pending_writes.len()
     }
 
-    /// Issue a page read. The directory must know the slot (i.e. it was
-    /// written before) unless it sits in the local writeback buffer.
+    /// Slots observed lost (every replica gone), sorted.
+    pub fn lost_slots(&self) -> impl Iterator<Item = (NamespaceId, u32)> + '_ {
+        self.lost_slots.iter().copied()
+    }
+
+    /// Number of distinct slots observed lost.
+    pub fn lost_slot_count(&self) -> usize {
+        self.lost_slots.len()
+    }
+
+    /// Replies that arrived for requests no longer pending.
+    pub fn stale_msgs(&self) -> u64 {
+        self.stale_msgs
+    }
+
+    /// True while the failure detector considers `server` crashed.
+    pub fn is_suspect(&self, server: ServerId) -> bool {
+        self.servers.iter().any(|i| i.id == server && i.suspect)
+    }
+
+    fn next_internal_req(&mut self) -> u64 {
+        let req = self.next_internal;
+        self.next_internal += 1;
+        req
+    }
+
+    /// Issue a page read. Prefers the writeback buffer, then the first
+    /// non-suspect replica in directory order; if no live replica holds
+    /// the slot the read fails as typed data.
     pub fn read(&mut self, dir: &VmdDirectory, ns: NamespaceId, slot: u32, req: u64) -> ReadIssue {
         if let Some(&(version, _)) = self.writeback.get(&(ns, slot)) {
             return ReadIssue::Local { version };
         }
-        let server = dir
-            .lookup(ns, slot)
-            .unwrap_or_else(|| panic!("read of unplaced slot ({ns:?}, {slot})"));
-        self.pending_reads.insert(req, ());
+        let set = dir.replicas(ns, slot);
+        let Some((attempt, server)) = self.first_live_replica(&set, 0) else {
+            self.lost_slots.insert((ns, slot));
+            return ReadIssue::Failed(VmdError::LostSlot { ns, slot });
+        };
+        self.pending_reads.insert(
+            req,
+            PendingRead {
+                ns,
+                slot,
+                server,
+                attempt,
+                purpose: ReadPurpose::Swap,
+            },
+        );
         self.outbox.push_back((
             server,
             ClientMsg::ReadReq {
@@ -143,9 +303,19 @@ impl VmdClient {
         ReadIssue::Sent
     }
 
-    /// Issue a page write. Chooses (and records) a server with load-aware
-    /// round-robin on first write of a slot; overwrites go to the original
-    /// server.
+    /// First replica at index ≥ `from` whose server is not suspect.
+    fn first_live_replica(&self, set: &ReplicaSet, from: usize) -> Option<(u8, ServerId)> {
+        set.as_slice()
+            .iter()
+            .enumerate()
+            .skip(from)
+            .find(|(_, &s)| !self.is_suspect(s))
+            .map(|(i, &s)| (i as u8, s))
+    }
+
+    /// Issue a page write. First write of a slot chooses (and records) a
+    /// replica set with load-aware round-robin; overwrites go to the
+    /// slot's existing replicas.
     pub fn write(
         &mut self,
         dir: &mut VmdDirectory,
@@ -154,20 +324,393 @@ impl VmdClient {
         version: u32,
         req: u64,
     ) {
-        let server = match dir.lookup(ns, slot) {
-            Some(s) => s,
-            None => {
-                let s = self.pick_server();
-                dir.record(ns, slot, s);
-                // Optimistic accounting: the page will occupy a server page.
+        let mut set = dir.replicas(ns, slot);
+        if set.is_empty() {
+            let want = self.replication.min(self.servers.len()).max(1);
+            set = self.pick_replicas(want);
+            dir.set_replicas(ns, slot, set);
+            // Optimistic accounting: the page will occupy a server page on
+            // every replica.
+            for &s in set.as_slice() {
                 if let Some(info) = self.servers.iter_mut().find(|i| i.id == s) {
                     info.free_pages = info.free_pages.saturating_sub(1);
                 }
-                s
             }
-        };
+        }
         self.writeback.insert((ns, slot), (version, req));
-        self.pending_writes.insert(req, (ns, slot));
+        for (i, &server) in set.as_slice().iter().enumerate() {
+            let (wreq, role) = if i == 0 {
+                (req, WriteRole::Primary)
+            } else {
+                (self.next_internal_req(), WriteRole::Replica)
+            };
+            self.pending_writes.insert(
+                wreq,
+                PendingWrite {
+                    ns,
+                    slot,
+                    server,
+                    version,
+                    role,
+                },
+            );
+            self.outbox.push_back((
+                server,
+                ClientMsg::WriteReq {
+                    from: self.id,
+                    ns,
+                    slot,
+                    version,
+                    req: wreq,
+                },
+            ));
+        }
+    }
+
+    /// Free a slot: tells every replica and forgets the placement.
+    pub fn free(&mut self, dir: &mut VmdDirectory, ns: NamespaceId, slot: u32) {
+        self.writeback.remove(&(ns, slot));
+        let set = dir.forget_replicas(ns, slot);
+        for &server in set.as_slice() {
+            if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
+                info.free_pages += 1;
+            }
+            self.outbox
+                .push_back((server, ClientMsg::Free { ns, slot }));
+        }
+    }
+
+    /// Load-aware round-robin: next non-suspect server in ring order that
+    /// reports unused memory. When every live server reports full DRAM,
+    /// placement falls back to plain round-robin — servers with a disk
+    /// spill tier (§IV-A's HD/SSD extension) absorb the overflow there.
+    fn pick_server(&mut self) -> ServerId {
+        assert!(!self.servers.is_empty(), "VMD has no servers");
+        let n = self.servers.len();
+        for step in 0..n {
+            let idx = (self.rr + step) % n;
+            if self.servers[idx].free_pages > 0 && !self.servers[idx].suspect {
+                self.rr = (idx + 1) % n;
+                return self.servers[idx].id;
+            }
+        }
+        for step in 0..n {
+            let idx = (self.rr + step) % n;
+            if !self.servers[idx].suspect {
+                self.rr = (idx + 1) % n;
+                return self.servers[idx].id;
+            }
+        }
+        // Every server suspect: place anyway (the write will be retried by
+        // the failover machinery if it never completes).
+        let idx = self.rr % n;
+        self.rr = (idx + 1) % n;
+        self.servers[idx].id
+    }
+
+    /// Choose `want` distinct servers: the primary via the load-aware ring
+    /// (identical to unreplicated placement), then further distinct
+    /// non-suspect servers in ring order, preferring ones with free DRAM.
+    fn pick_replicas(&mut self, want: usize) -> ReplicaSet {
+        let mut set = ReplicaSet::one(self.pick_server());
+        while set.len() < want {
+            match self.next_distinct(&set) {
+                Some(s) => {
+                    set.push(s);
+                }
+                None => break,
+            }
+        }
+        set
+    }
+
+    /// Next non-member, non-suspect server in ring order from the cursor;
+    /// first pass insists on free DRAM, second takes any live server.
+    fn next_distinct(&mut self, set: &ReplicaSet) -> Option<ServerId> {
+        let n = self.servers.len();
+        for pass in 0..2 {
+            for step in 0..n {
+                let idx = (self.rr + step) % n;
+                let info = self.servers[idx];
+                if set.contains(info.id) || info.suspect {
+                    continue;
+                }
+                if pass == 0 && info.free_pages == 0 {
+                    continue;
+                }
+                self.rr = (idx + 1) % n;
+                return Some(info.id);
+            }
+        }
+        None
+    }
+
+    /// Feed a server's reply (or gossip) back in; returns completions to
+    /// surface to the Migration Manager / swap layer. Replies for unknown
+    /// request ids (duplicates after a failover re-issue) are counted and
+    /// dropped rather than panicking — after a crash they are expected.
+    pub fn on_server_msg(&mut self, from: ServerId, msg: ServerMsg) -> Option<VmdCompletion> {
+        match msg {
+            ServerMsg::ReadResp {
+                req,
+                version,
+                free_pages,
+            } => {
+                self.update_availability(from, free_pages);
+                match self.pending_reads.remove(&req) {
+                    None => {
+                        self.stale_msgs += 1;
+                        None
+                    }
+                    Some(pr) => match pr.purpose {
+                        ReadPurpose::Swap => Some(VmdCompletion::ReadDone { req, version }),
+                        ReadPurpose::Repair => Some(VmdCompletion::RepairRead {
+                            ns: pr.ns,
+                            slot: pr.slot,
+                            version,
+                        }),
+                    },
+                }
+            }
+            ServerMsg::WriteAck { req, free_pages } => {
+                self.update_availability(from, free_pages);
+                match self.pending_writes.remove(&req) {
+                    None => {
+                        self.stale_msgs += 1;
+                        None
+                    }
+                    Some(pw) => {
+                        if pw.role == WriteRole::Replica {
+                            return None;
+                        }
+                        // Only the latest write of a slot clears the
+                        // writeback entry; an ack for a superseded write
+                        // must not expose a stale read-through.
+                        if let Some(&(_, latest_req)) = self.writeback.get(&(pw.ns, pw.slot)) {
+                            if latest_req == req {
+                                self.writeback.remove(&(pw.ns, pw.slot));
+                            }
+                        }
+                        Some(VmdCompletion::WriteDone { req })
+                    }
+                }
+            }
+            ServerMsg::Availability { server, free_pages } => {
+                self.update_availability(server, free_pages);
+                None
+            }
+            ServerMsg::Nak {
+                req, free_pages, ..
+            } => {
+                self.update_availability(from, free_pages);
+                if self.pending_reads.contains_key(&req) {
+                    Some(VmdCompletion::ReadNak { req })
+                } else if self.pending_writes.contains_key(&req) {
+                    Some(VmdCompletion::WriteNak { req })
+                } else {
+                    self.stale_msgs += 1;
+                    None
+                }
+            }
+        }
+    }
+
+    /// After a [`VmdCompletion::ReadNak`] (or a crash of the server a read
+    /// was aimed at): re-issue to the next live replica, or — if none is
+    /// left — fail the read as typed data. Returns a completion only when
+    /// the read is abandoned.
+    pub fn read_failover(&mut self, dir: &VmdDirectory, req: u64) -> Option<VmdCompletion> {
+        let pr = *self.pending_reads.get(&req)?;
+        let set = dir.replicas(pr.ns, pr.slot);
+        if let Some((attempt, server)) = self.first_live_replica(&set, pr.attempt as usize + 1) {
+            let entry = self.pending_reads.get_mut(&req).expect("pending read");
+            entry.server = server;
+            entry.attempt = attempt;
+            self.outbox.push_back((
+                server,
+                ClientMsg::ReadReq {
+                    from: self.id,
+                    ns: pr.ns,
+                    slot: pr.slot,
+                    req,
+                },
+            ));
+            return None;
+        }
+        self.pending_reads.remove(&req);
+        match pr.purpose {
+            ReadPurpose::Swap => {
+                self.lost_slots.insert((pr.ns, pr.slot));
+                Some(VmdCompletion::ReadFailed {
+                    req,
+                    err: VmdError::LostSlot {
+                        ns: pr.ns,
+                        slot: pr.slot,
+                    },
+                })
+            }
+            // A repair that ran out of sources is abandoned; the slot is
+            // either already counted lost or still intact elsewhere.
+            ReadPurpose::Repair => None,
+        }
+    }
+
+    /// After a [`VmdCompletion::WriteNak`] (or a crash of the server a
+    /// write was aimed at): move the copy to a different server, updating
+    /// the directory. Returns `WriteDone` when the write is abandoned
+    /// (superseded, or no server can take it) so the executor can retire
+    /// its request.
+    pub fn write_failover(&mut self, dir: &mut VmdDirectory, req: u64) -> Option<VmdCompletion> {
+        let pw = self.pending_writes.remove(&req)?;
+        // Superseded: a newer write of the slot owns the writeback entry —
+        // this copy's content no longer matters.
+        let superseded = match self.writeback.get(&(pw.ns, pw.slot)) {
+            None => true,
+            Some(&(wver, latest)) => match pw.role {
+                WriteRole::Primary => latest != req,
+                WriteRole::Replica => wver != pw.version,
+            },
+        };
+        dir.remove_replica(pw.ns, pw.slot, pw.server);
+        if superseded {
+            return (pw.role == WriteRole::Primary).then_some(VmdCompletion::WriteDone { req });
+        }
+        let exclude = dir.replicas(pw.ns, pw.slot);
+        let Some(server) = self.next_distinct_excluding(&exclude, pw.server) else {
+            // Nowhere to put the copy; give up rather than hang.
+            self.lost_slots.insert((pw.ns, pw.slot));
+            return (pw.role == WriteRole::Primary).then_some(VmdCompletion::WriteDone { req });
+        };
+        if exclude.is_empty() {
+            dir.set_replicas(pw.ns, pw.slot, ReplicaSet::one(server));
+        } else {
+            dir.add_replica(pw.ns, pw.slot, server);
+        }
+        if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
+            info.free_pages = info.free_pages.saturating_sub(1);
+        }
+        self.pending_writes
+            .insert(req, PendingWrite { server, ..pw });
+        self.outbox.push_back((
+            server,
+            ClientMsg::WriteReq {
+                from: self.id,
+                ns: pw.ns,
+                slot: pw.slot,
+                version: pw.version,
+                req,
+            },
+        ));
+        None
+    }
+
+    fn next_distinct_excluding(&mut self, set: &ReplicaSet, also: ServerId) -> Option<ServerId> {
+        let mut exclude = *set;
+        exclude.push(also);
+        self.next_distinct(&exclude)
+    }
+
+    /// Failure-detector verdict: `server` crashed. Marks it suspect (so
+    /// placement and reads avoid it) and fails over every pending request
+    /// aimed at it, in ascending request order for determinism. Returns
+    /// completions for requests that had to be abandoned.
+    pub fn mark_suspect(&mut self, dir: &mut VmdDirectory, server: ServerId) -> Vec<VmdCompletion> {
+        if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
+            info.suspect = true;
+        }
+        let mut out = Vec::new();
+        let mut reads: Vec<u64> = self
+            .pending_reads
+            .iter()
+            .filter(|(_, pr)| pr.server == server)
+            .map(|(&req, _)| req)
+            .collect();
+        reads.sort_unstable();
+        for req in reads {
+            if let Some(c) = self.read_failover(dir, req) {
+                out.push(c);
+            }
+        }
+        let mut writes: Vec<u64> = self
+            .pending_writes
+            .iter()
+            .filter(|(_, pw)| pw.server == server)
+            .map(|(&req, _)| req)
+            .collect();
+        writes.sort_unstable();
+        for req in writes {
+            if let Some(c) = self.write_failover(dir, req) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Start re-replicating `(ns, slot)`: read it from a surviving replica
+    /// so [`VmdCompletion::RepairRead`] can copy it to a new server.
+    /// Returns false when no repair is needed or possible.
+    pub fn begin_repair(&mut self, dir: &VmdDirectory, ns: NamespaceId, slot: u32) -> bool {
+        let set = dir.replicas(ns, slot);
+        if set.is_empty() || set.len() >= self.replication {
+            return false;
+        }
+        let Some((attempt, server)) = self.first_live_replica(&set, 0) else {
+            return false;
+        };
+        let req = self.next_internal_req();
+        self.pending_reads.insert(
+            req,
+            PendingRead {
+                ns,
+                slot,
+                server,
+                attempt,
+                purpose: ReadPurpose::Repair,
+            },
+        );
+        self.outbox.push_back((
+            server,
+            ClientMsg::ReadReq {
+                from: self.id,
+                ns,
+                slot,
+                req,
+            },
+        ));
+        true
+    }
+
+    /// Second half of a repair: write the page read from a survivor to a
+    /// fresh server and record the new replica.
+    pub fn repair_write(
+        &mut self,
+        dir: &mut VmdDirectory,
+        ns: NamespaceId,
+        slot: u32,
+        version: u32,
+    ) {
+        let current = dir.replicas(ns, slot);
+        if current.is_empty() || current.len() >= self.replication {
+            return;
+        }
+        let Some(server) = self.next_distinct(&current) else {
+            return;
+        };
+        dir.add_replica(ns, slot, server);
+        if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
+            info.free_pages = info.free_pages.saturating_sub(1);
+        }
+        let req = self.next_internal_req();
+        self.pending_writes.insert(
+            req,
+            PendingWrite {
+                ns,
+                slot,
+                server,
+                version,
+                role: WriteRole::Replica,
+            },
+        );
         self.outbox.push_back((
             server,
             ClientMsg::WriteReq {
@@ -180,77 +723,11 @@ impl VmdClient {
         ));
     }
 
-    /// Free a slot: tells its server and forgets the placement.
-    pub fn free(&mut self, dir: &mut VmdDirectory, ns: NamespaceId, slot: u32) {
-        self.writeback.remove(&(ns, slot));
-        if let Some(server) = dir.forget(ns, slot) {
-            if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
-                info.free_pages += 1;
-            }
-            self.outbox
-                .push_back((server, ClientMsg::Free { ns, slot }));
-        }
-    }
-
-    /// Load-aware round-robin: next server in ring order that reports
-    /// unused memory. When every server reports full DRAM, placement falls
-    /// back to plain round-robin — servers with a disk spill tier (§IV-A's
-    /// HD/SSD extension) absorb the overflow there.
-    fn pick_server(&mut self) -> ServerId {
-        assert!(!self.servers.is_empty(), "VMD has no servers");
-        let n = self.servers.len();
-        for step in 0..n {
-            let idx = (self.rr + step) % n;
-            if self.servers[idx].free_pages > 0 {
-                self.rr = (idx + 1) % n;
-                return self.servers[idx].id;
-            }
-        }
-        let idx = self.rr % n;
-        self.rr = (idx + 1) % n;
-        self.servers[idx].id
-    }
-
-    /// Feed a server's reply (or gossip) back in; returns completions to
-    /// surface to the Migration Manager / swap layer.
-    pub fn on_server_msg(&mut self, from: ServerId, msg: ServerMsg) -> Option<VmdCompletion> {
-        match msg {
-            ServerMsg::ReadResp {
-                req,
-                version,
-                free_pages,
-            } => {
-                self.update_availability(from, free_pages);
-                self.pending_reads
-                    .remove(&req)
-                    .unwrap_or_else(|| panic!("unknown read req {req}"));
-                Some(VmdCompletion::ReadDone { req, version })
-            }
-            ServerMsg::WriteAck { req, free_pages } => {
-                self.update_availability(from, free_pages);
-                let (ns, slot) = self
-                    .pending_writes
-                    .remove(&req)
-                    .unwrap_or_else(|| panic!("unknown write req {req}"));
-                // Only the latest write of a slot clears the writeback
-                // entry; an ack for a superseded write must not expose a
-                // stale read-through.
-                if let Some(&(_, latest_req)) = self.writeback.get(&(ns, slot)) {
-                    if latest_req == req {
-                        self.writeback.remove(&(ns, slot));
-                    }
-                }
-                Some(VmdCompletion::WriteDone { req })
-            }
-            ServerMsg::Availability { server, free_pages } => {
-                self.update_availability(server, free_pages);
-                None
-            }
-        }
-    }
-
     fn update_availability(&mut self, server: ServerId, free_pages: u64) {
         if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
+            // Hearing from (or authoritatively about) a server means it is
+            // up — a rejoined server stops being suspect.
+            info.suspect = false;
             // Don't let gossip *raise* free pages above what our optimistic
             // in-flight accounting implies; untransmitted writes still land.
             let inflight_to_server = self
@@ -467,5 +944,271 @@ mod tests {
         assert!(matches!(msgs[0], ClientMsg::Free { slot: 0, .. }));
         // And the slot can be written again.
         c.write(&mut d, ns, 1, 1, 2);
+    }
+
+    #[test]
+    fn replicated_write_fans_out_to_distinct_servers() {
+        let (mut c, mut d) = setup(&[10, 10, 10]);
+        c.set_replication(2);
+        let ns = d.create_namespace();
+        c.write(&mut d, ns, 0, 1, 1);
+        let targets: Vec<ServerId> = c.drain_outbox().map(|(s, _)| s).collect();
+        assert_eq!(targets, vec![ServerId(0), ServerId(1)]);
+        assert_eq!(d.replicas(ns, 0).len(), 2);
+        // Both copies cost capacity in the optimistic view.
+        assert_eq!(c.known_free(ServerId(0)), Some(9));
+        assert_eq!(c.known_free(ServerId(1)), Some(9));
+        // Only the primary's ack surfaces a completion.
+        assert_eq!(
+            c.on_server_msg(
+                ServerId(0),
+                ServerMsg::WriteAck {
+                    req: 1,
+                    free_pages: 9
+                }
+            ),
+            Some(VmdCompletion::WriteDone { req: 1 })
+        );
+    }
+
+    #[test]
+    fn read_fails_over_to_surviving_replica_on_crash() {
+        let (mut c, mut d) = setup(&[10, 10]);
+        c.set_replication(2);
+        let ns = d.create_namespace();
+        c.write(&mut d, ns, 0, 7, 1);
+        c.drain_outbox().for_each(drop);
+        // Ack both copies so the read leaves the writeback buffer.
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::WriteAck {
+                req: 1,
+                free_pages: 9,
+            },
+        );
+        let replica_req = INTERNAL_REQ_BASE;
+        c.on_server_msg(
+            ServerId(1),
+            ServerMsg::WriteAck {
+                req: replica_req,
+                free_pages: 9,
+            },
+        );
+        assert_eq!(c.read(&d, ns, 0, 5), ReadIssue::Sent);
+        c.drain_outbox().for_each(drop);
+        // Primary crashes while the read is in flight.
+        let completions = c.mark_suspect(&mut d, ServerId(0));
+        assert!(completions.is_empty(), "read re-issued, not abandoned");
+        let reissued: Vec<(ServerId, ClientMsg)> = c.drain_outbox().collect();
+        assert_eq!(reissued.len(), 1);
+        assert_eq!(reissued[0].0, ServerId(1));
+        let done = c.on_server_msg(
+            ServerId(1),
+            ServerMsg::ReadResp {
+                req: 5,
+                version: 7,
+                free_pages: 9,
+            },
+        );
+        assert_eq!(done, Some(VmdCompletion::ReadDone { req: 5, version: 7 }));
+    }
+
+    #[test]
+    fn unreplicated_crash_reports_lost_slot() {
+        let (mut c, mut d) = setup(&[10, 10]);
+        let ns = d.create_namespace();
+        c.write(&mut d, ns, 0, 7, 1);
+        c.drain_outbox().for_each(drop);
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::WriteAck {
+                req: 1,
+                free_pages: 9,
+            },
+        );
+        assert_eq!(c.read(&d, ns, 0, 5), ReadIssue::Sent);
+        let completions = c.mark_suspect(&mut d, ServerId(0));
+        assert_eq!(
+            completions,
+            vec![VmdCompletion::ReadFailed {
+                req: 5,
+                err: VmdError::LostSlot { ns, slot: 0 },
+            }]
+        );
+        assert_eq!(c.lost_slot_count(), 1);
+        // Later reads of the slot fail as data too (no placement left
+        // after the directory evicts the server).
+        d.evict_server(ServerId(0));
+        assert!(matches!(c.read(&d, ns, 0, 6), ReadIssue::Failed(_)));
+    }
+
+    #[test]
+    fn crash_moves_pending_write_to_live_server() {
+        let (mut c, mut d) = setup(&[10, 10]);
+        let ns = d.create_namespace();
+        c.write(&mut d, ns, 0, 7, 1); // goes to server 0, unacked
+        c.drain_outbox().for_each(drop);
+        let completions = c.mark_suspect(&mut d, ServerId(0));
+        assert!(completions.is_empty(), "write re-issued, not abandoned");
+        let reissued: Vec<(ServerId, ClientMsg)> = c.drain_outbox().collect();
+        assert_eq!(reissued.len(), 1);
+        assert_eq!(reissued[0].0, ServerId(1), "moved off the crashed server");
+        assert_eq!(d.lookup(ns, 0), Some(ServerId(1)));
+        // Its eventual ack still completes the original request id.
+        let done = c.on_server_msg(
+            ServerId(1),
+            ServerMsg::WriteAck {
+                req: 1,
+                free_pages: 9,
+            },
+        );
+        assert_eq!(done, Some(VmdCompletion::WriteDone { req: 1 }));
+    }
+
+    #[test]
+    fn nak_on_rejoined_server_fails_over() {
+        let (mut c, mut d) = setup(&[10, 10]);
+        c.set_replication(2);
+        let ns = d.create_namespace();
+        c.write(&mut d, ns, 0, 7, 1);
+        c.drain_outbox().for_each(drop);
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::WriteAck {
+                req: 1,
+                free_pages: 9,
+            },
+        );
+        c.on_server_msg(
+            ServerId(1),
+            ServerMsg::WriteAck {
+                req: INTERNAL_REQ_BASE,
+                free_pages: 9,
+            },
+        );
+        assert_eq!(c.read(&d, ns, 0, 5), ReadIssue::Sent);
+        c.drain_outbox().for_each(drop);
+        // Server 0 crashed, lost the page, and rejoined before the
+        // failure detector noticed: it NAKs instead of timing out.
+        let nak = c.on_server_msg(
+            ServerId(0),
+            ServerMsg::Nak {
+                req: 5,
+                err: VmdError::UnwrittenSlot { ns, slot: 0 },
+                free_pages: 10,
+            },
+        );
+        assert_eq!(nak, Some(VmdCompletion::ReadNak { req: 5 }));
+        assert!(c.read_failover(&d, 5).is_none(), "re-issued to replica");
+        let reissued: Vec<(ServerId, ClientMsg)> = c.drain_outbox().collect();
+        assert_eq!(reissued[0].0, ServerId(1));
+    }
+
+    #[test]
+    fn repair_restores_replication_factor() {
+        let (mut c, mut d) = setup(&[10, 10, 10]);
+        c.set_replication(2);
+        let ns = d.create_namespace();
+        c.write(&mut d, ns, 0, 7, 1);
+        c.drain_outbox().for_each(drop);
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::WriteAck {
+                req: 1,
+                free_pages: 9,
+            },
+        );
+        c.on_server_msg(
+            ServerId(1),
+            ServerMsg::WriteAck {
+                req: INTERNAL_REQ_BASE,
+                free_pages: 9,
+            },
+        );
+        // Server 0 crashes; the directory drops it.
+        c.mark_suspect(&mut d, ServerId(0));
+        d.evict_server(ServerId(0));
+        assert_eq!(d.replicas(ns, 0).len(), 1);
+        // Repair: read from the survivor, write to a fresh server.
+        assert!(c.begin_repair(&d, ns, 0));
+        let (src, _) = c.drain_outbox().next().expect("repair read");
+        assert_eq!(src, ServerId(1));
+        let comp = c.on_server_msg(
+            ServerId(1),
+            ServerMsg::ReadResp {
+                req: INTERNAL_REQ_BASE + 1,
+                version: 7,
+                free_pages: 9,
+            },
+        );
+        assert_eq!(
+            comp,
+            Some(VmdCompletion::RepairRead {
+                ns,
+                slot: 0,
+                version: 7
+            })
+        );
+        c.repair_write(&mut d, ns, 0, 7);
+        let (dst, msg) = c.drain_outbox().next().expect("repair write");
+        assert_eq!(dst, ServerId(2), "fresh replica, not the survivor");
+        assert!(matches!(
+            msg,
+            ClientMsg::WriteReq {
+                slot: 0,
+                version: 7,
+                ..
+            }
+        ));
+        assert_eq!(d.replicas(ns, 0).len(), 2);
+        // Fully replicated again: no further repair needed.
+        assert!(!c.begin_repair(&d, ns, 0));
+    }
+
+    #[test]
+    fn stale_replies_are_counted_not_fatal() {
+        let (mut c, _) = setup(&[10]);
+        assert_eq!(
+            c.on_server_msg(
+                ServerId(0),
+                ServerMsg::ReadResp {
+                    req: 99,
+                    version: 1,
+                    free_pages: 9
+                }
+            ),
+            None
+        );
+        assert_eq!(
+            c.on_server_msg(
+                ServerId(0),
+                ServerMsg::WriteAck {
+                    req: 98,
+                    free_pages: 9
+                }
+            ),
+            None
+        );
+        assert_eq!(c.stale_msgs(), 2);
+    }
+
+    #[test]
+    fn gossip_clears_suspect_mark() {
+        let (mut c, mut d) = setup(&[10, 10]);
+        c.mark_suspect(&mut d, ServerId(0));
+        assert!(c.is_suspect(ServerId(0)));
+        // Placement avoids the suspect while it is down.
+        let ns = d.create_namespace();
+        c.write(&mut d, ns, 0, 1, 1);
+        assert_eq!(d.lookup(ns, 0), Some(ServerId(1)));
+        // Rejoin: gossip resumes, suspect mark clears, placement resumes.
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::Availability {
+                server: ServerId(0),
+                free_pages: 10,
+            },
+        );
+        assert!(!c.is_suspect(ServerId(0)));
     }
 }

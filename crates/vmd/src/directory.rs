@@ -1,4 +1,4 @@
-//! Namespace directory: which server holds each slot of each namespace.
+//! Namespace directory: which servers hold each slot of each namespace.
 //!
 //! The paper's per-VM swap device is *portable*: after migration the
 //! destination host's VMD client must locate pages the source host's client
@@ -6,15 +6,111 @@
 //! namespace — we model it as a directory shared by all clients (in the
 //! real system it is part of the VMD client state handed off with the
 //! block device).
+//!
+//! Each slot maps to a [`ReplicaSet`] (primary first) so writes can be
+//! replicated k ways and reads can fail over when an intermediate host
+//! crashes. Two secondary indices keep the fault paths cheap: a
+//! per-namespace slot index makes [`VmdDirectory::purge_namespace`]
+//! O(slots-in-namespace) instead of a full-map scan, and a per-server
+//! index makes crash-time replica enumeration O(slots-on-server).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::proto::{NamespaceId, ServerId};
+
+/// Upper bound on replicas per slot (the ring walk never needs more).
+pub const MAX_REPLICAS: usize = 4;
+
+/// Deterministically-ordered set of servers holding one slot. The first
+/// entry is the primary (the server the original placement chose); repair
+/// appends, crash eviction removes in place, and order is preserved so
+/// identical histories give identical failover choices.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReplicaSet {
+    servers: [ServerId; MAX_REPLICAS],
+    len: u8,
+}
+
+impl Default for ReplicaSet {
+    fn default() -> Self {
+        ReplicaSet::EMPTY
+    }
+}
+
+impl ReplicaSet {
+    /// The empty set.
+    pub const EMPTY: ReplicaSet = ReplicaSet {
+        servers: [ServerId(0); MAX_REPLICAS],
+        len: 0,
+    };
+
+    /// A set holding a single server.
+    pub fn one(server: ServerId) -> Self {
+        let mut set = ReplicaSet::EMPTY;
+        set.push(server);
+        set
+    }
+
+    /// The replicas, primary first.
+    pub fn as_slice(&self) -> &[ServerId] {
+        &self.servers[..self.len as usize]
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if no replica holds the slot.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The primary replica, if any.
+    pub fn primary(&self) -> Option<ServerId> {
+        self.as_slice().first().copied()
+    }
+
+    /// True if `server` is one of the replicas.
+    pub fn contains(&self, server: ServerId) -> bool {
+        self.as_slice().contains(&server)
+    }
+
+    /// Append a replica (no-op if present or full). Returns true if added.
+    pub fn push(&mut self, server: ServerId) -> bool {
+        if self.contains(server) || self.len() == MAX_REPLICAS {
+            return false;
+        }
+        self.servers[self.len as usize] = server;
+        self.len += 1;
+        true
+    }
+
+    /// Remove a replica, preserving the order of the rest. Returns true if
+    /// it was present.
+    pub fn remove(&mut self, server: ServerId) -> bool {
+        let n = self.len();
+        let Some(pos) = self.as_slice().iter().position(|&s| s == server) else {
+            return false;
+        };
+        for i in pos..n - 1 {
+            self.servers[i] = self.servers[i + 1];
+        }
+        self.len -= 1;
+        true
+    }
+}
 
 /// Cluster-wide namespace metadata.
 #[derive(Clone, Debug, Default)]
 pub struct VmdDirectory {
-    placement: HashMap<(NamespaceId, u32), ServerId>,
+    placement: HashMap<(NamespaceId, u32), ReplicaSet>,
+    /// Per-namespace slot index: purge and namespace enumeration touch
+    /// only this namespace's slots.
+    ns_slots: HashMap<NamespaceId, HashSet<u32>>,
+    /// Per-server slot index: crash-time replica enumeration touches only
+    /// the crashed server's slots.
+    server_slots: HashMap<ServerId, HashSet<(NamespaceId, u32)>>,
     next_ns: u32,
 }
 
@@ -31,32 +127,162 @@ impl VmdDirectory {
         id
     }
 
-    /// Where `(ns, slot)` is stored, if it has ever been written.
+    /// The primary server for `(ns, slot)`, if it has ever been written.
     pub fn lookup(&self, ns: NamespaceId, slot: u32) -> Option<ServerId> {
-        self.placement.get(&(ns, slot)).copied()
+        self.placement.get(&(ns, slot)).and_then(|s| s.primary())
     }
 
-    /// Record a placement decision.
+    /// Every replica of `(ns, slot)` (empty set if unplaced).
+    pub fn replicas(&self, ns: NamespaceId, slot: u32) -> ReplicaSet {
+        self.placement
+            .get(&(ns, slot))
+            .copied()
+            .unwrap_or(ReplicaSet::EMPTY)
+    }
+
+    /// Record a single-server placement decision (replaces any existing
+    /// replica set — used by unreplicated writes and tests).
     pub fn record(&mut self, ns: NamespaceId, slot: u32, server: ServerId) {
-        self.placement.insert((ns, slot), server);
+        self.set_replicas(ns, slot, ReplicaSet::one(server));
     }
 
-    /// Forget a slot (freed).
+    /// Install the full replica set for a slot, replacing any previous one.
+    pub fn set_replicas(&mut self, ns: NamespaceId, slot: u32, set: ReplicaSet) {
+        if let Some(old) = self.placement.insert((ns, slot), set) {
+            for &srv in old.as_slice() {
+                if let Some(slots) = self.server_slots.get_mut(&srv) {
+                    slots.remove(&(ns, slot));
+                }
+            }
+        }
+        if set.is_empty() {
+            self.placement.remove(&(ns, slot));
+            if let Some(slots) = self.ns_slots.get_mut(&ns) {
+                slots.remove(&slot);
+            }
+            return;
+        }
+        self.ns_slots.entry(ns).or_default().insert(slot);
+        for &srv in set.as_slice() {
+            self.server_slots.entry(srv).or_default().insert((ns, slot));
+        }
+    }
+
+    /// Add one replica to an existing placement (repair / re-replication).
+    /// Returns true if the replica was added.
+    pub fn add_replica(&mut self, ns: NamespaceId, slot: u32, server: ServerId) -> bool {
+        let Some(set) = self.placement.get_mut(&(ns, slot)) else {
+            return false;
+        };
+        if !set.push(server) {
+            return false;
+        }
+        self.server_slots
+            .entry(server)
+            .or_default()
+            .insert((ns, slot));
+        true
+    }
+
+    /// Remove one replica of a slot (its server NAKed or crashed). Drops
+    /// the placement entirely when no replica remains. Returns true if the
+    /// replica was present.
+    pub fn remove_replica(&mut self, ns: NamespaceId, slot: u32, server: ServerId) -> bool {
+        let Some(set) = self.placement.get_mut(&(ns, slot)) else {
+            return false;
+        };
+        if !set.remove(server) {
+            return false;
+        }
+        if set.is_empty() {
+            self.placement.remove(&(ns, slot));
+            if let Some(slots) = self.ns_slots.get_mut(&ns) {
+                slots.remove(&slot);
+            }
+        }
+        if let Some(slots) = self.server_slots.get_mut(&server) {
+            slots.remove(&(ns, slot));
+        }
+        true
+    }
+
+    /// Forget a slot (freed); returns the primary it was on, if any.
     pub fn forget(&mut self, ns: NamespaceId, slot: u32) -> Option<ServerId> {
-        self.placement.remove(&(ns, slot))
+        let set = self.placement.remove(&(ns, slot))?;
+        if let Some(slots) = self.ns_slots.get_mut(&ns) {
+            slots.remove(&slot);
+        }
+        for &srv in set.as_slice() {
+            if let Some(slots) = self.server_slots.get_mut(&srv) {
+                slots.remove(&(ns, slot));
+            }
+        }
+        set.primary()
     }
 
-    /// Remove every slot of a namespace; returns `(slot, server)` pairs so
-    /// the caller can notify the servers.
+    /// Forget a slot, returning its whole replica set so every holder can
+    /// be notified.
+    pub fn forget_replicas(&mut self, ns: NamespaceId, slot: u32) -> ReplicaSet {
+        let set = self.replicas(ns, slot);
+        self.forget(ns, slot);
+        set
+    }
+
+    /// Remove every slot of a namespace; returns `(slot, server)` pairs
+    /// (one per replica, sorted) so the caller can notify the servers.
+    /// O(slots-in-namespace) via the per-namespace index.
     pub fn purge_namespace(&mut self, ns: NamespaceId) -> Vec<(u32, ServerId)> {
-        let mut out: Vec<(u32, ServerId)> = self
-            .placement
-            .iter()
-            .filter(|((n, _), _)| *n == ns)
-            .map(|((_, slot), srv)| (*slot, *srv))
-            .collect();
+        let slots = self.ns_slots.remove(&ns).unwrap_or_default();
+        let mut out: Vec<(u32, ServerId)> = Vec::with_capacity(slots.len());
+        for slot in slots {
+            if let Some(set) = self.placement.remove(&(ns, slot)) {
+                for &srv in set.as_slice() {
+                    out.push((slot, srv));
+                    if let Some(s) = self.server_slots.get_mut(&srv) {
+                        s.remove(&(ns, slot));
+                    }
+                }
+            }
+        }
         out.sort_unstable();
-        self.placement.retain(|(n, _), _| *n != ns);
+        out
+    }
+
+    /// Remove a crashed server from every replica set it appears in.
+    /// Returns the affected slots with their *surviving* replica sets,
+    /// sorted by `(ns, slot)`; an empty survivor set means the slot's data
+    /// is lost (the placement is dropped). O(slots-on-server) via the
+    /// per-server index.
+    pub fn evict_server(&mut self, server: ServerId) -> Vec<(NamespaceId, u32, ReplicaSet)> {
+        let slots = self.server_slots.remove(&server).unwrap_or_default();
+        let mut affected: Vec<(NamespaceId, u32)> = slots.into_iter().collect();
+        affected.sort_unstable();
+        let mut out = Vec::with_capacity(affected.len());
+        for (ns, slot) in affected {
+            let Some(set) = self.placement.get_mut(&(ns, slot)) else {
+                continue;
+            };
+            set.remove(server);
+            let survivors = *set;
+            if survivors.is_empty() {
+                self.placement.remove(&(ns, slot));
+                if let Some(s) = self.ns_slots.get_mut(&ns) {
+                    s.remove(&slot);
+                }
+            }
+            out.push((ns, slot, survivors));
+        }
+        out
+    }
+
+    /// Slots with a replica on `server`, sorted (crash/rebalance reporting).
+    pub fn slots_on_server(&self, server: ServerId) -> Vec<(NamespaceId, u32)> {
+        let mut out: Vec<(NamespaceId, u32)> = self
+            .server_slots
+            .get(&server)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        out.sort_unstable();
         out
     }
 
@@ -101,5 +327,63 @@ mod tests {
         assert_eq!(purged, vec![(1, ServerId(1)), (2, ServerId(0))]);
         assert_eq!(d.placed_slots(), 1);
         assert_eq!(d.lookup(b, 1), Some(ServerId(0)));
+    }
+
+    #[test]
+    fn purge_lists_every_replica() {
+        let mut d = VmdDirectory::new();
+        let ns = d.create_namespace();
+        let mut set = ReplicaSet::one(ServerId(1));
+        set.push(ServerId(0));
+        d.set_replicas(ns, 5, set);
+        assert_eq!(
+            d.purge_namespace(ns),
+            vec![(5, ServerId(0)), (5, ServerId(1))]
+        );
+        assert_eq!(d.placed_slots(), 0);
+    }
+
+    #[test]
+    fn replica_set_push_remove_preserve_order() {
+        let mut set = ReplicaSet::one(ServerId(3));
+        assert!(set.push(ServerId(1)));
+        assert!(!set.push(ServerId(3)), "duplicates rejected");
+        assert_eq!(set.as_slice(), &[ServerId(3), ServerId(1)]);
+        assert!(set.remove(ServerId(3)));
+        assert_eq!(set.primary(), Some(ServerId(1)));
+        assert!(!set.remove(ServerId(3)));
+    }
+
+    #[test]
+    fn evict_server_reports_survivors_and_losses() {
+        let mut d = VmdDirectory::new();
+        let ns = d.create_namespace();
+        let mut set = ReplicaSet::one(ServerId(0));
+        set.push(ServerId(1));
+        d.set_replicas(ns, 7, set); // replicated: survives
+        d.record(ns, 9, ServerId(0)); // single copy: lost
+        let evicted = d.evict_server(ServerId(0));
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(evicted[0].1, 7);
+        assert_eq!(evicted[0].2.as_slice(), &[ServerId(1)]);
+        assert_eq!(evicted[1].1, 9);
+        assert!(evicted[1].2.is_empty(), "sole replica lost");
+        assert_eq!(d.lookup(ns, 7), Some(ServerId(1)));
+        assert_eq!(d.lookup(ns, 9), None);
+        assert!(d.slots_on_server(ServerId(0)).is_empty());
+    }
+
+    #[test]
+    fn indices_follow_add_and_forget() {
+        let mut d = VmdDirectory::new();
+        let ns = d.create_namespace();
+        d.record(ns, 1, ServerId(0));
+        assert!(d.add_replica(ns, 1, ServerId(2)));
+        assert!(!d.add_replica(ns, 1, ServerId(2)), "idempotent");
+        assert_eq!(d.slots_on_server(ServerId(2)), vec![(ns, 1)]);
+        let set = d.forget_replicas(ns, 1);
+        assert_eq!(set.as_slice(), &[ServerId(0), ServerId(2)]);
+        assert!(d.slots_on_server(ServerId(2)).is_empty());
+        assert_eq!(d.placed_slots(), 0);
     }
 }

@@ -32,6 +32,8 @@ pub mod server;
 
 pub use backend::VmdSwapDevice;
 pub use client::{ReadIssue, VmdClient, VmdCompletion};
-pub use directory::VmdDirectory;
-pub use proto::{ClientId, ClientMsg, NamespaceId, ServerId, ServerMsg, MSG_HEADER_BYTES};
+pub use directory::{ReplicaSet, VmdDirectory, MAX_REPLICAS};
+pub use proto::{
+    ClientId, ClientMsg, NamespaceId, ServerId, ServerMsg, VmdError, MSG_HEADER_BYTES,
+};
 pub use server::{ServerReply, Tier, VmdServer};

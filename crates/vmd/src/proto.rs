@@ -21,6 +21,35 @@ pub struct NamespaceId(pub u32);
 /// Protocol header bytes added to every message on the wire.
 pub const MSG_HEADER_BYTES: u64 = 64;
 
+/// A protocol-level failure, carried as data instead of a panic so faults
+/// stay inside the simulation (a crashed intermediate host must degrade
+/// the VM, not abort the simulator).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmdError {
+    /// Read of a slot this server has never stored (or lost in a crash).
+    UnwrittenSlot {
+        /// Namespace of the offending read.
+        ns: NamespaceId,
+        /// Slot within the namespace.
+        slot: u32,
+    },
+    /// Write rejected: both the DRAM and disk tiers are full.
+    OutOfCapacity {
+        /// Namespace of the rejected write.
+        ns: NamespaceId,
+        /// Slot within the namespace.
+        slot: u32,
+    },
+    /// Every replica of the slot is crashed or has lost the page; the data
+    /// is gone (possible only below replication factor 2).
+    LostSlot {
+        /// Namespace of the lost slot.
+        ns: NamespaceId,
+        /// Slot within the namespace.
+        slot: u32,
+    },
+}
+
 /// A message from a client to a server.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ClientMsg {
@@ -96,6 +125,17 @@ pub enum ServerMsg {
         /// Free capacity, pages.
         free_pages: u64,
     },
+    /// Negative acknowledgement: the request could not be served. Sent
+    /// instead of [`ServerMsg::ReadResp`]/[`ServerMsg::WriteAck`] so the
+    /// client can fail over to another replica or report the loss.
+    Nak {
+        /// Echoed request id.
+        req: u64,
+        /// Why the request failed.
+        err: VmdError,
+        /// Server's current free capacity, pages.
+        free_pages: u64,
+    },
 }
 
 impl ServerMsg {
@@ -103,7 +143,9 @@ impl ServerMsg {
     pub fn wire_bytes(&self, page_size: u64) -> u64 {
         match self {
             ServerMsg::ReadResp { .. } => MSG_HEADER_BYTES + page_size,
-            ServerMsg::WriteAck { .. } | ServerMsg::Availability { .. } => MSG_HEADER_BYTES,
+            ServerMsg::WriteAck { .. } | ServerMsg::Availability { .. } | ServerMsg::Nak { .. } => {
+                MSG_HEADER_BYTES
+            }
         }
     }
 }
@@ -140,5 +182,14 @@ mod tests {
             free_pages: 10,
         };
         assert_eq!(ack.wire_bytes(4096), 64);
+        let nak = ServerMsg::Nak {
+            req: 3,
+            err: VmdError::UnwrittenSlot {
+                ns: NamespaceId(1),
+                slot: 2,
+            },
+            free_pages: 10,
+        };
+        assert_eq!(nak.wire_bytes(4096), 64);
     }
 }

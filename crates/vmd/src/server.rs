@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use crate::proto::{ClientMsg, NamespaceId, ServerId, ServerMsg};
+use crate::proto::{ClientMsg, NamespaceId, ServerId, ServerMsg, VmdError};
 
 /// Where a stored page lives on the intermediate host.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -86,17 +86,24 @@ impl VmdServer {
         }
     }
 
-    /// Handle one client message. Returns the reply (and which tier did the
-    /// work). Panics on reads of never-written slots — the client's
-    /// placement map makes that a protocol violation, and the migration
-    /// correctness tests rely on it being loud.
+    /// Handle one client message. Returns the reply (and which tier did
+    /// the work). A read of a never-written slot — which happens when this
+    /// server crashed, lost its store, and rejoined — is answered with a
+    /// [`ServerMsg::Nak`] so the client can fail over to another replica;
+    /// same for a write that exceeds both tiers.
     pub fn handle(&mut self, msg: ClientMsg) -> ServerReply {
         match msg {
             ClientMsg::ReadReq { ns, slot, req, .. } => {
-                let (version, tier) = *self
-                    .store
-                    .get(&(ns, slot))
-                    .unwrap_or_else(|| panic!("read of unwritten slot ({ns:?}, {slot})"));
+                let Some(&(version, tier)) = self.store.get(&(ns, slot)) else {
+                    return ServerReply {
+                        msg: Some(ServerMsg::Nak {
+                            req,
+                            err: VmdError::UnwrittenSlot { ns, slot },
+                            free_pages: self.free_pages(),
+                        }),
+                        tier: Tier::Memory,
+                    };
+                };
                 ServerReply {
                     msg: Some(ServerMsg::ReadResp {
                         req,
@@ -123,11 +130,16 @@ impl VmdServer {
                             self.disk_used += 1;
                             Tier::Disk
                         } else {
-                            panic!(
-                                "VMD server {:?} out of capacity; the client's \
-                                 load-aware placement should not have chosen it",
-                                self.id
-                            );
+                            // Both tiers full (stale availability view at
+                            // the client): refuse so the client re-places.
+                            return ServerReply {
+                                msg: Some(ServerMsg::Nak {
+                                    req,
+                                    err: VmdError::OutOfCapacity { ns, slot },
+                                    free_pages: 0,
+                                }),
+                                tier: Tier::Memory,
+                            };
                         }
                     }
                 };
@@ -153,6 +165,17 @@ impl VmdServer {
                 ServerReply { msg: None, tier }
             }
         }
+    }
+
+    /// Crash: the host died and its DRAM (and, in our model, spill-tier
+    /// contents) are gone. Capacity is retained for when the host rejoins
+    /// empty. Returns the number of pages lost.
+    pub fn crash_reset(&mut self) -> u64 {
+        let lost = self.stored_pages();
+        self.store.clear();
+        self.mem_used = 0;
+        self.disk_used = 0;
+        lost
     }
 
     /// Drop every slot of a namespace (the VM was destroyed, not migrated).
@@ -289,10 +312,50 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "read of unwritten slot")]
-    fn read_of_unwritten_slot_is_loud() {
+    fn read_of_unwritten_slot_naks() {
         let mut s = VmdServer::new(ServerId(0), 10, 0);
-        s.handle(read(1, 99, 1));
+        let r = s.handle(read(1, 99, 1));
+        assert_eq!(
+            r.msg,
+            Some(ServerMsg::Nak {
+                req: 1,
+                err: VmdError::UnwrittenSlot {
+                    ns: NamespaceId(1),
+                    slot: 99,
+                },
+                free_pages: 10,
+            })
+        );
+    }
+
+    #[test]
+    fn overflow_write_naks_without_storing() {
+        let mut s = VmdServer::new(ServerId(0), 1, 0);
+        s.handle(write(1, 0, 1, 1));
+        let r = s.handle(write(1, 1, 1, 2));
+        assert!(matches!(
+            r.msg,
+            Some(ServerMsg::Nak {
+                req: 2,
+                err: VmdError::OutOfCapacity { .. },
+                ..
+            })
+        ));
+        assert_eq!(s.stored_pages(), 1);
+    }
+
+    #[test]
+    fn crash_reset_loses_contents_keeps_capacity() {
+        let mut s = VmdServer::new(ServerId(0), 10, 0);
+        s.handle(write(1, 0, 1, 1));
+        s.handle(write(1, 1, 1, 2));
+        assert_eq!(s.crash_reset(), 2);
+        assert_eq!(s.free_pages(), 10);
+        // A rejoined server no longer has the page: read NAKs.
+        assert!(matches!(
+            s.handle(read(1, 0, 3)).msg,
+            Some(ServerMsg::Nak { .. })
+        ));
     }
 
     #[test]

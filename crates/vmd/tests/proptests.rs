@@ -73,6 +73,9 @@ fn store_is_linearizable_per_slot() {
                     let reads = pump(&mut client, &mut servers);
                     assert_eq!(reads.get(&req), Some(&version), "case {case}");
                 }
+                agile_vmd::ReadIssue::Failed(err) => {
+                    panic!("case {case}: read of written slot failed: {err:?}")
+                }
             }
             req += 1;
         }

@@ -56,12 +56,23 @@ impl WatermarkTrigger {
     /// already below the high watermark. Ties break on VM key for
     /// determinism.
     pub fn select_vms(&self, vms: &[VmWss]) -> Vec<u32> {
+        self.select_vms_filtered(vms, |_| true)
+    }
+
+    /// Like [`select_vms`](Self::select_vms), but skips VMs the caller
+    /// marks ineligible — e.g. VMs whose portable swap namespace is
+    /// under-replicated after a VMD server crash: migrating one would
+    /// ship offset markers whose only surviving replica is still being
+    /// repaired. The freeing target still counts ineligible VMs' WSS
+    /// (their pressure is real); selection works around them, so the host
+    /// may stay above the low watermark until they become eligible again.
+    pub fn select_vms_filtered(&self, vms: &[VmWss], eligible: impl Fn(u32) -> bool) -> Vec<u32> {
         let aggregate: u64 = vms.iter().map(|v| v.wss_bytes).sum();
         if !self.should_migrate(aggregate) {
             return Vec::new();
         }
         let need = aggregate - self.low_bytes;
-        let mut sorted: Vec<VmWss> = vms.to_vec();
+        let mut sorted: Vec<VmWss> = vms.iter().copied().filter(|v| eligible(v.vm)).collect();
         sorted.sort_by(|a, b| b.wss_bytes.cmp(&a.wss_bytes).then(a.vm.cmp(&b.vm)));
         let mut out = Vec::new();
         let mut freed = 0u64;
@@ -133,6 +144,26 @@ mod tests {
         let sel = t.select_vms(&vms);
         assert_eq!(sel.len(), 1);
         assert!(sel[0] == 3 || sel[0] == 4);
+    }
+
+    #[test]
+    fn filtered_selection_skips_suspect_vms() {
+        let t = WatermarkTrigger::new(10 * GIB, 12 * GIB);
+        let vms = [vm(0, 2), vm(1, 9), vm(2, 5)];
+        // VM 1 (9 GiB) would win outright, but its namespace is under
+        // repair: selection works around it. Need = 16 - 10 = 6 GiB, so
+        // the 5 GiB VM alone is not enough.
+        let sel = t.select_vms_filtered(&vms, |v| v != 1);
+        assert_eq!(sel, vec![2, 0]);
+        // With everyone eligible the filtered form matches the plain one.
+        assert_eq!(t.select_vms_filtered(&vms, |_| true), t.select_vms(&vms));
+    }
+
+    #[test]
+    fn filtered_selection_with_no_eligible_vms_defers() {
+        let t = WatermarkTrigger::new(6 * GIB, 8 * GIB);
+        let vms = [vm(0, 4), vm(1, 4), vm(2, 4)];
+        assert!(t.select_vms_filtered(&vms, |_| false).is_empty());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | [`workload`] (`agile-workload`) | YCSB/Redis and Sysbench/MySQL models, zipfian keys |
 //! | [`migration`] (`agile-migration`) | pre-copy, post-copy, and Agile state machines; metrics |
 //! | [`wss`] (`agile-wss`) | swap-rate sampling, α/β/τ reservation control, watermark trigger |
+//! | [`chaos`] (`agile-chaos`) | deterministic fault schedules: server crashes, NIC faults, connection drops |
 //! | [`cluster`] (`agile-cluster`) | the executor wiring everything together + scenario library |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@
 //! );
 //! ```
 
+pub use agile_chaos as chaos;
 pub use agile_cluster as cluster;
 pub use agile_memory as memory;
 pub use agile_migration as migration;

@@ -56,6 +56,46 @@ fn ycsb_golden_trace_is_reproducible_per_seed() {
     }
 }
 
+/// Chaos runs are part of the deterministic event stream: a scenario with
+/// a *generated* fault schedule (server crash + rejoin drawn from a seed)
+/// replays to the exact same event count and a byte-identical report.
+#[test]
+fn chaos_golden_trace_is_reproducible_per_seed() {
+    use agile_chaos::{ChaosProfile, ChaosSchedule};
+    use agile_cluster::scenario::chaos::{self, ChaosScenarioConfig};
+    use agile_sim_core::{SeedSequence, SimTime};
+
+    let run = |seed: u64| {
+        let profile = ChaosProfile {
+            window_start: SimTime::from_secs(8),
+            window_end: SimTime::from_secs(13),
+            n_servers: 3,
+            server_crashes: 1,
+            ..ChaosProfile::default()
+        };
+        chaos::run(&ChaosScenarioConfig {
+            scale: 64,
+            replication: 2,
+            vmd_servers: 3,
+            schedule: ChaosSchedule::generate(&profile, &SeedSequence::new(seed)),
+            warmup_secs: 10,
+            deadline_secs: 600,
+            seed,
+            ..Default::default()
+        })
+    };
+    let a = run(23);
+    let b = run(23);
+    assert_eq!(
+        a.events_executed, b.events_executed,
+        "chaos event count diverged between identical runs"
+    );
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert!(a.finished && a.crashes.len() == 1, "{a:?}");
+    let c = run(24);
+    assert_ne!(format!("{a:?}"), format!("{c:?}"), "seed is being ignored");
+}
+
 #[test]
 fn ycsb_golden_trace_differs_across_seeds() {
     let a = ycsb::run(&reduced_cfg(11));
