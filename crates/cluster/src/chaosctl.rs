@@ -113,6 +113,27 @@ pub fn install(sim: &mut Simulation<World>, schedule: ChaosSchedule) {
 /// Fire fault `idx` of the installed schedule.
 pub(crate) fn fire(sim: &mut Simulation<World>, idx: usize) {
     let kind = sim.state().chaos.schedule.events()[idx].kind;
+    if sim.state().trace.is_enabled() {
+        use agile_trace::ChaosKind;
+        let now = sim.now();
+        let (tk, target, start) = match kind {
+            FaultKind::ServerCrash { server } => (ChaosKind::ServerCrash, server, true),
+            FaultKind::ServerRejoin { server } => (ChaosKind::ServerRejoin, server, false),
+            FaultKind::NicDegrade { host, .. } => (ChaosKind::NicDegrade, host, true),
+            FaultKind::NicRestore { host } => (ChaosKind::NicRestore, host, false),
+            FaultKind::SwapSlow { host, .. } => (ChaosKind::SwapSlow, host, true),
+            FaultKind::SwapRestore { host } => (ChaosKind::SwapRestore, host, false),
+            FaultKind::MigrationConnDrop { mig } => (ChaosKind::MigConnDrop, mig, true),
+        };
+        sim.state_mut().trace.record(
+            now,
+            agile_trace::TraceEvent::ChaosFault {
+                kind: tk,
+                target,
+                start,
+            },
+        );
+    }
     match kind {
         FaultKind::ServerCrash { server } => server_crash(sim, server as usize),
         FaultKind::ServerRejoin { server } => server_rejoin(sim, server as usize),

@@ -15,6 +15,7 @@
 
 use agile_memory::{SwapIssue, Touch};
 use agile_sim_core::{FastEvent, SimDuration, Simulation};
+use agile_trace::{FaultPath, TraceEvent};
 use agile_vm::VmState;
 use agile_workload::OpSpec;
 
@@ -271,6 +272,23 @@ pub fn step_op(sim: &mut Simulation<World>, id: usize, gen: u32) {
         };
         if let Some((m, route)) = mig_route {
             use agile_migration::FaultRoute;
+            if sim.state().trace.is_enabled() {
+                let now = sim.now();
+                let path = match route {
+                    FaultRoute::AlreadyHere => FaultPath::AlreadyHere,
+                    FaultRoute::FromSource => FaultPath::FromSource,
+                    FaultRoute::FromSwap { .. } => FaultPath::FromSwap,
+                    FaultRoute::ZeroFill => FaultPath::ZeroFill,
+                };
+                sim.state_mut().trace.record(
+                    now,
+                    TraceEvent::FaultRouted {
+                        vm: vm_idx as u32,
+                        pfn,
+                        path,
+                    },
+                );
+            }
             match route {
                 FaultRoute::FromSource => {
                     if !sim.state().migrations[m].conn_down {

@@ -12,12 +12,23 @@ use agile_memory::SsdSwap;
 use agile_memory::{SwapIssue, VmMemory, VmMemoryConfig};
 use agile_migration::{DestSession, SourceCmd, SourceConfig, SourceEvent, SourceSession};
 use agile_sim_core::{SimDuration, SimTime, Simulation};
+use agile_trace::TraceEvent;
 use agile_vm::{HostId, VmState};
 use agile_vmd::VmdSwapDevice;
 
 use crate::guest::{self, charge_evictions, EvictTarget};
 use crate::netdrv::touch_net;
 use crate::world::{MigrationExec, NetPayload, SwapDev, SwapReqCtx, World};
+
+/// Static technique name for trace events (events are `Copy`, so the
+/// technique travels as a `&'static str` rather than a display string).
+fn technique_name(t: agile_migration::Technique) -> &'static str {
+    match t {
+        agile_migration::Technique::PreCopy => "pre-copy",
+        agile_migration::Technique::PostCopy => "post-copy",
+        agile_migration::Technique::Agile => "agile",
+    }
+}
 
 /// Begin migrating `vm_idx` to `dest_host`. Returns the migration index.
 ///
@@ -77,6 +88,14 @@ pub fn start_migration(
             pages_lost_on_conn_drop: 0,
         });
         w.vms[vm_idx].migration = Some(idx);
+        w.trace.record(
+            now,
+            TraceEvent::MigStart {
+                mig: idx as u32,
+                technique: technique_name(technique),
+                attempt: 0,
+            },
+        );
         idx
     };
     let cmds = drive_src(sim, mig, SourceEvent::Start);
@@ -186,6 +205,18 @@ fn process_cmds(sim: &mut Simulation<World>, mig: usize, cmds: Vec<SourceCmd>) {
             SourceCmd::SendChunk { chunk, priority } => {
                 let w = sim.state_mut();
                 let wire = chunk.wire_bytes(w.cfg.page_size);
+                w.trace.record(
+                    now,
+                    TraceEvent::ChunkSent {
+                        mig: mig as u32,
+                        full: chunk.full.len() as u32,
+                        offsets: chunk.swapped.len() as u32,
+                        zeros: chunk.zero.len() as u32,
+                        retransmits: chunk.retransmits,
+                        wire_bytes: wire,
+                        priority,
+                    },
+                );
                 let key = w.stash_chunk(chunk);
                 let m = &mut w.migrations[mig];
                 let ch = if priority { m.demand_ch } else { m.stream_ch };
@@ -209,6 +240,13 @@ fn process_cmds(sim: &mut Simulation<World>, mig: usize, cmds: Vec<SourceCmd>) {
             }
             SourceCmd::SendHandoff { wire_bytes } => {
                 let w = sim.state_mut();
+                w.trace.record(
+                    now,
+                    TraceEvent::MigHandoff {
+                        mig: mig as u32,
+                        wire_bytes,
+                    },
+                );
                 let ch = w.migrations[mig].stream_ch;
                 let tag = w.tag(NetPayload::MigHandoff { mig });
                 w.net.send(now, ch, wire_bytes, tag);
@@ -422,6 +460,7 @@ pub fn credit_swapin(sim: &mut Simulation<World>, mig: usize, batch: u64) {
 
 /// A chunk arrived at the destination.
 pub fn on_chunk_delivered(sim: &mut Simulation<World>, mig: usize, chunk_key: u64, priority: bool) {
+    let now = sim.now();
     let chunk = sim
         .state_mut()
         .chunks
@@ -431,7 +470,10 @@ pub fn on_chunk_delivered(sim: &mut Simulation<World>, mig: usize, chunk_key: u6
     buf.clear();
     let (vm_idx, resumed) = {
         let World {
-            vms, migrations, ..
+            vms,
+            migrations,
+            trace,
+            ..
         } = sim.state_mut();
         let m = &mut migrations[mig];
         let vm_idx = m.vm;
@@ -444,6 +486,20 @@ pub fn on_chunk_delivered(sim: &mut Simulation<World>, mig: usize, chunk_key: u6
         if priority {
             m.demand_in_flight = m.demand_in_flight.saturating_sub(1);
             m.dst.note_demand_served();
+            let served = chunk
+                .full
+                .first()
+                .map(|f| f.pfn)
+                .or_else(|| chunk.zero.first().copied());
+            if let Some(pfn) = served {
+                trace.record(
+                    now,
+                    TraceEvent::DemandServed {
+                        mig: mig as u32,
+                        pfn,
+                    },
+                );
+            }
         } else {
             m.in_flight = m.in_flight.saturating_sub(1);
         }
@@ -512,14 +568,25 @@ pub fn on_handoff_delivered(sim: &mut Simulation<World>, mig: usize) {
 
 /// A demand-page request arrived at the source.
 pub fn on_demand_request(sim: &mut Simulation<World>, mig: usize, pfn: u32) {
+    let now = sim.now();
+    sim.state_mut().trace.record(
+        now,
+        TraceEvent::DemandRequest {
+            mig: mig as u32,
+            pfn,
+        },
+    );
     let cmds = drive_src(sim, mig, SourceEvent::DemandRequest { pfn });
     process_cmds(sim, mig, cmds);
 }
 
 /// Suspend the VM at the source (downtime begins).
 fn suspend_vm(sim: &mut Simulation<World>, vm_idx: usize, mig: usize) {
+    let now = sim.now();
     {
         let w = sim.state_mut();
+        w.trace
+            .record(now, TraceEvent::MigSuspend { mig: mig as u32 });
         let dest = HostId(w.migrations[mig].dest_host as u32);
         match w.vms[vm_idx].vm.state() {
             VmState::Running { .. } => w.vms[vm_idx].vm.suspend_for(dest),
@@ -532,8 +599,11 @@ fn suspend_vm(sim: &mut Simulation<World>, vm_idx: usize, mig: usize) {
 
 /// The handoff arrived: swap images/devices and resume at the destination.
 fn resume_vm_at_dest(sim: &mut Simulation<World>, mig: usize) {
+    let now = sim.now();
     let vm_idx = {
         let w = sim.state_mut();
+        w.trace
+            .record(now, TraceEvent::MigResume { mig: mig as u32 });
         let (vm_idx, dest_host, source_host) = {
             let m = &w.migrations[mig];
             (m.vm, m.dest_host, m.source_host)
@@ -584,6 +654,8 @@ fn maybe_finalize(sim: &mut Simulation<World>, mig: usize) {
         m.vm
     };
     let w = sim.state_mut();
+    w.trace
+        .record(now, TraceEvent::MigComplete { mig: mig as u32 });
     w.vms[vm_idx].vm.complete_migration();
     w.vms[vm_idx].migration = None;
 }
@@ -667,6 +739,7 @@ pub fn drop_connections(sim: &mut Simulation<World>, mig: usize) {
 
 /// Pre-resume abort: roll the attempt back and schedule a retry.
 fn abort_and_retry(sim: &mut Simulation<World>, mig: usize) {
+    let now = sim.now();
     let (vm_idx, attempt, was_suspended) = {
         let w = sim.state_mut();
         let (vm_idx, dest_host, resv) = {
@@ -682,7 +755,7 @@ fn abort_and_retry(sim: &mut Simulation<World>, mig: usize) {
         // Stale batches from this attempt no-op in `credit_swapin`; their
         // reads still land in the source image, which only helps the retry.
         m.swapin_remaining.clear();
-        m.src.reset_for_retry();
+        m.src.reset_for_retry(now);
         m.dst = DestSession::new(technique, n_pages);
         // Slots the aborted destination image allocated stay leaked from
         // the shared allocator — bounded by one attempt's destination
@@ -692,6 +765,13 @@ fn abort_and_retry(sim: &mut Simulation<World>, mig: usize) {
         m.attempt += 1;
         m.retries += 1;
         let attempt = m.attempt;
+        w.trace.record(
+            now,
+            TraceEvent::MigAbort {
+                mig: mig as u32,
+                attempt,
+            },
+        );
         let was_suspended = matches!(w.vms[vm_idx].vm.state(), VmState::Suspended { .. });
         if !matches!(w.vms[vm_idx].vm.state(), VmState::Running { .. }) {
             w.vms[vm_idx].vm.cancel_migration();
@@ -719,6 +799,7 @@ fn retry_attempt(sim: &mut Simulation<World>, mig: usize, attempt: u32) {
     if !proceed {
         return;
     }
+    let now = sim.now();
     {
         let w = sim.state_mut();
         let (vm_idx, source_host, dest_host) = {
@@ -740,6 +821,14 @@ fn retry_attempt(sim: &mut Simulation<World>, mig: usize, attempt: u32) {
         if !matches!(technique, agile_migration::Technique::PostCopy) {
             w.vms[vm_idx].vm.begin_precopy(HostId(dest_host as u32));
         }
+        w.trace.record(
+            now,
+            TraceEvent::MigStart {
+                mig: mig as u32,
+                technique: technique_name(technique),
+                attempt,
+            },
+        );
     }
     let cmds = drive_src(sim, mig, SourceEvent::Start);
     process_cmds(sim, mig, cmds);
@@ -790,6 +879,18 @@ fn conn_down_degraded(sim: &mut Simulation<World>, mig: usize) {
     charge_evictions(sim, EvictTarget::Vm(vm_idx), &buf);
     buf.clear();
     sim.state_mut().evict_buf = buf;
+    {
+        let now = sim.now();
+        let w = sim.state_mut();
+        let pages_lost = w.migrations[mig].pages_lost_on_conn_drop;
+        w.trace.record(
+            now,
+            TraceEvent::MigDegraded {
+                mig: mig as u32,
+                pages_lost,
+            },
+        );
+    }
     // Ops parked on a demand response that will never arrive: wake them so
     // they re-fault down the degraded path (the sweep made most of them
     // plain hits). Pages with reads genuinely in flight stay parked —

@@ -67,6 +67,74 @@ pub fn migration_metrics(world: &World, mig: usize) -> &agile_migration::Migrati
     world.migrations[mig].src.metrics()
 }
 
+/// Fold migration `mig`'s phase log, source totals, and destination
+/// counters into the exportable [`PhaseTimeline`].
+pub fn phase_timeline(
+    world: &World,
+    mig: usize,
+    scenario: &str,
+    seed: u64,
+) -> agile_trace::PhaseTimeline {
+    let m = &world.migrations[mig];
+    let met = m.src.metrics();
+    agile_trace::PhaseTimeline {
+        scenario: scenario.to_string(),
+        technique: met.technique.to_string(),
+        seed,
+        rounds: met.rounds,
+        retries: m.retries,
+        downtime_ns: met.downtime().map(|d| d.as_nanos()),
+        total_ns: met.total_time().map(|d| d.as_nanos()),
+        live_ns: met.live_phase().map(|d| d.as_nanos()),
+        push_set_pages: met.push_set_pages,
+        migration_bytes: met.migration_bytes,
+        pages_sent_full: met.pages_sent_full,
+        pages_sent_as_offsets: met.pages_sent_as_offsets,
+        pages_sent_zero: met.pages_sent_zero,
+        pages_retransmitted: met.pages_retransmitted,
+        pages_swapped_in_for_transfer: met.pages_swapped_in_for_transfer,
+        pages_demand_from_source: met.pages_demand_from_source,
+        dest_pages_installed_stream: m.dst.pages_installed_stream,
+        dest_pages_faulted_from_swap: m.dst.pages_faulted_from_swap,
+        dest_pages_faulted_from_source: m.dst.pages_faulted_from_source,
+        dest_duplicate_pages_ignored: m.dst.duplicate_pages_ignored,
+        dest_pages_discarded_at_resume: m.dst.pages_discarded_at_resume,
+        phases: met.phase_log.clone(),
+    }
+}
+
+/// Publish every migration's counters (prefixed `mig<i>.`) plus the
+/// chaos-recovery totals into a typed [`agile_trace::MetricsRegistry`] —
+/// the structured replacement for ad-hoc per-field result structs.
+pub fn metrics_registry(world: &World) -> agile_trace::MetricsRegistry {
+    let mut reg = agile_trace::MetricsRegistry::new();
+    for (i, m) in world.migrations.iter().enumerate() {
+        m.src.metrics().publish_to(&mut reg, &format!("mig{i}."));
+        reg.set_counter(&format!("mig{i}.retries"), u64::from(m.retries));
+        reg.set_counter(
+            &format!("mig{i}.pages_lost_on_conn_drop"),
+            m.pages_lost_on_conn_drop,
+        );
+        reg.set_counter(
+            &format!("mig{i}.dest_pages_installed_stream"),
+            m.dst.pages_installed_stream,
+        );
+        reg.set_counter(
+            &format!("mig{i}.dest_pages_faulted_from_swap"),
+            m.dst.pages_faulted_from_swap,
+        );
+        reg.set_counter(
+            &format!("mig{i}.dest_pages_faulted_from_source"),
+            m.dst.pages_faulted_from_source,
+        );
+    }
+    reg.set_counter("chaos.conn_drops", world.chaos.conn_drops);
+    reg.set_counter("chaos.lost_reads", world.chaos.lost_reads);
+    reg.set_counter("chaos.slots_repaired", world.chaos.slots_repaired);
+    reg.set_counter("chaos.slots_lost", world.chaos.total_slots_lost());
+    reg
+}
+
 /// Render a `(seconds, value)` series as CSV.
 pub fn series_to_csv(header: &str, series: &[(u64, f64)]) -> String {
     let mut s = String::with_capacity(series.len() * 12 + header.len() + 1);

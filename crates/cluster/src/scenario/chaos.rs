@@ -47,6 +47,9 @@ pub struct ChaosScenarioConfig {
     pub deadline_secs: u64,
     /// Master seed.
     pub seed: u64,
+    /// Enable the event tracer (off by default; chaos fault windows then
+    /// appear as `chaos_fault` spans in the JSONL export).
+    pub trace: bool,
 }
 
 impl Default for ChaosScenarioConfig {
@@ -63,6 +66,7 @@ impl Default for ChaosScenarioConfig {
             warmup_secs: 30,
             deadline_secs: 4000,
             seed: 42,
+            trace: false,
         }
     }
 }
@@ -99,6 +103,9 @@ pub struct ChaosScenarioResult {
     pub crashes: Vec<CrashRecord>,
     /// Total DES events executed (the golden-trace fingerprint).
     pub events_executed: u64,
+    /// JSONL event-trace export (`Some` only when `cfg.trace` was set;
+    /// `None` keeps untraced goldens byte-identical to older runs).
+    pub trace_jsonl: Option<String>,
 }
 
 /// Run one chaos scenario.
@@ -143,6 +150,9 @@ pub fn run(cfg: &ChaosScenarioConfig) -> ChaosScenarioResult {
     b.preload_pages(vm, 0, (vm_mem / page) as u32);
 
     let mut sim = b.build();
+    if cfg.trace {
+        sim.state_mut().trace = agile_trace::Tracer::with_capacity(1 << 16);
+    }
     start_all_workloads(&mut sim, SimTime::from_secs(1));
     chaosctl::install(&mut sim, cfg.schedule.clone());
 
@@ -210,5 +220,6 @@ pub fn run(cfg: &ChaosScenarioConfig) -> ChaosScenarioResult {
         worst_unavailability_secs: w.chaos.worst_unavailability_secs(),
         crashes: w.chaos.crashes.clone(),
         events_executed,
+        trace_jsonl: cfg.trace.then(|| w.trace.to_jsonl()),
     }
 }

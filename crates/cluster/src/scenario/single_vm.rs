@@ -38,6 +38,9 @@ pub struct SingleVmConfig {
     pub deadline_secs: u64,
     /// Master seed.
     pub seed: u64,
+    /// Enable the event tracer (off by default: untraced runs keep the
+    /// zero-allocation hot path and byte-identical goldens).
+    pub trace: bool,
 }
 
 impl Default for SingleVmConfig {
@@ -51,6 +54,7 @@ impl Default for SingleVmConfig {
             warmup_secs: 30,
             deadline_secs: 4000,
             seed: 42,
+            trace: false,
         }
     }
 }
@@ -66,6 +70,11 @@ pub struct SingleVmResult {
     pub downtime_secs: f64,
     /// Full metrics.
     pub metrics: agile_migration::MigrationMetrics,
+    /// Per-migration phase decomposition (always built; the substrate of
+    /// the `TRACE_<scenario>.json` export).
+    pub timeline: agile_trace::PhaseTimeline,
+    /// JSONL event-trace export (`Some` only when `cfg.trace` was set).
+    pub trace_jsonl: Option<String>,
 }
 
 /// Run one sweep point.
@@ -143,6 +152,9 @@ pub fn run(cfg: &SingleVmConfig) -> SingleVmResult {
     }
 
     let mut sim = b.build();
+    if cfg.trace {
+        sim.state_mut().trace = agile_trace::Tracer::with_capacity(1 << 16);
+    }
     start_all_workloads(&mut sim, SimTime::from_secs(1));
 
     let technique = cfg.technique;
@@ -178,6 +190,8 @@ pub fn run(cfg: &SingleVmConfig) -> SingleVmResult {
     }
 
     let metrics = sim.state().migrations[0].src.metrics().clone();
+    let timeline = crate::report::phase_timeline(sim.state(), 0, "single_vm", cfg.seed);
+    let trace_jsonl = cfg.trace.then(|| sim.state().trace.to_jsonl());
     SingleVmResult {
         migration_secs: metrics
             .total_time()
@@ -189,5 +203,7 @@ pub fn run(cfg: &SingleVmConfig) -> SingleVmResult {
             .map(|d| d.as_secs_f64())
             .unwrap_or(f64::NAN),
         metrics,
+        timeline,
+        trace_jsonl,
     }
 }

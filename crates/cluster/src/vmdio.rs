@@ -138,6 +138,25 @@ pub fn on_client_recv(
 /// Act on a client completion: resolve swap I/O, or run the failover /
 /// repair step the sans-IO client asked the executor to perform.
 pub fn handle_completion(sim: &mut Simulation<World>, client_idx: usize, c: VmdCompletion) {
+    if sim.state().trace.is_enabled() {
+        use agile_trace::VmdKind;
+        let now = sim.now();
+        let kind = match &c {
+            VmdCompletion::ReadDone { .. } => VmdKind::ReadDone,
+            VmdCompletion::WriteDone { .. } => VmdKind::WriteDone,
+            VmdCompletion::ReadFailed { .. } => VmdKind::ReadFailed,
+            VmdCompletion::ReadNak { .. } => VmdKind::ReadNak,
+            VmdCompletion::WriteNak { .. } => VmdKind::WriteNak,
+            VmdCompletion::RepairRead { .. } => VmdKind::RepairWrite,
+        };
+        sim.state_mut().trace.record(
+            now,
+            agile_trace::TraceEvent::Vmd {
+                client: client_idx as u32,
+                kind,
+            },
+        );
+    }
     match c {
         VmdCompletion::ReadDone { req, .. } => resolve_swap_completion(sim, req),
         VmdCompletion::WriteDone { req } => {

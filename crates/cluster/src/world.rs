@@ -453,6 +453,10 @@ pub struct World {
     /// Fault-injection executor state (empty in non-chaos runs: the
     /// wiring adds zero events when no schedule is installed).
     pub chaos: crate::chaosctl::ChaosExec,
+    /// Simulated-time trace sink. Disabled by default: `record` is an
+    /// inlined early-return and the sink owns no buffer, so untraced
+    /// runs pay nothing on the event hot paths.
+    pub trace: agile_trace::Tracer,
 }
 
 impl World {
@@ -479,6 +483,7 @@ impl World {
             swapin_piggyback: HashMap::new(),
             evict_buf: Vec::new(),
             chaos: crate::chaosctl::ChaosExec::default(),
+            trace: agile_trace::Tracer::disabled(),
         }
     }
 

@@ -70,6 +70,15 @@ pub(crate) fn sample(sim: &mut Simulation<World>, vm_idx: usize) {
                     w.hosts[host]
                         .mem
                         .set_reservation(vm_idx as u64, adj.new_reservation);
+                    w.trace.record(
+                        now,
+                        agile_trace::TraceEvent::WssSample {
+                            vm: vm_idx as u32,
+                            rate_kbps: rate.total_kbps(),
+                            reservation: adj.new_reservation,
+                            stable: adj.stable,
+                        },
+                    );
                     Some(adj.next_sample_in)
                 }
                 None => {

@@ -50,6 +50,13 @@ pub struct Chunk {
     pub swapped: Vec<SwappedMarker>,
     /// Zero-page markers carried.
     pub zero: Vec<u32>,
+    /// How many of the entries re-send a page that was already shipped.
+    /// Accounting only — retransmissions are ordinary entries on the wire,
+    /// so this does not contribute to [`Chunk::wire_bytes`]. Carried on
+    /// the chunk (not charged when recorded) so a chunk that is built but
+    /// never emitted — stashed awaiting a swap-in, then dropped by an
+    /// aborted attempt — never inflates the retransmission counter.
+    pub retransmits: u32,
 }
 
 impl Chunk {

@@ -5,6 +5,7 @@
 //! page counts that explain them.
 
 use agile_sim_core::{SimDuration, SimTime};
+use agile_trace::{MetricsRegistry, PhaseKind, PhasePoint};
 
 /// Which migration technique ran.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -58,6 +59,13 @@ pub struct MigrationMetrics {
     pub pages_demand_from_source: u64,
     /// Pre-copy rounds completed (live rounds only).
     pub rounds: u32,
+    /// Pages in the post-suspension pass: the stop-and-copy set for
+    /// pre-copy, the push set for post-copy/Agile. Stamped at suspension.
+    pub push_set_pages: u64,
+    /// Counter snapshots taken at every phase entry (including the
+    /// `Aborted` marker a connection-drop retry leaves behind). The
+    /// substrate of the exported phase timeline.
+    pub phase_log: Vec<PhasePoint>,
 }
 
 impl MigrationMetrics {
@@ -77,6 +85,56 @@ impl MigrationMetrics {
             pages_swapped_in_for_transfer: 0,
             pages_demand_from_source: 0,
             rounds: 0,
+            push_set_pages: 0,
+            phase_log: Vec::new(),
+        }
+    }
+
+    /// Append a phase-entry snapshot of the cumulative counters.
+    pub fn record_phase(&mut self, at: SimTime, phase: PhaseKind, round: u32) {
+        self.phase_log.push(PhasePoint {
+            at,
+            phase,
+            round,
+            migration_bytes: self.migration_bytes,
+            pages_sent_full: self.pages_sent_full,
+            pages_sent_as_offsets: self.pages_sent_as_offsets,
+            pages_sent_zero: self.pages_sent_zero,
+            pages_retransmitted: self.pages_retransmitted,
+            pages_swapped_in_for_transfer: self.pages_swapped_in_for_transfer,
+            pages_demand_from_source: self.pages_demand_from_source,
+        });
+    }
+
+    /// Publish every counter into `reg` under `prefix` (e.g. `mig0.`),
+    /// replacing the ad-hoc per-field reporting with the typed registry.
+    pub fn publish_to(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}migration_bytes"), self.migration_bytes);
+        reg.set_counter(&format!("{prefix}pages_sent_full"), self.pages_sent_full);
+        reg.set_counter(
+            &format!("{prefix}pages_sent_as_offsets"),
+            self.pages_sent_as_offsets,
+        );
+        reg.set_counter(&format!("{prefix}pages_sent_zero"), self.pages_sent_zero);
+        reg.set_counter(
+            &format!("{prefix}pages_retransmitted"),
+            self.pages_retransmitted,
+        );
+        reg.set_counter(
+            &format!("{prefix}pages_swapped_in_for_transfer"),
+            self.pages_swapped_in_for_transfer,
+        );
+        reg.set_counter(
+            &format!("{prefix}pages_demand_from_source"),
+            self.pages_demand_from_source,
+        );
+        reg.set_counter(&format!("{prefix}rounds"), u64::from(self.rounds));
+        reg.set_counter(&format!("{prefix}push_set_pages"), self.push_set_pages);
+        if let Some(d) = self.downtime() {
+            reg.observe(&format!("{prefix}downtime"), d);
+        }
+        if let Some(d) = self.total_time() {
+            reg.observe(&format!("{prefix}total_time"), d);
         }
     }
 

@@ -22,6 +22,8 @@ use std::collections::HashMap;
 use agile_memory::{PagemapEntry, VmMemory};
 use agile_sim_core::SimTime;
 
+use agile_trace::PhaseKind;
+
 use crate::bitmap::Bitmap;
 use crate::chunk::{Chunk, FullPage, SwappedMarker};
 use crate::metrics::{MigrationMetrics, Technique};
@@ -227,7 +229,11 @@ impl SourceSession {
     /// Cumulative metrics survive — bytes wasted by the failed attempt
     /// were really sent. Batch ids keep counting up so swap-ins still in
     /// flight from the aborted attempt can never collide with the retry's.
-    pub fn reset_for_retry(&mut self) {
+    /// A stashed chunk (built, awaiting swap-ins, never emitted) is simply
+    /// dropped: none of its entries were charged to the metrics, so the
+    /// abort leaves no phantom retransmissions behind.
+    pub fn reset_for_retry(&mut self, now: SimTime) {
+        self.metrics.record_phase(now, PhaseKind::Aborted, 0);
         self.phase = Phase::Idle;
         self.sent_version.iter_mut().for_each(|v| *v = 0);
         self.shipped = Bitmap::zeros(self.n_pages);
@@ -255,6 +261,7 @@ impl SourceSession {
                     round: 1,
                     cursor: 0,
                 };
+                self.metrics.record_phase(now, PhaseKind::LiveRound, 1);
                 self.channel_ready(now, mem)
             }
             Technique::PostCopy => {
@@ -262,9 +269,11 @@ impl SourceSession {
                 // afterwards.
                 self.metrics.suspended_at = Some(now);
                 self.pass_set = Some(Bitmap::ones(self.n_pages));
+                self.metrics.push_set_pages = u64::from(self.n_pages);
                 self.phase = Phase::AwaitHandoff;
                 let wire = self.cfg.handoff_base_bytes + Bitmap::zeros(self.n_pages).wire_bytes();
                 self.metrics.migration_bytes += wire;
+                self.metrics.record_phase(now, PhaseKind::AwaitHandoff, 0);
                 vec![
                     SourceCmd::Suspend,
                     SourceCmd::SendHandoff { wire_bytes: wire },
@@ -333,6 +342,7 @@ impl SourceSession {
                         self.phase = Phase::AwaitHandoff;
                         let wire = self.cfg.handoff_base_bytes;
                         self.metrics.migration_bytes += wire;
+                        self.metrics.record_phase(now, PhaseKind::AwaitHandoff, 0);
                         cmds.push(SourceCmd::SendHandoff { wire_bytes: wire });
                         cmds
                     }
@@ -359,6 +369,7 @@ impl SourceSession {
                     };
                     if self.demand_swapins.is_empty() {
                         self.phase = Phase::Done;
+                        self.metrics.record_phase(now, PhaseKind::Done, 0);
                         cmds.push(SourceCmd::Done);
                     }
                     cmds
@@ -419,13 +430,13 @@ impl SourceSession {
             match mem.pagemap(p) {
                 PagemapEntry::Present => {
                     let v = mem.version(p);
-                    self.note_sent(p, v);
+                    chunk.retransmits += u32::from(self.note_sent(p, v));
                     chunk.full.push(FullPage { pfn: p, version: v });
                 }
                 PagemapEntry::Swapped { slot } => {
                     if agile_markers {
                         let v = mem.version(p);
-                        self.note_sent(p, v);
+                        chunk.retransmits += u32::from(self.note_sent(p, v));
                         chunk.swapped.push(SwappedMarker {
                             pfn: p,
                             slot,
@@ -436,7 +447,7 @@ impl SourceSession {
                     }
                 }
                 PagemapEntry::None => {
-                    self.note_sent(p, mem.version(p));
+                    chunk.retransmits += u32::from(self.note_sent(p, mem.version(p)));
                     chunk.zero.push(p);
                 }
             }
@@ -450,18 +461,25 @@ impl SourceSession {
         }
     }
 
-    fn note_sent(&mut self, pfn: u32, version: u32) {
-        if self.shipped.get(pfn) {
-            self.metrics.pages_retransmitted += 1;
-        }
+    /// Mark `pfn` as shipped at `version`. Returns whether this re-sends a
+    /// page that already shipped — the caller records that on the chunk
+    /// being built ([`Chunk::retransmits`]), and the count is only charged
+    /// to the metrics when the chunk is actually emitted. Charging here,
+    /// at build time, double-counted retransmissions whenever a stashed
+    /// chunk died with an aborted attempt.
+    #[must_use]
+    fn note_sent(&mut self, pfn: u32, version: u32) -> bool {
+        let retransmit = self.shipped.get(pfn);
         self.shipped.set(pfn);
         self.sent_version[pfn as usize] = version;
+        retransmit
     }
 
     fn emit_chunk(&mut self, chunk: Chunk, priority: bool) -> Vec<SourceCmd> {
         self.metrics.pages_sent_full += chunk.full.len() as u64;
         self.metrics.pages_sent_as_offsets += chunk.swapped.len() as u64;
         self.metrics.pages_sent_zero += chunk.zero.len() as u64;
+        self.metrics.pages_retransmitted += u64::from(chunk.retransmits);
         // Wire bytes are charged by the executor via chunk.wire_bytes();
         // we account them here so metrics don't depend on the executor.
         self.metrics.migration_bytes += chunk.wire_bytes(self.cfg.page_size);
@@ -494,14 +512,14 @@ impl SourceSession {
             match mem.pagemap(pfn) {
                 PagemapEntry::Present => {
                     let v = mem.version(pfn);
-                    self.note_sent(pfn, v);
+                    chunk.retransmits += u32::from(self.note_sent(pfn, v));
                     chunk.full.push(FullPage { pfn, version: v });
                 }
                 // Re-evicted between completion and this call, or the slot
                 // moved: retry.
                 PagemapEntry::Swapped { slot } => still_swapped.push((pfn, slot)),
                 PagemapEntry::None => {
-                    self.note_sent(pfn, mem.version(pfn));
+                    chunk.retransmits += u32::from(self.note_sent(pfn, mem.version(pfn)));
                     chunk.zero.push(pfn);
                 }
             }
@@ -524,8 +542,10 @@ impl SourceSession {
                 {
                     // Converged (or gave up): stop and copy.
                     self.metrics.suspended_at = Some(now);
+                    self.metrics.push_set_pages = u64::from(n_dirty);
                     self.pass_set = Some(dirty);
                     self.phase = Phase::StopAndCopy { cursor: 0 };
+                    self.metrics.record_phase(now, PhaseKind::StopAndCopy, 0);
                     let mut cmds = vec![SourceCmd::Suspend];
                     cmds.extend(self.channel_ready(now, mem));
                     cmds
@@ -535,6 +555,8 @@ impl SourceSession {
                         round: round + 1,
                         cursor: 0,
                     };
+                    self.metrics
+                        .record_phase(now, PhaseKind::LiveRound, round + 1);
                     self.channel_ready(now, mem)
                 }
             }
@@ -547,8 +569,10 @@ impl SourceSession {
         let dirty = self.dirty_bitmap(mem);
         let wire = self.cfg.handoff_base_bytes + dirty.wire_bytes();
         self.metrics.migration_bytes += wire;
+        self.metrics.push_set_pages = u64::from(dirty.count_ones());
         self.pass_set = Some(dirty);
         self.phase = Phase::AwaitHandoff;
+        self.metrics.record_phase(now, PhaseKind::AwaitHandoff, 0);
         vec![
             SourceCmd::Suspend,
             SourceCmd::SendHandoff { wire_bytes: wire },
@@ -578,10 +602,12 @@ impl SourceSession {
             Technique::PreCopy => {
                 // Everything already arrived (FIFO channel): done.
                 self.phase = Phase::Done;
+                self.metrics.record_phase(now, PhaseKind::Done, 0);
                 vec![SourceCmd::Done]
             }
             Technique::PostCopy | Technique::Agile => {
                 self.phase = Phase::Push { cursor: 0 };
+                self.metrics.record_phase(now, PhaseKind::Push, 0);
                 Vec::new() // executor follows with ChannelReady
             }
         }
@@ -618,7 +644,7 @@ impl SourceSession {
             PagemapEntry::None => {
                 self.take_from_pass(pfn);
                 let mut chunk = Chunk::default();
-                self.note_sent(pfn, mem.version(pfn));
+                chunk.retransmits += u32::from(self.note_sent(pfn, mem.version(pfn)));
                 chunk.zero.push(pfn);
                 self.emit_priority(chunk)
             }
@@ -640,7 +666,7 @@ impl SourceSession {
             }
             PagemapEntry::None => {
                 let mut chunk = Chunk::default();
-                self.note_sent(pfn, mem.version(pfn));
+                chunk.retransmits += u32::from(self.note_sent(pfn, mem.version(pfn)));
                 chunk.zero.push(pfn);
                 self.emit_priority(chunk)
             }
@@ -649,8 +675,8 @@ impl SourceSession {
 
     fn send_demand_page_known_present(&mut self, pfn: u32, mem: &VmMemory) -> Vec<SourceCmd> {
         let v = mem.version(pfn);
-        self.note_sent(pfn, v);
         let mut chunk = Chunk::default();
+        chunk.retransmits += u32::from(self.note_sent(pfn, v));
         chunk.full.push(FullPage { pfn, version: v });
         self.emit_priority(chunk)
     }
@@ -658,6 +684,7 @@ impl SourceSession {
     fn emit_priority(&mut self, chunk: Chunk) -> Vec<SourceCmd> {
         self.metrics.pages_sent_full += chunk.full.len() as u64;
         self.metrics.pages_sent_zero += chunk.zero.len() as u64;
+        self.metrics.pages_retransmitted += u64::from(chunk.retransmits);
         self.metrics.migration_bytes += chunk.wire_bytes(self.cfg.page_size);
         vec![SourceCmd::SendChunk {
             chunk,
@@ -771,7 +798,7 @@ mod tests {
         s.on_event(SimTime::ZERO, SourceEvent::ChannelReady, &mem);
         assert!(!s.is_idle());
         assert!(!s.handoff_committed());
-        s.reset_for_retry();
+        s.reset_for_retry(SimTime::ZERO);
         assert!(s.is_idle());
         // Second attempt runs to completion from scratch: the full
         // populated set ships again (the aborted destination was thrown
@@ -931,6 +958,145 @@ mod tests {
         }
         assert!(s.metrics().pages_retransmitted >= 1);
         assert!(s.metrics().rounds >= 2, "dirty page forces another round");
+    }
+
+    /// Regression: retransmissions used to be charged when a chunk was
+    /// *built*. A chunk stashed awaiting swap-ins and then dropped by
+    /// `reset_for_retry` left its retransmit counts behind even though
+    /// nothing was re-sent on the wire, inflating the totals of any
+    /// pre-copy run whose round aborted mid-chunk. They are now charged
+    /// at emit time, so an aborted attempt's stashed chunk contributes
+    /// nothing.
+    #[test]
+    fn aborted_stashed_chunk_leaves_no_phantom_retransmits() {
+        let mut evs = Vec::new();
+        let mut mem = VmMemory::new(VmMemoryConfig {
+            pages: 8,
+            page_size: 4096,
+            limit_pages: 8,
+        });
+        for p in 0..8 {
+            mem.touch(p, true);
+            mem.fault_in(p, true, &mut evs);
+        }
+        let mut s = SourceSession::new(
+            SourceConfig {
+                chunk_pages: 4,
+                precopy_threshold_pages: 0,
+                precopy_max_rounds: 3,
+                ..SourceConfig::new(Technique::PreCopy)
+            },
+            8,
+            SimTime::ZERO,
+        );
+        // Round 1, first chunk: pages 0..4 ship.
+        s.on_event(SimTime::ZERO, SourceEvent::Start, &mem);
+        // Dirty two already-sent pages, then shrink the limit one page at
+        // a time until exactly one of them is evicted to swap. Which page
+        // the two-list second-chance reclaimer picks is an implementation
+        // detail; either way round 2's chunk re-adds the present one (a
+        // retransmit) and stalls on a swap-in for the swapped one.
+        mem.touch(0, true);
+        mem.touch(1, true);
+        let mut limit = 8u64;
+        loop {
+            let sw0 = matches!(mem.pagemap(0), PagemapEntry::Swapped { .. });
+            let sw1 = matches!(mem.pagemap(1), PagemapEntry::Swapped { .. });
+            if sw0 != sw1 {
+                break;
+            }
+            assert!(
+                !sw0 && limit > 1,
+                "could not arrange exactly one of pages 0/1 swapped"
+            );
+            limit -= 1;
+            mem.set_limit_bytes(limit * 4096, &mut evs);
+        }
+        // Drive until a stashed chunk carrying a retransmit forms: round
+        // 2's dirty set is {0, 1}, and building its chunk re-adds the
+        // present dirty page (a re-send) then stalls on a swap-in for the
+        // swapped one. Stalls on clean pages the shrink happened to evict
+        // from round 1's untransferred tail are completed and skipped.
+        let mut pending: Option<(u64, Vec<(u32, u32)>)> = None;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 100, "no stashed chunk with a retransmit formed");
+            if s.stash.as_ref().is_some_and(|st| st.1.retransmits >= 1) {
+                break;
+            }
+            let cmds = if let Some((batch, pages)) = pending.take() {
+                for (pfn, _) in &pages {
+                    if matches!(mem.pagemap(*pfn), PagemapEntry::Swapped { .. }) {
+                        mem.begin_swap_in(*pfn);
+                        mem.fault_in(*pfn, false, &mut evs);
+                    }
+                }
+                s.on_event(SimTime::ZERO, SourceEvent::SwapInDone { batch }, &mem)
+            } else {
+                assert!(!s.is_done(), "session finished without stalling mid-chunk");
+                s.on_event(SimTime::ZERO, SourceEvent::ChannelReady, &mem)
+            };
+            pending = cmds.iter().find_map(|c| match c {
+                SourceCmd::SwapIn { batch, pages } => Some((*batch, pages.clone())),
+                _ => None,
+            });
+        }
+        // The connection drops; the attempt aborts with the chunk stashed.
+        s.reset_for_retry(SimTime::ZERO);
+        assert_eq!(
+            s.metrics().pages_retransmitted,
+            0,
+            "nothing was emitted twice, so nothing may be counted as retransmitted"
+        );
+        // The retry re-ships everything from scratch; with per-attempt
+        // state cleared those sends are all first transmissions.
+        let cmds = drive_until_quiet(&mut s, &mut mem, SimTime::ZERO);
+        assert!(s.is_done());
+        assert!(count_full(&cmds) >= 8, "retry re-covers the populated set");
+        assert_eq!(
+            s.metrics().pages_retransmitted,
+            0,
+            "corrected total: the aborted build contributes nothing"
+        );
+        // The abort itself is visible in the phase log.
+        assert!(s
+            .metrics()
+            .phase_log
+            .iter()
+            .any(|p| p.phase == agile_trace::PhaseKind::Aborted));
+    }
+
+    #[test]
+    fn phase_log_tracks_transitions() {
+        use agile_trace::PhaseKind;
+        let mut mem = fixture(32);
+        let mut s = SourceSession::new(
+            SourceConfig {
+                chunk_pages: 8,
+                ..SourceConfig::new(Technique::Agile)
+            },
+            32,
+            SimTime::ZERO,
+        );
+        drive_until_quiet(&mut s, &mut mem, SimTime::ZERO);
+        assert!(s.is_done());
+        let kinds: Vec<PhaseKind> = s.metrics().phase_log.iter().map(|p| p.phase).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PhaseKind::LiveRound,
+                PhaseKind::AwaitHandoff,
+                PhaseKind::Push,
+                PhaseKind::Done
+            ],
+            "agile: exactly one live round, then handoff, push, done"
+        );
+        // Counter snapshots are monotone along the log.
+        for w in s.metrics().phase_log.windows(2) {
+            assert!(w[0].migration_bytes <= w[1].migration_bytes);
+            assert!(w[0].pages_sent_full <= w[1].pages_sent_full);
+        }
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub use blockdev::{BlockDevice, BlockDeviceSpec, IoCounters, IoKind};
 pub use event::{EventId, FastEvent, Simulation};
 pub use net::{ChannelId, Delivery, Network, NodeId, SegmentId};
 pub use rng::{DetRng, SeedSequence};
-pub use stats::{percentile, Summary, ThroughputMeter, TimeSeries};
+pub use stats::{
+    percentile, FixedHistogram, Summary, ThroughputMeter, TimeSeries, HISTOGRAM_BUCKETS,
+};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
 pub use units::{fmt_bytes, Bandwidth, GIB, KIB, MIB};

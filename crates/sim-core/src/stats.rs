@@ -6,7 +6,7 @@
 //! [`TimeSeries`] records arbitrary sampled values; [`Summary`] reduces a
 //! slice to the usual descriptive statistics.
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// A sampled `(time, value)` series.
 #[derive(Clone, Debug, Default)]
@@ -207,6 +207,112 @@ impl Summary {
     }
 }
 
+/// Number of buckets in a [`FixedHistogram`] — one per power of two of
+/// nanoseconds, covering the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A histogram of simulated durations with a *fixed* logarithmic bucket
+/// layout: bucket `i` holds durations whose nanosecond count has `i`
+/// significant bits (bucket 0 is exactly zero, bucket 1 is 1 ns, bucket
+/// `i` covers `[2^(i-1), 2^i)` ns).
+///
+/// The layout never depends on the data, so two runs that observe the same
+/// durations in any order render byte-identical output — the property the
+/// metrics registry's deterministic export relies on.
+#[derive(Clone, Debug)]
+pub struct FixedHistogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    total: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for FixedHistogram {
+    fn default() -> Self {
+        FixedHistogram::new()
+    }
+}
+
+impl FixedHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        FixedHistogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// The bucket index a duration falls into.
+    #[inline]
+    pub fn bucket_of(d: SimDuration) -> usize {
+        let ns = d.as_nanos();
+        (64 - ns.leading_zeros()) as usize
+    }
+
+    /// Lower bound (inclusive) of bucket `i`, in nanoseconds.
+    pub fn bucket_floor_ns(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&mut self, d: SimDuration) {
+        // 64 - leading_zeros is at most 64 for u64::MAX; clamp into range.
+        let b = Self::bucket_of(d).min(HISTOGRAM_BUCKETS - 1);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum_ns = self.sum_ns.saturating_add(d.as_nanos());
+        self.max_ns = self.max_ns.max(d.as_nanos());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observations, in nanoseconds (saturating).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Largest observation, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Per-bucket counts (fixed layout, see type docs).
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Nearest-rank quantile upper bound: the bucket ceiling (exclusive
+    /// power-of-two bound) below which at least `p`% of observations fall.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_ceil_ns(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return match i {
+                    0 => 0,
+                    63 => u64::MAX,
+                    _ => 1u64 << i,
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
 /// Percentile of a sample (nearest-rank). `p` in `[0, 100]`.
 pub fn percentile(values: &mut [f64], p: f64) -> f64 {
     if values.is_empty() {
@@ -307,6 +413,52 @@ mod tests {
         let s = Summary::of([7.0]);
         assert_eq!(s.stddev, 0.0);
         assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn histogram_fixed_buckets() {
+        let mut h = FixedHistogram::new();
+        h.observe(SimDuration::ZERO);
+        h.observe(SimDuration::from_nanos(1));
+        h.observe(SimDuration::from_nanos(2));
+        h.observe(SimDuration::from_nanos(3));
+        h.observe(SimDuration::from_nanos(1024));
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.buckets()[0], 1); // exactly zero
+        assert_eq!(h.buckets()[1], 1); // 1 ns
+        assert_eq!(h.buckets()[2], 2); // [2, 4) ns
+        assert_eq!(h.buckets()[11], 1); // [1024, 2048) ns
+        assert_eq!(h.sum_ns(), 1030);
+        assert_eq!(h.max_ns(), 1024);
+        assert_eq!(FixedHistogram::bucket_floor_ns(11), 1024);
+    }
+
+    #[test]
+    fn histogram_order_independent() {
+        let obs = [0u64, 5, 17, 1_000_000, 3, 17, 42];
+        let mut a = FixedHistogram::new();
+        let mut b = FixedHistogram::new();
+        for &ns in &obs {
+            a.observe(SimDuration::from_nanos(ns));
+        }
+        for &ns in obs.iter().rev() {
+            b.observe(SimDuration::from_nanos(ns));
+        }
+        assert_eq!(a.buckets(), b.buckets());
+        assert_eq!(a.sum_ns(), b.sum_ns());
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = FixedHistogram::new();
+        assert_eq!(h.quantile_ceil_ns(50.0), 0);
+        for _ in 0..9 {
+            h.observe(SimDuration::from_nanos(100)); // bucket 7: [64, 128)
+        }
+        h.observe(SimDuration::from_millis(1));
+        assert_eq!(h.quantile_ceil_ns(50.0), 128);
+        assert_eq!(h.quantile_ceil_ns(90.0), 128);
+        assert!(h.quantile_ceil_ns(99.0) >= 1_000_000);
     }
 
     #[test]

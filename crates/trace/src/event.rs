@@ -1,0 +1,507 @@
+//! Trace events and the ring-buffer tracer.
+//!
+//! Events are small `Copy` values stamped with the simulated time they
+//! occurred at. The [`Tracer`] is embedded in the cluster `World`; every
+//! instrumentation point calls [`Tracer::record`], which is a single
+//! branch when tracing is disabled (the disabled tracer owns no buffer,
+//! so the hot loop allocates nothing).
+
+use agile_sim_core::SimTime;
+
+/// Which path a destination page fault resolved through (§III-C).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultPath {
+    /// The page had already arrived (stream or earlier fault).
+    AlreadyHere,
+    /// Demand-paged from the source over the migration connection.
+    FromSource,
+    /// Read from the portable per-VM swap device (the VMD) — the Agile
+    /// cold-page path that never touches the migration TCP connection.
+    FromSwap,
+    /// Never-populated page, zero-filled locally.
+    ZeroFill,
+}
+
+impl FaultPath {
+    /// Stable lower-snake name used in the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPath::AlreadyHere => "already_here",
+            FaultPath::FromSource => "from_source",
+            FaultPath::FromSwap => "from_swap",
+            FaultPath::ZeroFill => "zero_fill",
+        }
+    }
+}
+
+/// Chaos fault families (payload-free mirror of `agile-chaos`'s kinds).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaosKind {
+    /// An intermediate/VMD host crashed.
+    ServerCrash,
+    /// A crashed host rejoined.
+    ServerRejoin,
+    /// A NIC was degraded or partitioned.
+    NicDegrade,
+    /// A degraded NIC was restored.
+    NicRestore,
+    /// Swap-device latency spike began.
+    SwapSlow,
+    /// Swap-device latency spike ended.
+    SwapRestore,
+    /// Every TCP connection of a migration dropped.
+    MigConnDrop,
+}
+
+impl ChaosKind {
+    /// Stable lower-snake name used in the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosKind::ServerCrash => "server_crash",
+            ChaosKind::ServerRejoin => "server_rejoin",
+            ChaosKind::NicDegrade => "nic_degrade",
+            ChaosKind::NicRestore => "nic_restore",
+            ChaosKind::SwapSlow => "swap_slow",
+            ChaosKind::SwapRestore => "swap_restore",
+            ChaosKind::MigConnDrop => "mig_conn_drop",
+        }
+    }
+}
+
+/// VMD client completion families.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmdKind {
+    /// A page read completed.
+    ReadDone,
+    /// An eviction write-back completed.
+    WriteDone,
+    /// Every replica of a read's slot was unreachable: content lost.
+    ReadFailed,
+    /// A read was NAKed; the client fails over to another replica.
+    ReadNak,
+    /// A write was NAKed; the client re-places the slot.
+    WriteNak,
+    /// A background re-replication read landed; the repair write follows.
+    RepairWrite,
+}
+
+impl VmdKind {
+    /// Stable lower-snake name used in the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            VmdKind::ReadDone => "read_done",
+            VmdKind::WriteDone => "write_done",
+            VmdKind::ReadFailed => "read_failed",
+            VmdKind::ReadNak => "read_nak",
+            VmdKind::WriteNak => "write_nak",
+            VmdKind::RepairWrite => "repair_write",
+        }
+    }
+}
+
+/// One traced occurrence. Everything is `Copy`; recording never allocates
+/// beyond the ring buffer itself.
+#[derive(Clone, Copy, Debug)]
+pub enum TraceEvent {
+    /// A migration attempt started (attempt 0 is the first).
+    MigStart {
+        /// Migration index.
+        mig: u32,
+        /// Technique name ("pre-copy", "post-copy", "agile").
+        technique: &'static str,
+        /// Attempt number (bumped by connection-drop retries).
+        attempt: u32,
+    },
+    /// The VM was suspended at the source (downtime begins).
+    MigSuspend {
+        /// Migration index.
+        mig: u32,
+    },
+    /// The CPU-state handoff message was put on the wire.
+    MigHandoff {
+        /// Migration index.
+        mig: u32,
+        /// Handoff bytes (CPU/device state + dirty bitmap).
+        wire_bytes: u64,
+    },
+    /// The VM resumed at the destination (downtime ends).
+    MigResume {
+        /// Migration index.
+        mig: u32,
+    },
+    /// The migration finalized: source released.
+    MigComplete {
+        /// Migration index.
+        mig: u32,
+    },
+    /// A pre-resume connection drop aborted the attempt; a retry follows.
+    MigAbort {
+        /// Migration index.
+        mig: u32,
+        /// The attempt number after the bump (the retry's number).
+        attempt: u32,
+    },
+    /// A post-resume connection drop; the migration finalizes degraded.
+    MigDegraded {
+        /// Migration index.
+        mig: u32,
+        /// Pages zero-filled because no copy survived anywhere.
+        pages_lost: u64,
+    },
+    /// A chunk was put on the migration channel.
+    ChunkSent {
+        /// Migration index.
+        mig: u32,
+        /// Full pages carried.
+        full: u32,
+        /// SWAPPED-flag offset markers carried (Agile).
+        offsets: u32,
+        /// Zero-page markers carried.
+        zeros: u32,
+        /// Entries that re-send a previously shipped page.
+        retransmits: u32,
+        /// Bytes on the wire.
+        wire_bytes: u64,
+        /// Demand-response priority (dedicated demand channel).
+        priority: bool,
+    },
+    /// The destination demand-requested a page from the source.
+    DemandRequest {
+        /// Migration index.
+        mig: u32,
+        /// Faulted guest page.
+        pfn: u32,
+    },
+    /// A priority (demand-response) chunk arrived at the destination.
+    DemandServed {
+        /// Migration index.
+        mig: u32,
+        /// The page that was served.
+        pfn: u32,
+    },
+    /// A destination page fault was routed.
+    FaultRouted {
+        /// VM index.
+        vm: u32,
+        /// Faulted guest page.
+        pfn: u32,
+        /// Resolution path.
+        path: FaultPath,
+    },
+    /// The WSS controller acted on a swap-I/O rate sample (§IV-D).
+    WssSample {
+        /// VM index.
+        vm: u32,
+        /// Sampled swap I/O rate in KB/s.
+        rate_kbps: f64,
+        /// Reservation the controller set, in bytes.
+        reservation: u64,
+        /// Whether the controller considers the estimate stable.
+        stable: bool,
+    },
+    /// A chaos fault fired. `start == true` opens a fault window
+    /// (crash/degrade/slow/drop); `false` closes one (rejoin/restore).
+    ChaosFault {
+        /// Fault family.
+        kind: ChaosKind,
+        /// Target index (host, NIC node, VM, or migration — per kind).
+        target: u32,
+        /// Window open (true) or close (false).
+        start: bool,
+    },
+    /// A VMD client request completed (or failed over / repaired).
+    Vmd {
+        /// Client index.
+        client: u32,
+        /// Completion family.
+        kind: VmdKind,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lower-snake event name (the `"ev"` field of the export).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::MigStart { .. } => "mig_start",
+            TraceEvent::MigSuspend { .. } => "mig_suspend",
+            TraceEvent::MigHandoff { .. } => "mig_handoff",
+            TraceEvent::MigResume { .. } => "mig_resume",
+            TraceEvent::MigComplete { .. } => "mig_complete",
+            TraceEvent::MigAbort { .. } => "mig_abort",
+            TraceEvent::MigDegraded { .. } => "mig_degraded",
+            TraceEvent::ChunkSent { .. } => "chunk_sent",
+            TraceEvent::DemandRequest { .. } => "demand_request",
+            TraceEvent::DemandServed { .. } => "demand_served",
+            TraceEvent::FaultRouted { .. } => "fault_routed",
+            TraceEvent::WssSample { .. } => "wss_sample",
+            TraceEvent::ChaosFault { .. } => "chaos_fault",
+            TraceEvent::Vmd { .. } => "vmd",
+        }
+    }
+
+    /// Append this event's payload fields as `,"k":v` JSON pairs.
+    fn write_fields(&self, out: &mut String) {
+        use std::fmt::Write;
+        match *self {
+            TraceEvent::MigStart {
+                mig,
+                technique,
+                attempt,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"mig\":{mig},\"technique\":\"{technique}\",\"attempt\":{attempt}"
+                );
+            }
+            TraceEvent::MigSuspend { mig }
+            | TraceEvent::MigResume { mig }
+            | TraceEvent::MigComplete { mig } => {
+                let _ = write!(out, ",\"mig\":{mig}");
+            }
+            TraceEvent::MigHandoff { mig, wire_bytes } => {
+                let _ = write!(out, ",\"mig\":{mig},\"wire_bytes\":{wire_bytes}");
+            }
+            TraceEvent::MigAbort { mig, attempt } => {
+                let _ = write!(out, ",\"mig\":{mig},\"attempt\":{attempt}");
+            }
+            TraceEvent::MigDegraded { mig, pages_lost } => {
+                let _ = write!(out, ",\"mig\":{mig},\"pages_lost\":{pages_lost}");
+            }
+            TraceEvent::ChunkSent {
+                mig,
+                full,
+                offsets,
+                zeros,
+                retransmits,
+                wire_bytes,
+                priority,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"mig\":{mig},\"full\":{full},\"offsets\":{offsets},\"zeros\":{zeros},\
+                     \"retransmits\":{retransmits},\"wire_bytes\":{wire_bytes},\
+                     \"priority\":{priority}"
+                );
+            }
+            TraceEvent::DemandRequest { mig, pfn } | TraceEvent::DemandServed { mig, pfn } => {
+                let _ = write!(out, ",\"mig\":{mig},\"pfn\":{pfn}");
+            }
+            TraceEvent::FaultRouted { vm, pfn, path } => {
+                let _ = write!(
+                    out,
+                    ",\"vm\":{vm},\"pfn\":{pfn},\"path\":\"{}\"",
+                    path.name()
+                );
+            }
+            TraceEvent::WssSample {
+                vm,
+                rate_kbps,
+                reservation,
+                stable,
+            } => {
+                // `{:?}` on f64 prints the shortest exact round-trip form,
+                // so the export stays byte-deterministic per seed.
+                let _ = write!(
+                    out,
+                    ",\"vm\":{vm},\"rate_kbps\":{rate_kbps:?},\"reservation\":{reservation},\
+                     \"stable\":{stable}"
+                );
+            }
+            TraceEvent::ChaosFault {
+                kind,
+                target,
+                start,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"{}\",\"target\":{target},\"start\":{start}",
+                    kind.name()
+                );
+            }
+            TraceEvent::Vmd { client, kind } => {
+                let _ = write!(out, ",\"client\":{client},\"kind\":\"{}\"", kind.name());
+            }
+        }
+    }
+}
+
+/// Ring-buffer event sink keyed on simulated time.
+///
+/// A disabled tracer (the default) owns no buffer; [`Tracer::record`]
+/// returns after one branch. An enabled tracer keeps the most recent
+/// `capacity` events, counting what it overwrote in
+/// [`Tracer::dropped`].
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    cap: usize,
+    head: usize,
+    events: Vec<(SimTime, TraceEvent)>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// The no-op tracer: records nothing, allocates nothing.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// An enabled tracer keeping the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        Tracer {
+            enabled: true,
+            cap: capacity,
+            head: 0,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Whether recording is on. Instrumentation sites use this to skip
+    /// computing event payloads entirely when tracing is off.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record `ev` at simulated time `at`. A no-op on a disabled tracer.
+    #[inline]
+    pub fn record(&mut self, at: SimTime, ev: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() < self.cap {
+            self.events.push((at, ev));
+        } else {
+            self.events[self.head] = (at, ev);
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(SimTime, TraceEvent)> {
+        let (tail, head) = self.events.split_at(self.head);
+        head.iter().chain(tail.iter())
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events whose name is `name`.
+    pub fn count_named(&self, name: &str) -> usize {
+        self.events().filter(|(_, e)| e.name() == name).count()
+    }
+
+    /// Render the retained events as JSON Lines, oldest first. Timestamps
+    /// are integer nanoseconds, so the output is byte-deterministic.
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(self.events.len() * 96);
+        for (t, ev) in self.events() {
+            let _ = write!(out, "{{\"t_ns\":{},\"ev\":\"{}\"", t.as_nanos(), ev.name());
+            ev.write_fields(&mut out);
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let mut t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.record(SimTime::ZERO, TraceEvent::MigSuspend { mig: 0 });
+        assert!(t.is_empty());
+        assert_eq!(t.to_jsonl(), "");
+        // The disabled tracer never allocated a buffer.
+        assert_eq!(t.events.capacity(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut t = Tracer::with_capacity(3);
+        for i in 0..5u32 {
+            t.record(
+                SimTime::from_nanos(u64::from(i)),
+                TraceEvent::MigSuspend { mig: i },
+            );
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let migs: Vec<u32> = t
+            .events()
+            .map(|(_, e)| match e {
+                TraceEvent::MigSuspend { mig } => *mig,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(migs, vec![2, 3, 4], "oldest events were overwritten");
+    }
+
+    #[test]
+    fn jsonl_shape_and_determinism() {
+        let build = || {
+            let mut t = Tracer::with_capacity(8);
+            t.record(
+                SimTime::from_millis(1),
+                TraceEvent::ChunkSent {
+                    mig: 0,
+                    full: 256,
+                    offsets: 0,
+                    zeros: 3,
+                    retransmits: 1,
+                    wire_bytes: 1_052_736,
+                    priority: false,
+                },
+            );
+            t.record(
+                SimTime::from_millis(2),
+                TraceEvent::WssSample {
+                    vm: 1,
+                    rate_kbps: 1536.5,
+                    reservation: 1 << 30,
+                    stable: true,
+                },
+            );
+            t.to_jsonl()
+        };
+        let a = build();
+        assert_eq!(a, build(), "same inputs render byte-identically");
+        let mut lines = a.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"t_ns\":1000000,\"ev\":\"chunk_sent\",\"mig\":0,\"full\":256,\"offsets\":0,\
+             \"zeros\":3,\"retransmits\":1,\"wire_bytes\":1052736,\"priority\":false}"
+        );
+        assert!(lines.next().unwrap().contains("\"rate_kbps\":1536.5"));
+    }
+
+    #[test]
+    fn count_named_filters() {
+        let mut t = Tracer::with_capacity(8);
+        t.record(SimTime::ZERO, TraceEvent::MigSuspend { mig: 0 });
+        t.record(SimTime::ZERO, TraceEvent::MigResume { mig: 0 });
+        t.record(SimTime::ZERO, TraceEvent::MigSuspend { mig: 1 });
+        assert_eq!(t.count_named("mig_suspend"), 2);
+        assert_eq!(t.count_named("mig_resume"), 1);
+        assert_eq!(t.count_named("chunk_sent"), 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Typed metrics registry with byte-deterministic export.
+//!
+//! Counters, gauges, and fixed-bucket simulated-time histograms, kept in
+//! registration order. Rendering walks that order, histograms use
+//! [`FixedHistogram`]'s data-independent bucket layout, and floats print
+//! in shortest-round-trip form — so the JSON export of a seeded run is
+//! byte-identical across invocations.
+
+use agile_sim_core::{FixedHistogram, SimDuration};
+
+/// One registered metric.
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    // Boxed: a histogram is ~50x the size of the other variants.
+    Histogram(Box<FixedHistogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of named metrics, rendered in registration order.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, Metric)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn upsert(&mut self, name: &str, fresh: Metric) -> &mut Metric {
+        // Linear scan: registries hold tens of entries and are written at
+        // report time, not in the event hot loop.
+        match self.entries.iter().position(|(n, _)| n == name) {
+            Some(i) => {
+                let m = &mut self.entries[i].1;
+                assert_eq!(
+                    m.kind(),
+                    fresh.kind(),
+                    "metric {name:?} re-registered with a different type"
+                );
+                m
+            }
+            None => {
+                self.entries.push((name.to_string(), fresh));
+                &mut self.entries.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    /// Add `delta` to counter `name` (registering it at 0 first if new).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self.upsert(name, Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            _ => unreachable!("kind checked in upsert"),
+        }
+    }
+
+    /// Set counter `name` to `value`.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        match self.upsert(name, Metric::Counter(0)) {
+            Metric::Counter(v) => *v = value,
+            _ => unreachable!("kind checked in upsert"),
+        }
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        match self.upsert(name, Metric::Gauge(0.0)) {
+            Metric::Gauge(v) => *v = value,
+            _ => unreachable!("kind checked in upsert"),
+        }
+    }
+
+    /// Record a duration observation into histogram `name`.
+    pub fn observe(&mut self, name: &str, d: SimDuration) {
+        match self.upsert(name, Metric::Histogram(Box::new(FixedHistogram::new()))) {
+            Metric::Histogram(h) => h.observe(d),
+            _ => unreachable!("kind checked in upsert"),
+        }
+    }
+
+    /// The value of counter `name`, if registered as a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, m)| match m {
+            Metric::Counter(v) if n == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// The value of gauge `name`, if registered as a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.entries.iter().find_map(|(n, m)| match m {
+            Metric::Gauge(v) if n == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// The histogram `name`, if registered as one.
+    pub fn histogram(&self, name: &str) -> Option<&FixedHistogram> {
+        self.entries.iter().find_map(|(n, m)| match m {
+            Metric::Histogram(h) if n == name => Some(h.as_ref()),
+            _ => None,
+        })
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render as one JSON object, metrics in registration order.
+    ///
+    /// Histograms list only their non-empty buckets as
+    /// `[bucket_index, count]` pairs (the layout itself is fixed, see
+    /// [`FixedHistogram`]), keeping the export compact and deterministic.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\n");
+        for (i, (name, m)) in self.entries.iter().enumerate() {
+            let sep = if i + 1 == self.entries.len() { "" } else { "," };
+            match m {
+                Metric::Counter(v) => {
+                    let _ = writeln!(
+                        out,
+                        "  \"{name}\":{{\"type\":\"counter\",\"value\":{v}}}{sep}"
+                    );
+                }
+                Metric::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "  \"{name}\":{{\"type\":\"gauge\",\"value\":{v:?}}}{sep}"
+                    );
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "  \"{name}\":{{\"type\":\"histogram\",\"count\":{},\"sum_ns\":{},\
+                         \"max_ns\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum_ns(),
+                        h.max_ns()
+                    );
+                    let mut first = true;
+                    for (b, &c) in h.buckets().iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        let _ = write!(out, "[{b},{c}]");
+                    }
+                    let _ = writeln!(out, "]}}{sep}");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_order_is_render_order() {
+        let mut r = MetricsRegistry::new();
+        r.add("zebra", 1);
+        r.add("aardvark", 2);
+        r.set_gauge("middle", 0.5);
+        let json = r.to_json();
+        let z = json.find("zebra").unwrap();
+        let a = json.find("aardvark").unwrap();
+        let m = json.find("middle").unwrap();
+        assert!(z < a && a < m, "registration order preserved: {json}");
+    }
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut r = MetricsRegistry::new();
+        r.add("pages", 3);
+        r.add("pages", 4);
+        assert_eq!(r.counter("pages"), Some(7));
+        r.set_counter("pages", 1);
+        assert_eq!(r.counter("pages"), Some(1));
+        assert_eq!(r.counter("missing"), None);
+        assert_eq!(r.gauge("pages"), None, "kind-checked lookup");
+    }
+
+    #[test]
+    fn histogram_renders_sparse_buckets() {
+        let mut r = MetricsRegistry::new();
+        r.observe("lat", SimDuration::from_nanos(100));
+        r.observe("lat", SimDuration::from_nanos(100));
+        r.observe("lat", SimDuration::from_millis(1));
+        let json = r.to_json();
+        assert!(json.contains("\"count\":3"), "{json}");
+        assert!(json.contains("[7,2]"), "two obs in [64,128) ns: {json}");
+        assert_eq!(r.histogram("lat").unwrap().count(), 3);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let build = || {
+            let mut r = MetricsRegistry::new();
+            r.add("a", 1);
+            r.set_gauge("b", 1.0 / 3.0);
+            r.observe("c", SimDuration::from_micros(7));
+            r.to_json()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn kind_conflict_panics() {
+        let mut r = MetricsRegistry::new();
+        r.add("x", 1);
+        r.set_gauge("x", 2.0);
+    }
+}

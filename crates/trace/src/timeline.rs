@@ -1,0 +1,309 @@
+//! Per-migration phase timelines — the `TRACE_<scenario>.json` payload.
+//!
+//! A migration decomposes into the phases the paper's evaluation reasons
+//! about: live pre-copy rounds, stop-and-copy, the CPU handoff, and the
+//! post-resume push/demand phase. The source session records a
+//! [`PhasePoint`] snapshot of its cumulative counters every time it
+//! *enters* a phase; the cluster report layer folds those points together
+//! with end-of-run totals and destination-side counters into a
+//! [`PhaseTimeline`].
+//!
+//! All timestamps render as integer nanoseconds and all fields render in
+//! a fixed order, so `to_json()` is byte-deterministic per seed.
+
+use agile_sim_core::SimTime;
+
+/// A migration phase, as entered by the source state machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PhaseKind {
+    /// A live pre-copy round (VM executing at the source).
+    LiveRound,
+    /// Pre-copy stop-and-copy: VM suspended, draining the dirty set.
+    StopAndCopy,
+    /// Handoff queued; awaiting delivery at the destination.
+    AwaitHandoff,
+    /// Post-resume push + demand paging (post-copy and Agile).
+    Push,
+    /// Everything queued; source releasable once the pipes drain.
+    Done,
+    /// The attempt was aborted (connection drop); a retry restarts it.
+    Aborted,
+}
+
+impl PhaseKind {
+    /// Stable lower-snake name used in the JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseKind::LiveRound => "live_round",
+            PhaseKind::StopAndCopy => "stop_and_copy",
+            PhaseKind::AwaitHandoff => "await_handoff",
+            PhaseKind::Push => "push",
+            PhaseKind::Done => "done",
+            PhaseKind::Aborted => "aborted",
+        }
+    }
+}
+
+/// Snapshot of the source session's cumulative counters at the instant a
+/// phase was entered.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PhasePoint {
+    /// When the phase was entered.
+    pub at: SimTime,
+    /// The phase entered.
+    pub phase: PhaseKind,
+    /// Live-round number (0 outside live rounds).
+    pub round: u32,
+    /// Cumulative bytes on the migration connection.
+    pub migration_bytes: u64,
+    /// Cumulative full pages sent.
+    pub pages_sent_full: u64,
+    /// Cumulative SWAPPED-flag offset markers sent (Agile).
+    pub pages_sent_as_offsets: u64,
+    /// Cumulative zero-page markers sent.
+    pub pages_sent_zero: u64,
+    /// Cumulative retransmissions of already-shipped pages.
+    pub pages_retransmitted: u64,
+    /// Cumulative pages the Migration Manager swapped in to transfer.
+    pub pages_swapped_in_for_transfer: u64,
+    /// Cumulative pages demand-served from the source.
+    pub pages_demand_from_source: u64,
+}
+
+impl PhasePoint {
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"t_ns\":{},\"phase\":\"{}\",\"round\":{},\"migration_bytes\":{},\
+             \"pages_sent_full\":{},\"pages_sent_as_offsets\":{},\"pages_sent_zero\":{},\
+             \"pages_retransmitted\":{},\"pages_swapped_in_for_transfer\":{},\
+             \"pages_demand_from_source\":{}}}",
+            self.at.as_nanos(),
+            self.phase.name(),
+            self.round,
+            self.migration_bytes,
+            self.pages_sent_full,
+            self.pages_sent_as_offsets,
+            self.pages_sent_zero,
+            self.pages_retransmitted,
+            self.pages_swapped_in_for_transfer,
+            self.pages_demand_from_source,
+        );
+    }
+}
+
+/// The complete per-migration phase decomposition of one run.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct PhaseTimeline {
+    /// Scenario label (e.g. "single_vm").
+    pub scenario: String,
+    /// Technique name ("pre-copy", "post-copy", "agile").
+    pub technique: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Live pre-copy rounds completed.
+    pub rounds: u32,
+    /// Connection-drop retries the migration survived.
+    pub retries: u32,
+    /// Suspension → resumption, in nanoseconds (`None` if never resumed).
+    pub downtime_ns: Option<u64>,
+    /// Start → source released, in nanoseconds (`None` while in flight).
+    pub total_ns: Option<u64>,
+    /// Start → suspension, in nanoseconds (`None` if never suspended).
+    pub live_ns: Option<u64>,
+    /// Pages in the post-suspension pass (stop-and-copy set for pre-copy;
+    /// push set for post-copy/Agile).
+    pub push_set_pages: u64,
+    /// Final bytes on the migration connection.
+    pub migration_bytes: u64,
+    /// Final full pages sent.
+    pub pages_sent_full: u64,
+    /// Final SWAPPED-flag offset markers sent.
+    pub pages_sent_as_offsets: u64,
+    /// Final zero-page markers sent.
+    pub pages_sent_zero: u64,
+    /// Final retransmission count.
+    pub pages_retransmitted: u64,
+    /// Final Migration-Manager swap-in count.
+    pub pages_swapped_in_for_transfer: u64,
+    /// Final demand-from-source count.
+    pub pages_demand_from_source: u64,
+    /// Destination: pages installed from the bulk/priority streams.
+    pub dest_pages_installed_stream: u64,
+    /// Destination: post-resume faults served by the per-VM swap device.
+    pub dest_pages_faulted_from_swap: u64,
+    /// Destination: post-resume faults demand-paged from the source.
+    pub dest_pages_faulted_from_source: u64,
+    /// Destination: duplicate arrivals ignored.
+    pub dest_duplicate_pages_ignored: u64,
+    /// Destination: stale stream pages discarded at resume.
+    pub dest_pages_discarded_at_resume: u64,
+    /// Phase-entry snapshots, in order.
+    pub phases: Vec<PhasePoint>,
+}
+
+impl PhaseTimeline {
+    /// The phase points of one kind, in order.
+    pub fn phases_of(&self, kind: PhaseKind) -> impl Iterator<Item = &PhasePoint> {
+        self.phases.iter().filter(move |p| p.phase == kind)
+    }
+
+    /// Number of live rounds recorded in the phase log.
+    pub fn live_rounds_logged(&self) -> usize {
+        self.phases_of(PhaseKind::LiveRound).count()
+    }
+
+    /// Render as a deterministic JSON document.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        fn opt(v: Option<u64>) -> String {
+            match v {
+                Some(x) => x.to_string(),
+                None => "null".to_string(),
+            }
+        }
+        let mut out = String::with_capacity(1024 + self.phases.len() * 200);
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"scenario\": \"{}\",", self.scenario);
+        let _ = writeln!(out, "  \"technique\": \"{}\",", self.technique);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"rounds\": {},", self.rounds);
+        let _ = writeln!(out, "  \"retries\": {},", self.retries);
+        let _ = writeln!(out, "  \"downtime_ns\": {},", opt(self.downtime_ns));
+        let _ = writeln!(out, "  \"total_ns\": {},", opt(self.total_ns));
+        let _ = writeln!(out, "  \"live_ns\": {},", opt(self.live_ns));
+        let _ = writeln!(out, "  \"push_set_pages\": {},", self.push_set_pages);
+        let _ = writeln!(out, "  \"migration_bytes\": {},", self.migration_bytes);
+        let _ = writeln!(out, "  \"pages_sent_full\": {},", self.pages_sent_full);
+        let _ = writeln!(
+            out,
+            "  \"pages_sent_as_offsets\": {},",
+            self.pages_sent_as_offsets
+        );
+        let _ = writeln!(out, "  \"pages_sent_zero\": {},", self.pages_sent_zero);
+        let _ = writeln!(
+            out,
+            "  \"pages_retransmitted\": {},",
+            self.pages_retransmitted
+        );
+        let _ = writeln!(
+            out,
+            "  \"pages_swapped_in_for_transfer\": {},",
+            self.pages_swapped_in_for_transfer
+        );
+        let _ = writeln!(
+            out,
+            "  \"pages_demand_from_source\": {},",
+            self.pages_demand_from_source
+        );
+        let _ = writeln!(
+            out,
+            "  \"dest_pages_installed_stream\": {},",
+            self.dest_pages_installed_stream
+        );
+        let _ = writeln!(
+            out,
+            "  \"dest_pages_faulted_from_swap\": {},",
+            self.dest_pages_faulted_from_swap
+        );
+        let _ = writeln!(
+            out,
+            "  \"dest_pages_faulted_from_source\": {},",
+            self.dest_pages_faulted_from_source
+        );
+        let _ = writeln!(
+            out,
+            "  \"dest_duplicate_pages_ignored\": {},",
+            self.dest_duplicate_pages_ignored
+        );
+        let _ = writeln!(
+            out,
+            "  \"dest_pages_discarded_at_resume\": {},",
+            self.dest_pages_discarded_at_resume
+        );
+        let _ = writeln!(out, "  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            out.push_str("    ");
+            p.write_json(&mut out);
+            if i + 1 != self.phases.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(at_ns: u64, phase: PhaseKind, round: u32) -> PhasePoint {
+        PhasePoint {
+            at: SimTime::from_nanos(at_ns),
+            phase,
+            round,
+            migration_bytes: 0,
+            pages_sent_full: 0,
+            pages_sent_as_offsets: 0,
+            pages_sent_zero: 0,
+            pages_retransmitted: 0,
+            pages_swapped_in_for_transfer: 0,
+            pages_demand_from_source: 0,
+        }
+    }
+
+    #[test]
+    fn phase_filters() {
+        let tl = PhaseTimeline {
+            technique: "agile".into(),
+            phases: vec![
+                point(0, PhaseKind::LiveRound, 1),
+                point(10, PhaseKind::AwaitHandoff, 0),
+                point(20, PhaseKind::Push, 0),
+                point(30, PhaseKind::Done, 0),
+            ],
+            ..PhaseTimeline::default()
+        };
+        assert_eq!(tl.live_rounds_logged(), 1);
+        assert_eq!(tl.phases_of(PhaseKind::Push).count(), 1);
+        assert_eq!(tl.phases_of(PhaseKind::StopAndCopy).count(), 0);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_well_shaped() {
+        let build = || {
+            let tl = PhaseTimeline {
+                scenario: "single_vm".into(),
+                technique: "pre-copy".into(),
+                seed: 42,
+                rounds: 2,
+                downtime_ns: Some(200_000_000),
+                total_ns: Some(30_000_000_000),
+                live_ns: Some(29_800_000_000),
+                phases: vec![
+                    point(0, PhaseKind::LiveRound, 1),
+                    point(5, PhaseKind::LiveRound, 2),
+                ],
+                ..PhaseTimeline::default()
+            };
+            tl.to_json()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.contains("\"downtime_ns\": 200000000"), "{a}");
+        assert!(a.contains("\"phase\":\"live_round\",\"round\":2"), "{a}");
+        assert!(a.contains("\"total_ns\": 30000000000"), "{a}");
+    }
+
+    #[test]
+    fn json_null_for_inflight() {
+        let tl = PhaseTimeline::default();
+        let j = tl.to_json();
+        assert!(j.contains("\"downtime_ns\": null"), "{j}");
+        assert!(j.contains("\"phases\": ["), "{j}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Metamorphic tests for the WSS controller and monitor.
+//!
+//! The controller's decision depends on the sampled swap rate only
+//! through the comparison against τ, so **scaling every rate and τ by
+//! the same constant must leave the adjustment sequence untouched** —
+//! same reservations, same cadence, same stability verdicts, under any
+//! α/β. Scale factors are powers of two, so the float arithmetic is
+//! exact and the relation holds bit-for-bit, not approximately.
+//!
+//! Cases are generated from the deterministic simulation RNG with fixed
+//! seeds, so any failure reproduces.
+
+use agile_sim_core::{DetRng, IoCounters, SimTime};
+use agile_wss::{
+    Adjustment, ControllerParams, ReservationController, SwapActivityMonitor, SwapRate,
+};
+
+fn rate(kbps: f64) -> SwapRate {
+    SwapRate {
+        at: SimTime::ZERO,
+        read_bps: kbps * 1024.0,
+        write_bps: 0.0,
+    }
+}
+
+/// Replay `rates` through a fresh controller, threading the reservation.
+fn replay(params: ControllerParams, start: u64, rates: &[f64]) -> Vec<Adjustment> {
+    let mut c = ReservationController::new(params);
+    let mut r = start;
+    rates
+        .iter()
+        .map(|&kbps| {
+            let adj = c.on_sample(r, rate(kbps));
+            r = adj.new_reservation;
+            adj
+        })
+        .collect()
+}
+
+/// Scaling the swap-I/O sample rates and τ by the same power of two must
+/// produce an identical adjustment sequence.
+#[test]
+fn scaling_rates_and_tau_preserves_adjustments() {
+    for case in 0..100u64 {
+        let mut g = DetRng::seed_from(0x9a17 * 7 + case);
+        let n = 1 + g.index(60) as usize;
+        let rates: Vec<f64> = (0..n).map(|_| g.range_f64(0.0, 64.0)).collect();
+        let min = 64u64 << 20;
+        let max = 4u64 << 30;
+        // Vary α/β/τ per case (β > 1 > α, τ around the paper's 4 KB/s).
+        let mut params = ControllerParams::paper(min, max);
+        params.alpha = g.range_f64(0.80, 0.99);
+        params.beta = g.range_f64(1.01, 1.25);
+        params.tau_kbps = g.range_f64(1.0, 16.0);
+        let start = 2u64 << 30;
+        let base = replay(params, start, &rates);
+        for c in [0.5f64, 2.0, 4.0, 8.0] {
+            let scaled_rates: Vec<f64> = rates.iter().map(|r| r * c).collect();
+            let mut scaled_params = params;
+            scaled_params.tau_kbps = params.tau_kbps * c;
+            let scaled = replay(scaled_params, start, &scaled_rates);
+            assert_eq!(
+                base, scaled,
+                "case {case}, scale {c}: adjustment sequence diverged"
+            );
+        }
+    }
+}
+
+/// Direction consistency: a sample strictly below τ never grows the
+/// reservation; a sample strictly above never shrinks it (modulo the
+/// [min, max] clamp, which can only pull toward the bounds).
+#[test]
+fn below_tau_never_grows_above_tau_never_shrinks() {
+    for case in 0..100u64 {
+        let mut g = DetRng::seed_from(0xb3e * 11 + case);
+        let min = 64u64 << 20;
+        let max = 4u64 << 30;
+        let mut params = ControllerParams::paper(min, max);
+        params.tau_kbps = g.range_f64(1.0, 16.0);
+        let mut c = ReservationController::new(params);
+        let mut r = 2u64 << 30;
+        for _ in 0..60 {
+            let kbps = g.range_f64(0.0, 32.0);
+            let adj = c.on_sample(r, rate(kbps));
+            if kbps > params.tau_kbps {
+                assert!(
+                    adj.new_reservation >= r.min(max),
+                    "case {case}: above-τ sample shrank {r} -> {}",
+                    adj.new_reservation
+                );
+            } else {
+                assert!(
+                    adj.new_reservation <= r.max(min),
+                    "case {case}: below-τ sample grew {r} -> {}",
+                    adj.new_reservation
+                );
+            }
+            r = adj.new_reservation;
+        }
+    }
+}
+
+/// Monitor metamorphic relation: scaling the cumulative byte counters by
+/// a power of two scales every windowed rate by exactly that factor.
+#[test]
+fn scaling_io_counters_scales_rates_exactly() {
+    for case in 0..50u64 {
+        let mut g = DetRng::seed_from(0xc41 * 13 + case);
+        let n = 2 + g.index(20) as usize;
+        let mut t = 0u64;
+        let samples: Vec<(SimTime, IoCounters)> = (0..n)
+            .map(|_| {
+                t += 1 + g.index(5_000);
+                let c = IoCounters {
+                    read_ops: g.index(1_000),
+                    write_ops: g.index(1_000),
+                    read_bytes: g.index(1 << 30),
+                    write_bytes: g.index(1 << 30),
+                    busy_nanos: g.index(1 << 40),
+                };
+                (SimTime::from_millis(t), c)
+            })
+            .collect();
+        // Cumulative counters must be monotone; prefix-sum the draws.
+        let mut acc = IoCounters::default();
+        let samples: Vec<(SimTime, IoCounters)> = samples
+            .into_iter()
+            .map(|(at, d)| {
+                acc.read_ops += d.read_ops;
+                acc.write_ops += d.write_ops;
+                acc.read_bytes += d.read_bytes;
+                acc.write_bytes += d.write_bytes;
+                acc.busy_nanos += d.busy_nanos;
+                (at, acc)
+            })
+            .collect();
+        for scale in [2u64, 4, 8] {
+            let mut base = SwapActivityMonitor::new();
+            let mut scaled = SwapActivityMonitor::new();
+            for (at, c) in &samples {
+                let sc = IoCounters {
+                    read_bytes: c.read_bytes * scale,
+                    write_bytes: c.write_bytes * scale,
+                    ..*c
+                };
+                match (base.sample(*at, *c), scaled.sample(*at, sc)) {
+                    (None, None) => {}
+                    (Some(b), Some(s)) => {
+                        assert_eq!(s.read_bps, b.read_bps * scale as f64, "case {case}");
+                        assert_eq!(s.write_bps, b.write_bps * scale as f64, "case {case}");
+                        assert_eq!(s.total_kbps(), b.total_kbps() * scale as f64, "case {case}");
+                    }
+                    (b, s) => panic!("case {case}: windows diverged: {b:?} vs {s:?}"),
+                }
+            }
+        }
+    }
+}

@@ -25,6 +25,7 @@
 //! | [`migration`] (`agile-migration`) | pre-copy, post-copy, and Agile state machines; metrics |
 //! | [`wss`] (`agile-wss`) | swap-rate sampling, α/β/τ reservation control, watermark trigger |
 //! | [`chaos`] (`agile-chaos`) | deterministic fault schedules: server crashes, NIC faults, connection drops |
+//! | [`trace`] (`agile-trace`) | simulated-time event tracing, typed metrics registry, phase timelines |
 //! | [`cluster`] (`agile-cluster`) | the executor wiring everything together + scenario library |
 //!
 //! ## Quickstart
@@ -52,6 +53,7 @@ pub use agile_cluster as cluster;
 pub use agile_memory as memory;
 pub use agile_migration as migration;
 pub use agile_sim_core as sim;
+pub use agile_trace as trace;
 pub use agile_vm as vm;
 pub use agile_vmd as vmd;
 pub use agile_workload as workload;

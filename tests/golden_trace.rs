@@ -104,3 +104,73 @@ fn ycsb_golden_trace_differs_across_seeds() {
     // collide the scenario is ignoring its seed.
     assert_ne!(fingerprint(&a), fingerprint(&b), "seed is being ignored");
 }
+
+/// Chaos fault windows must appear as spans in the event trace: every
+/// injected fault records a `chaos_fault` event, window-opening faults
+/// with `start:true` and the matching rejoin/restore with `start:false`.
+#[test]
+fn chaos_fault_windows_appear_as_trace_spans() {
+    use agile_chaos::ChaosSchedule;
+    use agile_cluster::scenario::chaos::{self, ChaosScenarioConfig};
+    use agile_sim_core::{SimDuration, SimTime};
+
+    let schedule = ChaosSchedule::builder()
+        .server_outage(
+            0,
+            SimTime::from_secs(10) + SimDuration::from_millis(200),
+            SimDuration::from_secs(10),
+        )
+        .build();
+    let r = chaos::run(&ChaosScenarioConfig {
+        scale: 64,
+        replication: 2,
+        vmd_servers: 3,
+        schedule,
+        warmup_secs: 10,
+        deadline_secs: 600,
+        seed: 7,
+        trace: true,
+        ..Default::default()
+    });
+    assert!(r.finished, "{r:?}");
+    let jsonl = r.trace_jsonl.as_ref().expect("tracing was on");
+    let crash = "\"ev\":\"chaos_fault\",\"kind\":\"server_crash\",\"target\":0,\"start\":true";
+    let rejoin = "\"ev\":\"chaos_fault\",\"kind\":\"server_rejoin\",\"target\":0,\"start\":false";
+    assert!(jsonl.contains(crash), "missing crash span open");
+    assert!(jsonl.contains(rejoin), "missing crash span close");
+    assert!(
+        jsonl.find(crash).unwrap() < jsonl.find(rejoin).unwrap(),
+        "span closed before it opened"
+    );
+    // The recovery machinery shows up between the spans too: the clients
+    // kept talking to the VMD while the window was open.
+    assert!(jsonl.contains("\"ev\":\"vmd\""), "no VMD activity traced");
+}
+
+/// A chaos-free run's trace export is part of the determinism contract:
+/// two same-seed invocations must produce byte-identical JSONL.
+#[test]
+fn trace_export_is_byte_identical_across_same_seed_runs() {
+    use agile_cluster::scenario::single_vm::{self, SingleVmConfig};
+
+    let run = || {
+        single_vm::run(&SingleVmConfig {
+            technique: Technique::Agile,
+            scale: 64,
+            trace: true,
+            seed: 42,
+            ..SingleVmConfig::default()
+        })
+    };
+    let a = run();
+    let b = run();
+    let ja = a.trace_jsonl.expect("tracing was on");
+    let jb = b.trace_jsonl.expect("tracing was on");
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "trace export diverged between identical runs");
+    assert_eq!(
+        a.timeline.to_json(),
+        b.timeline.to_json(),
+        "timeline export diverged between identical runs"
+    );
+}

@@ -1,0 +1,188 @@
+//! Replay-driven conformance suite: run the single-VM migration scenario
+//! under all three techniques and assert the paper's phase-level claims
+//! from the *exported timeline* — not from the internals that produced
+//! it. The same invariants must hold with tracing enabled and disabled,
+//! and enabling the tracer must not perturb a single metric (observation
+//! must not disturb the simulation).
+
+use agile_cluster::scenario::single_vm::{self, SingleVmConfig, SingleVmResult};
+use agile_migration::Technique;
+use agile_trace::PhaseKind;
+
+/// Bytes of a full-page entry on the wire (page + 16-byte header) at the
+/// default 4 KiB page size.
+const PAGE_ENTRY: u64 = 4096 + 16;
+/// Bytes of a SWAPPED-flag or zero marker entry.
+const MARKER: u64 = 16;
+
+fn run(technique: Technique, busy: bool, trace: bool) -> SingleVmResult {
+    single_vm::run(&SingleVmConfig {
+        technique,
+        busy,
+        scale: 64,
+        trace,
+        seed: 42,
+        ..SingleVmConfig::default()
+    })
+}
+
+/// Invariants every technique must satisfy, asserted from the timeline.
+fn check_common(r: &SingleVmResult, label: &str) {
+    let t = &r.timeline;
+    assert_eq!(t.scenario, "single_vm", "{label}");
+    assert!(
+        t.total_ns.is_some(),
+        "{label}: migration did not finish: {t:?}"
+    );
+    assert!(t.downtime_ns.is_some(), "{label}: VM never resumed");
+    assert!(!t.phases.is_empty(), "{label}: empty phase log");
+    // Phase entries are time-ordered with monotone cumulative counters.
+    for w in t.phases.windows(2) {
+        assert!(w[0].at <= w[1].at, "{label}: phase log out of order");
+        assert!(
+            w[0].migration_bytes <= w[1].migration_bytes
+                && w[0].pages_sent_full <= w[1].pages_sent_full
+                && w[0].pages_retransmitted <= w[1].pages_retransmitted,
+            "{label}: counter snapshot regressed"
+        );
+    }
+    // SWAPPED-flagged pages never traverse the migration TCP connection
+    // as content: the channel carries full pages, 16-byte markers, and
+    // framing — nothing else. If a swapped page's 4 KiB ever leaked onto
+    // the channel outside `pages_sent_full`, this bound would break.
+    let entries = t.pages_sent_full + t.pages_sent_as_offsets + t.pages_sent_zero;
+    let framing_slack = 64 * (entries + 2) + 1_000_000; // chunk headers + handoff
+    let bound =
+        t.pages_sent_full * PAGE_ENTRY + (t.pages_sent_as_offsets + t.pages_sent_zero) * MARKER;
+    assert!(
+        t.migration_bytes <= bound + framing_slack,
+        "{label}: {} bytes on the wire exceeds {} + framing — swapped \
+         content leaked onto the migration connection",
+        t.migration_bytes,
+        bound
+    );
+}
+
+#[test]
+fn agile_runs_exactly_one_precopy_round() {
+    for trace in [false, true] {
+        let r = run(Technique::Agile, false, trace);
+        check_common(&r, "agile");
+        let t = &r.timeline;
+        assert_eq!(t.rounds, 1, "agile must stop after one live round");
+        let live: Vec<_> = t
+            .phases
+            .iter()
+            .filter(|p| p.phase == PhaseKind::LiveRound)
+            .collect();
+        assert_eq!(live.len(), 1, "agile: exactly one live-round entry");
+        assert_eq!(live[0].round, 1);
+        // The one live round is followed by handoff and the push phase.
+        assert!(t.phases.iter().any(|p| p.phase == PhaseKind::AwaitHandoff));
+        assert!(t.phases.iter().any(|p| p.phase == PhaseKind::Push));
+        // Swapped state travels as offsets; the Migration Manager never
+        // drags it back through the swap device to transfer it.
+        assert!(t.pages_sent_as_offsets > 0, "agile sends offset markers");
+        assert_eq!(
+            t.pages_swapped_in_for_transfer, 0,
+            "agile never swaps in to transfer"
+        );
+    }
+}
+
+#[test]
+fn baselines_send_no_offset_markers() {
+    for technique in [Technique::PreCopy, Technique::PostCopy] {
+        let r = run(technique, false, false);
+        check_common(&r, "baseline");
+        assert_eq!(
+            r.timeline.pages_sent_as_offsets, 0,
+            "{technique}: SWAPPED-flag markers are Agile-only"
+        );
+    }
+}
+
+#[test]
+fn postcopy_downtime_beats_precopy_stop_and_copy() {
+    let pre = run(Technique::PreCopy, false, false);
+    let post = run(Technique::PostCopy, false, false);
+    check_common(&pre, "pre-copy");
+    check_common(&post, "post-copy");
+    // Pre-copy pays a stop-and-copy of the residual dirty set; post-copy
+    // suspends immediately and resumes after just the handoff.
+    let d_pre = pre.timeline.downtime_ns.unwrap();
+    let d_post = post.timeline.downtime_ns.unwrap();
+    assert!(
+        d_post < d_pre,
+        "post-copy downtime {d_post}ns must beat pre-copy {d_pre}ns"
+    );
+    assert!(
+        pre.timeline
+            .phases
+            .iter()
+            .any(|p| p.phase == PhaseKind::StopAndCopy),
+        "pre-copy runs a stop-and-copy phase"
+    );
+    assert!(
+        post.timeline
+            .phases
+            .iter()
+            .all(|p| p.phase != PhaseKind::StopAndCopy),
+        "post-copy has no stop-and-copy phase"
+    );
+}
+
+#[test]
+fn agile_demand_pages_cold_state_from_the_vmd() {
+    // A busy guest keeps touching pages after resume, so post-resume
+    // faults exercise the routing: cold (swapped) pages must be served by
+    // the per-VM swap device — the VMD — and never demand-paged from the
+    // source, which only answers for pages dirtied in the live round.
+    let r = run(Technique::Agile, true, true);
+    let t = &r.timeline;
+    assert!(t.total_ns.is_some(), "busy agile migration did not finish");
+    assert!(
+        t.dest_pages_faulted_from_swap > 0,
+        "busy agile run must fault cold pages in from the VMD: {t:?}"
+    );
+    assert!(
+        t.dest_pages_faulted_from_source <= t.push_set_pages,
+        "only live-round-dirtied pages may be demand-paged from the source"
+    );
+    // The trace agrees: faults routed to the swap path show up as
+    // `fault_routed` events with path "from_swap". (The count can sit
+    // below the timeline's — a fault whose read is already in flight is
+    // resolved by the completion without re-entering the router.)
+    let jsonl = r.trace_jsonl.as_ref().expect("tracing was on");
+    let from_swap = jsonl.matches("\"path\":\"from_swap\"").count() as u64;
+    assert!(
+        from_swap > 0,
+        "busy agile trace must show from_swap fault routings"
+    );
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    for technique in [Technique::PreCopy, Technique::PostCopy, Technique::Agile] {
+        let off = run(technique, false, false);
+        let on = run(technique, false, true);
+        assert_eq!(
+            format!("{:?}", off.metrics),
+            format!("{:?}", on.metrics),
+            "{technique}: enabling the tracer changed the metrics"
+        );
+        assert_eq!(
+            off.timeline, on.timeline,
+            "{technique}: enabling the tracer changed the timeline"
+        );
+        assert!(off.trace_jsonl.is_none() && on.trace_jsonl.is_some());
+        // The traced run actually captured the migration lifecycle.
+        let jsonl = on.trace_jsonl.unwrap();
+        for ev in ["mig_start", "mig_suspend", "mig_resume", "mig_complete"] {
+            assert!(
+                jsonl.contains(&format!("\"ev\":\"{ev}\"")),
+                "{technique}: missing {ev} in trace"
+            );
+        }
+    }
+}
