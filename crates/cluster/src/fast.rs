@@ -14,7 +14,7 @@
 use agile_sim_core::{FastEvent, Simulation};
 
 use crate::world::World;
-use crate::{chaosctl, guest, netdrv, vmdio, wssctl};
+use crate::{chaosctl, guest, netdrv, sched, vmdio, wssctl};
 
 /// `Timer.kind`: advance op `a` (generation `b`) — a parked op waking.
 pub const K_STEP_OP: u32 = 0;
@@ -30,6 +30,8 @@ pub const K_WSS_SAMPLE: u32 = 4;
 pub const K_CHAOS_FAULT: u32 = 5;
 /// `Timer.kind`: one paced background re-replication tick.
 pub const K_REPAIR_PUMP: u32 = 6;
+/// `Timer.kind`: one cluster-scheduler check over every managed host.
+pub const K_SCHED_TICK: u32 = 7;
 
 /// Route one fast event to its handler. Installed via
 /// [`Simulation::set_fast_handler`].
@@ -45,6 +47,7 @@ pub fn dispatch(sim: &mut Simulation<World>, ev: FastEvent) {
             K_WSS_SAMPLE => wssctl::sample(sim, a as usize),
             K_CHAOS_FAULT => chaosctl::fire(sim, a as usize),
             K_REPAIR_PUMP => chaosctl::repair_tick(sim),
+            K_SCHED_TICK => sched::tick(sim),
             other => panic!("unknown fast timer kind {other}"),
         },
     }

@@ -17,6 +17,8 @@
 //!   end-to-end, including the suspend/resume handover.
 //! * [`wssctl`] — transparent working-set tracking and the watermark
 //!   trigger.
+//! * [`sched`] — the cluster-scale watermark scheduler: destination
+//!   placement, ping-pong guard, admission control.
 //! * [`scenario`] — ready-made reproductions of Figures 4–10 and
 //!   Tables I–III.
 
@@ -29,6 +31,7 @@ pub mod migrate;
 pub mod netdrv;
 pub mod report;
 pub mod scenario;
+pub mod sched;
 pub mod vmdio;
 pub mod world;
 pub mod wssctl;

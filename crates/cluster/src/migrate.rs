@@ -658,6 +658,9 @@ fn maybe_finalize(sim: &mut Simulation<World>, mig: usize) {
         .record(now, TraceEvent::MigComplete { mig: mig as u32 });
     w.vms[vm_idx].vm.complete_migration();
     w.vms[vm_idx].migration = None;
+    // Tell the cluster scheduler (if armed): an admission slot may have
+    // freed, so queued selections can start now rather than next tick.
+    crate::sched::on_migration_finished(sim, vm_idx);
 }
 
 /// End-to-end content check: for every guest page, the destination must

@@ -132,6 +132,14 @@ pub fn metrics_registry(world: &World) -> agile_trace::MetricsRegistry {
     reg.set_counter("chaos.lost_reads", world.chaos.lost_reads);
     reg.set_counter("chaos.slots_repaired", world.chaos.slots_repaired);
     reg.set_counter("chaos.slots_lost", world.chaos.total_slots_lost());
+    if let Some(s) = &world.sched {
+        reg.set_counter("sched.started", s.counters.started);
+        reg.set_counter("sched.queued", s.counters.queued);
+        reg.set_counter("sched.deferred_no_dest", s.counters.deferred_no_dest);
+        reg.set_counter("sched.dropped_recovered", s.counters.dropped_recovered);
+        reg.set_counter("sched.completed", s.counters.completed);
+        reg.set_counter("sched.max_in_flight", s.counters.max_in_flight_observed);
+    }
     reg
 }
 

@@ -14,6 +14,7 @@
 //! qualitative results.
 
 pub mod chaos;
+pub mod multihost;
 pub mod single_vm;
 pub mod sysbench;
 pub mod wss;

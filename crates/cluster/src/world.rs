@@ -165,6 +165,12 @@ pub struct WssExec {
     pub monitor: SwapActivityMonitor,
     /// α/β/τ controller.
     pub controller: ReservationController,
+    /// The VM's [`VmSlot::mem_epoch`] the monitor last sampled under. A
+    /// mismatch means the VM resumed elsewhere — the swap device binding
+    /// (and its cumulative counters) was replaced under the monitor, so
+    /// the sampling window must re-prime instead of computing a rate from
+    /// counters of two different devices.
+    pub epoch_seen: u32,
 }
 
 /// A VM slot: the VM plus everything the executor needs around it.
@@ -453,6 +459,9 @@ pub struct World {
     /// Fault-injection executor state (empty in non-chaos runs: the
     /// wiring adds zero events when no schedule is installed).
     pub chaos: crate::chaosctl::ChaosExec,
+    /// Cluster-scale watermark scheduler, if armed
+    /// ([`crate::sched::arm_scheduler`]). `None` costs nothing.
+    pub sched: Option<crate::sched::SchedExec>,
     /// Simulated-time trace sink. Disabled by default: `record` is an
     /// inlined early-return and the sink owns no buffer, so untraced
     /// runs pay nothing on the event hot paths.
@@ -483,6 +492,7 @@ impl World {
             swapin_piggyback: HashMap::new(),
             evict_buf: Vec::new(),
             chaos: crate::chaosctl::ChaosExec::default(),
+            sched: None,
             trace: agile_trace::Tracer::disabled(),
         }
     }

@@ -6,6 +6,9 @@
 //! device), and reschedules itself at the controller's chosen interval —
 //! 2 s while converging, 30 s once stable.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use agile_sim_core::{FastEvent, SimTime, Simulation};
 use agile_wss::{
     ControllerParams, ReservationController, SwapActivityMonitor, VmWss, WatermarkTrigger,
@@ -23,9 +26,11 @@ pub fn enable_tracking(
 ) {
     {
         let w = sim.state_mut();
+        let epoch_seen = w.vms[vm_idx].mem_epoch;
         w.vms[vm_idx].wss = Some(WssExec {
             monitor: SwapActivityMonitor::new(),
             controller: ReservationController::new(params),
+            epoch_seen,
         });
     }
     sim.schedule_fast(at, sample_timer(vm_idx));
@@ -53,10 +58,24 @@ pub(crate) fn sample(sim: &mut Simulation<World>, vm_idx: usize) {
         let slot = &mut w.vms[vm_idx];
         if slot.migration.is_some() || !slot.vm.state().can_execute() {
             // Tracking pauses during migration; resume sampling shortly.
+            // Drop the window history now: the first post-resume sample
+            // must re-prime rather than average the cumulative counters
+            // over the whole paused interval, which would read as a
+            // near-zero rate and trigger a bogus shrink.
+            slot.wss.as_mut().expect("checked above").monitor.reset();
             Some(agile_sim_core::SimDuration::from_secs(2))
         } else {
             let counters = slot.swap.counters();
+            let epoch = slot.mem_epoch;
             let wss = slot.wss.as_mut().expect("checked above");
+            if wss.epoch_seen != epoch {
+                // The VM resumed on another host between our ticks: the
+                // swap-device binding (and its cumulative counters) was
+                // replaced under the monitor, so any retained window
+                // would difference counters of two different devices.
+                wss.epoch_seen = epoch;
+                wss.monitor.reset();
+            }
             match wss.monitor.sample(now, counters) {
                 Some(rate) => {
                     let current = slot.vm.memory().limit_bytes();
@@ -100,7 +119,12 @@ pub(crate) fn sample(sim: &mut Simulation<World>, vm_idx: usize) {
 
 /// The tracked working-set sizes of every running VM on `host`.
 pub fn host_wss(sim: &Simulation<World>, host: usize) -> Vec<VmWss> {
-    sim.state()
+    host_wss_of(sim.state(), host)
+}
+
+/// Like [`host_wss`], over a `&World` (for callers already holding state).
+pub fn host_wss_of(world: &World, host: usize) -> Vec<VmWss> {
+    world
         .vms
         .iter()
         .enumerate()
@@ -112,10 +136,32 @@ pub fn host_wss(sim: &Simulation<World>, host: usize) -> Vec<VmWss> {
         .collect()
 }
 
+/// Handle to a periodic watermark trigger armed by
+/// [`arm_watermark_trigger`]. Disarming stops the recurring check: the
+/// next firing sees the cleared flag and unschedules itself without
+/// selecting anything.
+#[derive(Clone)]
+pub struct TriggerHandle(Rc<Cell<bool>>);
+
+impl TriggerHandle {
+    /// Stop the trigger from firing again.
+    pub fn disarm(&self) {
+        self.0.set(false);
+    }
+
+    /// Whether the trigger is still armed.
+    pub fn is_armed(&self) -> bool {
+        self.0.get()
+    }
+}
+
 /// Periodically check a host against the watermarks; when the aggregate
 /// tracked WSS crosses the high watermark, migrate the fewest VMs (largest
-/// first) to `dest_host` using `make_cfg` to build each migration's
-/// configuration. Returns the VMs selected on each firing via `on_select`.
+/// first) to `dest_host`. The first check fires one `period` after
+/// *arming* (not after t = 0, so mid-run arming never fires in the past),
+/// and the returned handle stops the recurrence — use it at the scenario
+/// horizon. This is the single-destination convenience path; multi-host
+/// placement lives in [`crate::sched`].
 pub fn arm_watermark_trigger(
     sim: &mut Simulation<World>,
     host: usize,
@@ -124,8 +170,13 @@ pub fn arm_watermark_trigger(
     period: agile_sim_core::SimDuration,
     src_cfg: agile_migration::SourceConfig,
     dest_reservation_bytes: u64,
-) {
-    sim.schedule_every(SimTime::ZERO + period, period, move |sim| {
+) -> TriggerHandle {
+    let armed = Rc::new(Cell::new(true));
+    let handle = TriggerHandle(Rc::clone(&armed));
+    sim.schedule_every(sim.now() + period, period, move |sim| {
+        if !armed.get() {
+            return false;
+        }
         let vms = host_wss(sim, host);
         // Suspect-aware selection: a VM whose portable namespace still has
         // slots queued for re-replication after a VMD server crash is
@@ -152,4 +203,5 @@ pub fn arm_watermark_trigger(
         }
         true
     });
+    handle
 }

@@ -218,6 +218,115 @@ fn set_reservation_shrink_evicts() {
     assert!(sim.state().vms[vm].swap.counters().write_ops > 0);
 }
 
+/// The trigger's first check fires one period after *arming* — not at
+/// `ZERO + period` — and the returned handle stops the recurrence.
+#[test]
+fn watermark_trigger_anchors_at_arming_and_disarms() {
+    let mut b = ClusterBuilder::new(ClusterConfig::default());
+    let host = b.add_host("host", 256 * MIB, 16 * MIB, true);
+    let standby = b.add_host("standby", 256 * MIB, 16 * MIB, true);
+    let im = b.add_host("intermediate", 2 * GIB, 16 * MIB, false);
+    b.add_vmd_server(im, GIB, 0);
+    b.ensure_vmd_client(standby);
+    let mut vms = Vec::new();
+    for _ in 0..3 {
+        let vm = b.add_vm(host, vm_config(96 * MIB, 48 * MIB), SwapKind::PerVmVmd);
+        b.preload_pages(vm, 0, (96 * MIB / 4096) as u32);
+        vms.push(vm);
+    }
+    let mut sim = b.build();
+    // Put the host over the high watermark *before* the trigger exists.
+    set_reservation(&mut sim, vms[0], 96 * MIB);
+    sim.run_until(SimTime::from_secs(10));
+
+    // Arm mid-run with a 5 s period: the first check belongs at t = 15 s.
+    let avail = sim.state().hosts[host].mem.available_for_vms();
+    let trigger = WatermarkTrigger::fractions(avail, 0.60, 0.75);
+    let handle = wssctl::arm_watermark_trigger(
+        &mut sim,
+        host,
+        standby,
+        trigger,
+        SimDuration::from_secs(5),
+        agile_migration::SourceConfig::new(agile_migration::Technique::Agile),
+        96 * MIB,
+    );
+    assert!(handle.is_armed());
+    sim.run_until(SimTime::from_millis(14_900));
+    assert!(
+        sim.state().migrations.is_empty(),
+        "fired before arming-time + period"
+    );
+    sim.run_until(SimTime::from_secs(30));
+    assert_eq!(sim.state().migrations.len(), 1, "first check never fired");
+    assert!(sim.state().migrations[0].finished);
+
+    // Disarm, re-overload the host, and verify the trigger stays quiet.
+    handle.disarm();
+    assert!(!handle.is_armed());
+    set_reservation(&mut sim, vms[1], 96 * MIB);
+    set_reservation(&mut sim, vms[2], 96 * MIB);
+    sim.run_until(SimTime::from_secs(90));
+    assert_eq!(
+        sim.state().migrations.len(),
+        1,
+        "disarmed trigger still fired"
+    );
+}
+
+/// Regression: the swap-activity window must re-prime after a migration
+/// pause. The first post-resume sample used to difference cumulative
+/// counters across the entire paused interval (and across the swap-device
+/// swap at resume), recording a spurious rate immediately; now the first
+/// post-resume tick only primes, so the first recorded sample lands at
+/// least one full sampling interval after the migration completes.
+#[test]
+fn wss_monitor_reprimes_after_migration_pause() {
+    let mut b = ClusterBuilder::new(ClusterConfig::default());
+    let host = b.add_host("host", 256 * MIB, 16 * MIB, true);
+    let standby = b.add_host("standby", 256 * MIB, 16 * MIB, true);
+    let im = b.add_host("intermediate", 2 * GIB, 16 * MIB, false);
+    b.add_vmd_server(im, GIB, 0);
+    b.ensure_vmd_client(standby);
+    let vm = b.add_vm(host, vm_config(96 * MIB, 48 * MIB), SwapKind::PerVmVmd);
+    b.preload_pages(vm, 0, (96 * MIB / 4096) as u32);
+    let mut sim = b.build();
+    sim.state_mut().trace = agile_trace::Tracer::with_capacity(1 << 12);
+
+    let params = agile_wss::ControllerParams::paper(16 * MIB, 96 * MIB);
+    let fast = params.fast_interval;
+    wssctl::enable_tracking(&mut sim, vm, params, SimTime::from_secs(1));
+    sim.run_until(SimTime::from_secs(10));
+    agile_cluster::migrate::start_migration(
+        &mut sim,
+        vm,
+        standby,
+        agile_migration::SourceConfig::new(agile_migration::Technique::Agile),
+        96 * MIB,
+    );
+    sim.run_until(SimTime::from_secs(40));
+    assert!(sim.state().migrations[0].finished);
+
+    let trace = &sim.state().trace;
+    let completed_at = trace
+        .events()
+        .find_map(|(t, e)| matches!(e, agile_trace::TraceEvent::MigComplete { .. }).then_some(*t))
+        .expect("migration completed");
+    let first_after = trace
+        .events()
+        .find_map(|(t, e)| {
+            (matches!(e, agile_trace::TraceEvent::WssSample { .. }) && *t > completed_at)
+                .then_some(*t)
+        })
+        .expect("sampling resumed after the migration");
+    assert!(
+        first_after.saturating_since(completed_at) > fast,
+        "window was not re-primed: sample at {first_after:?} only \
+         {:?} after completion at {completed_at:?}",
+        first_after.saturating_since(completed_at)
+    );
+}
+
 /// The watermark trigger, armed on a host, fires a real migration once
 /// the aggregate reservations exceed the high watermark.
 #[test]

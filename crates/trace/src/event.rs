@@ -68,6 +68,31 @@ impl ChaosKind {
     }
 }
 
+/// What the cluster scheduler did with one watermark-selected VM.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedAction {
+    /// A migration started toward the chosen destination.
+    Start,
+    /// The admission cap was full; the selection joined the FIFO queue.
+    Queue,
+    /// No destination passed placement + ping-pong guard; retry next tick.
+    Defer,
+    /// A queued selection was dropped — its host recovered while waiting.
+    Drop,
+}
+
+impl SchedAction {
+    /// Stable lower-snake name used in the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedAction::Start => "start",
+            SchedAction::Queue => "queue",
+            SchedAction::Defer => "defer",
+            SchedAction::Drop => "drop",
+        }
+    }
+}
+
 /// VMD client completion families.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum VmdKind {
@@ -216,6 +241,18 @@ pub enum TraceEvent {
         /// Completion family.
         kind: VmdKind,
     },
+    /// The cluster scheduler acted on one watermark-selected VM.
+    SchedDecision {
+        /// VM index.
+        vm: u32,
+        /// Source (overloaded) host.
+        src: u32,
+        /// Chosen destination host; `u32::MAX` when no destination was
+        /// involved (queue/defer/drop), exported as `-1`.
+        dest: u32,
+        /// What the scheduler did.
+        action: SchedAction,
+    },
 }
 
 impl TraceEvent {
@@ -236,6 +273,7 @@ impl TraceEvent {
             TraceEvent::WssSample { .. } => "wss_sample",
             TraceEvent::ChaosFault { .. } => "chaos_fault",
             TraceEvent::Vmd { .. } => "vmd",
+            TraceEvent::SchedDecision { .. } => "sched_decision",
         }
     }
 
@@ -320,6 +358,23 @@ impl TraceEvent {
             }
             TraceEvent::Vmd { client, kind } => {
                 let _ = write!(out, ",\"client\":{client},\"kind\":\"{}\"", kind.name());
+            }
+            TraceEvent::SchedDecision {
+                vm,
+                src,
+                dest,
+                action,
+            } => {
+                let dest = if dest == u32::MAX {
+                    -1
+                } else {
+                    i64::from(dest)
+                };
+                let _ = write!(
+                    out,
+                    ",\"vm\":{vm},\"src\":{src},\"dest\":{dest},\"action\":\"{}\"",
+                    action.name()
+                );
             }
         }
     }
@@ -492,6 +547,40 @@ mod tests {
              \"zeros\":3,\"retransmits\":1,\"wire_bytes\":1052736,\"priority\":false}"
         );
         assert!(lines.next().unwrap().contains("\"rate_kbps\":1536.5"));
+    }
+
+    #[test]
+    fn sched_decision_renders_missing_dest_as_minus_one() {
+        let mut t = Tracer::with_capacity(4);
+        t.record(
+            SimTime::from_secs(1),
+            TraceEvent::SchedDecision {
+                vm: 3,
+                src: 0,
+                dest: 2,
+                action: SchedAction::Start,
+            },
+        );
+        t.record(
+            SimTime::from_secs(2),
+            TraceEvent::SchedDecision {
+                vm: 4,
+                src: 1,
+                dest: u32::MAX,
+                action: SchedAction::Queue,
+            },
+        );
+        let out = t.to_jsonl();
+        let mut lines = out.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"t_ns\":1000000000,\"ev\":\"sched_decision\",\"vm\":3,\"src\":0,\"dest\":2,\
+             \"action\":\"start\"}"
+        );
+        assert!(lines
+            .next()
+            .unwrap()
+            .contains("\"dest\":-1,\"action\":\"queue\""));
     }
 
     #[test]

@@ -42,6 +42,6 @@ pub mod event;
 pub mod registry;
 pub mod timeline;
 
-pub use event::{ChaosKind, FaultPath, TraceEvent, Tracer, VmdKind};
+pub use event::{ChaosKind, FaultPath, SchedAction, TraceEvent, Tracer, VmdKind};
 pub use registry::MetricsRegistry;
 pub use timeline::{PhaseKind, PhasePoint, PhaseTimeline};

@@ -38,12 +38,20 @@ impl WatermarkTrigger {
     }
 
     /// Watermarks as fractions of a host's VM-available memory (e.g.
-    /// 0.85 / 0.95).
+    /// 0.85 / 0.95). Panics unless `low < high`.
+    ///
+    /// Both levels truncate to whole bytes, so a small `available_bytes`
+    /// (or very close fractions) can collapse them to the same value; the
+    /// high mark is then clamped to one 4 KiB page above the low mark so
+    /// the `low < high` constructor invariant always holds.
     pub fn fractions(available_bytes: u64, low: f64, high: f64) -> Self {
-        WatermarkTrigger::new(
-            (available_bytes as f64 * low) as u64,
-            (available_bytes as f64 * high) as u64,
-        )
+        assert!(low < high, "low fraction must be below high");
+        let low_bytes = (available_bytes as f64 * low) as u64;
+        let mut high_bytes = (available_bytes as f64 * high) as u64;
+        if high_bytes <= low_bytes {
+            high_bytes = low_bytes + 4096;
+        }
+        WatermarkTrigger::new(low_bytes, high_bytes)
     }
 
     /// Should migration start?
@@ -177,5 +185,25 @@ mod tests {
     #[should_panic(expected = "low watermark must be below high")]
     fn inverted_watermarks_rejected() {
         let _ = WatermarkTrigger::new(10, 10);
+    }
+
+    #[test]
+    fn fractions_clamps_when_truncation_collapses_the_marks() {
+        // 1000 * 0.5 = 500 and 1000 * 0.5004 = 500.4 → both truncate to
+        // 500; the constructor used to panic on low == high.
+        let t = WatermarkTrigger::fractions(1000, 0.5, 0.5004);
+        assert_eq!(t.low_bytes, 500);
+        assert_eq!(t.high_bytes, 500 + 4096, "high clamped one page up");
+
+        // Degenerate zero-byte host: still a valid trigger.
+        let t = WatermarkTrigger::fractions(0, 0.8, 0.9);
+        assert_eq!(t.low_bytes, 0);
+        assert_eq!(t.high_bytes, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "low fraction must be below high")]
+    fn fractions_rejects_inverted_fractions() {
+        let _ = WatermarkTrigger::fractions(GIB, 0.9, 0.8);
     }
 }
