@@ -14,7 +14,7 @@
 use agile_sim_core::{FastEvent, Simulation};
 
 use crate::world::World;
-use crate::{chaosctl, guest, netdrv, sched, vmdio, wssctl};
+use crate::{chaosctl, guest, netdrv, poolctl, sched, vmdio, wssctl};
 
 /// `Timer.kind`: advance op `a` (generation `b`) — a parked op waking.
 pub const K_STEP_OP: u32 = 0;
@@ -32,6 +32,8 @@ pub const K_CHAOS_FAULT: u32 = 5;
 pub const K_REPAIR_PUMP: u32 = 6;
 /// `Timer.kind`: one cluster-scheduler check over every managed host.
 pub const K_SCHED_TICK: u32 = 7;
+/// `Timer.kind`: one elastic-pool-manager tick (leases, reclaim, rebalance).
+pub const K_POOL_TICK: u32 = 8;
 
 /// Route one fast event to its handler. Installed via
 /// [`Simulation::set_fast_handler`].
@@ -48,6 +50,7 @@ pub fn dispatch(sim: &mut Simulation<World>, ev: FastEvent) {
             K_CHAOS_FAULT => chaosctl::fire(sim, a as usize),
             K_REPAIR_PUMP => chaosctl::repair_tick(sim),
             K_SCHED_TICK => sched::tick(sim),
+            K_POOL_TICK => poolctl::tick(sim),
             other => panic!("unknown fast timer kind {other}"),
         },
     }

@@ -113,7 +113,18 @@ pub fn charge_evictions(
         }
     }
     if any_vmd {
-        flush_all_clients(sim);
+        // Swap-out admission control: above the pool's high water mark the
+        // flush is delayed, so eviction bursts drain into the pool at a
+        // pace reclaim can keep up with instead of forcing NAKs.
+        match crate::poolctl::throttle_delay(sim.state()) {
+            None => flush_all_clients(sim),
+            Some(delay) => {
+                if let Some(p) = sim.state_mut().pool.as_mut() {
+                    p.counters.throttled_flushes += 1;
+                }
+                sim.schedule_in(delay, flush_all_clients);
+            }
+        }
     }
 }
 

@@ -19,6 +19,8 @@
 //!   trigger.
 //! * [`sched`] — the cluster-scale watermark scheduler: destination
 //!   placement, ping-pong guard, admission control.
+//! * [`poolctl`] — the elastic pool manager: contribution leases sized
+//!   from donor-host demand, paced reclaim, skew-aware rebalancing.
 //! * [`scenario`] — ready-made reproductions of Figures 4–10 and
 //!   Tables I–III.
 
@@ -29,6 +31,7 @@ pub mod fast;
 pub mod guest;
 pub mod migrate;
 pub mod netdrv;
+pub mod poolctl;
 pub mod report;
 pub mod scenario;
 pub mod sched;

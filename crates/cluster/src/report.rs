@@ -140,6 +140,22 @@ pub fn metrics_registry(world: &World) -> agile_trace::MetricsRegistry {
         reg.set_counter("sched.completed", s.counters.completed);
         reg.set_counter("sched.max_in_flight", s.counters.max_in_flight_observed);
     }
+    if let Some(p) = &world.pool {
+        reg.set_counter("pool.leases_shrunk", p.counters.leases_shrunk);
+        reg.set_counter("pool.leases_grown", p.counters.leases_grown);
+        reg.set_counter("pool.pages_relocated", p.counters.pages_relocated);
+        reg.set_counter("pool.pages_demoted", p.counters.pages_demoted);
+        reg.set_counter("pool.relocations_aborted", p.counters.relocations_aborted);
+        reg.set_counter("pool.rebalance_moves", p.counters.rebalance_moves);
+        reg.set_counter("pool.throttled_flushes", p.counters.throttled_flushes);
+        reg.set_counter("pool.deferred_shrinks", p.counters.deferred_shrinks);
+        reg.set_gauge("pool.pressure", crate::poolctl::pressure(world));
+        reg.set_gauge("pool.spread", crate::poolctl::spread(world));
+        reg.set_gauge(
+            "pool.leased_free_pages",
+            crate::poolctl::leased_free_pages(world) as f64,
+        );
+    }
     reg
 }
 

@@ -15,6 +15,7 @@
 
 pub mod chaos;
 pub mod multihost;
+pub mod pressure;
 pub mod single_vm;
 pub mod sysbench;
 pub mod wss;

@@ -359,9 +359,12 @@ pub fn place(w: &World, vm: usize) -> Option<usize> {
         if h == src {
             continue;
         }
-        // Mirror the migration executor's destination requirements.
+        // Mirror the migration executor's destination requirements. A
+        // VMD-backed VM additionally needs the pool to have leased DRAM
+        // headroom somewhere (an armed pool manager narrows the advertised
+        // capacity to what donors actually contribute right now).
         let feasible = match w.vms[vm].swap.namespace() {
-            Some(_) => w.vmd.host_client.contains_key(&h),
+            Some(_) => w.vmd.host_client.contains_key(&h) && crate::poolctl::placement_feasible(w),
             None => w.hosts[h].ssd.is_some(),
         };
         if !feasible {

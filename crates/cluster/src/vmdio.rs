@@ -148,6 +148,9 @@ pub fn handle_completion(sim: &mut Simulation<World>, client_idx: usize, c: VmdC
             VmdCompletion::ReadNak { .. } => VmdKind::ReadNak,
             VmdCompletion::WriteNak { .. } => VmdKind::WriteNak,
             VmdCompletion::RepairRead { .. } => VmdKind::RepairWrite,
+            VmdCompletion::RelocateRead { .. } => VmdKind::RelocateWrite,
+            VmdCompletion::RelocateDone { .. } => VmdKind::RelocateDone,
+            VmdCompletion::RelocateAbort { .. } => VmdKind::RelocateAbort,
         };
         sim.state_mut().trace.record(
             now,
@@ -200,6 +203,56 @@ pub fn handle_completion(sim: &mut Simulation<World>, client_idx: usize, c: VmdC
             let mut dir = dir.borrow_mut();
             let mut client = w.vmd.clients[client_idx].client.borrow_mut();
             client.repair_write(&mut dir, ns, slot, version);
+        }
+        VmdCompletion::RelocateRead {
+            ns,
+            slot,
+            version,
+            from,
+        } => {
+            // The pool manager may have pinned a destination (rebalance
+            // plan); reclaim moves let the client's ring placement pick.
+            let prefer = sim
+                .state()
+                .pool
+                .as_ref()
+                .and_then(|p| p.moves.get(&(ns, slot)).and_then(|m| m.dest));
+            let issued = {
+                let w = sim.state_mut();
+                let dir = std::rc::Rc::clone(&w.vmd.directory);
+                let dir = dir.borrow();
+                let mut client = w.vmd.clients[client_idx].client.borrow_mut();
+                client.relocate_write(&dir, ns, slot, version, from, prefer)
+            };
+            if !issued {
+                if let Some(p) = sim.state_mut().pool.as_mut() {
+                    p.moves.remove(&(ns, slot));
+                    p.counters.relocations_aborted += 1;
+                }
+            }
+        }
+        VmdCompletion::RelocateDone { ns, slot, from, to } => {
+            let moved = {
+                let w = sim.state_mut();
+                let dir = std::rc::Rc::clone(&w.vmd.directory);
+                let mut dir = dir.borrow_mut();
+                let mut client = w.vmd.clients[client_idx].client.borrow_mut();
+                client.finish_relocation(&mut dir, ns, slot, from, to)
+            };
+            if let Some(p) = sim.state_mut().pool.as_mut() {
+                p.moves.remove(&(ns, slot));
+                if moved {
+                    p.counters.pages_relocated += 1;
+                } else {
+                    p.counters.relocations_aborted += 1;
+                }
+            }
+        }
+        VmdCompletion::RelocateAbort { ns, slot } => {
+            if let Some(p) = sim.state_mut().pool.as_mut() {
+                p.moves.remove(&(ns, slot));
+                p.counters.relocations_aborted += 1;
+            }
         }
     }
 }

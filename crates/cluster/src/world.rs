@@ -462,6 +462,9 @@ pub struct World {
     /// Cluster-scale watermark scheduler, if armed
     /// ([`crate::sched::arm_scheduler`]). `None` costs nothing.
     pub sched: Option<crate::sched::SchedExec>,
+    /// Elastic pool manager, if armed ([`crate::poolctl::arm_pool`]).
+    /// `None` costs nothing and changes nothing (legacy fixed leases).
+    pub pool: Option<crate::poolctl::PoolExec>,
     /// Simulated-time trace sink. Disabled by default: `record` is an
     /// inlined early-return and the sink owns no buffer, so untraced
     /// runs pay nothing on the event hot paths.
@@ -493,6 +496,7 @@ impl World {
             evict_buf: Vec::new(),
             chaos: crate::chaosctl::ChaosExec::default(),
             sched: None,
+            pool: None,
             trace: agile_trace::Tracer::disabled(),
         }
     }

@@ -53,6 +53,9 @@ pub(crate) fn sample(sim: &mut Simulation<World>, vm_idx: usize) {
     }
     let mut buf = std::mem::take(&mut sim.state_mut().evict_buf);
     buf.clear();
+    // Above the pool's high water mark, reservation *shrinks* are deferred:
+    // they would push evictions into a pool with nowhere to put them.
+    let defer_shrink = crate::poolctl::under_pressure(sim.state());
     let next = {
         let w = sim.state_mut();
         let slot = &mut w.vms[vm_idx];
@@ -80,21 +83,28 @@ pub(crate) fn sample(sim: &mut Simulation<World>, vm_idx: usize) {
                 Some(rate) => {
                     let current = slot.vm.memory().limit_bytes();
                     let adj = wss.controller.on_sample(current, rate);
+                    let new_reservation = if defer_shrink && adj.new_reservation < current {
+                        if let Some(p) = w.pool.as_mut() {
+                            p.counters.deferred_shrinks += 1;
+                        }
+                        current
+                    } else {
+                        adj.new_reservation
+                    };
                     slot.vm
                         .memory_mut()
-                        .set_limit_bytes(adj.new_reservation, &mut buf);
-                    slot.reservation_series
-                        .push(now, adj.new_reservation as f64);
+                        .set_limit_bytes(new_reservation, &mut buf);
+                    slot.reservation_series.push(now, new_reservation as f64);
                     let host = slot.host;
                     w.hosts[host]
                         .mem
-                        .set_reservation(vm_idx as u64, adj.new_reservation);
+                        .set_reservation(vm_idx as u64, new_reservation);
                     w.trace.record(
                         now,
                         agile_trace::TraceEvent::WssSample {
                             vm: vm_idx as u32,
                             rate_kbps: rate.total_kbps(),
-                            reservation: adj.new_reservation,
+                            reservation: new_reservation,
                             stable: adj.stable,
                         },
                     );

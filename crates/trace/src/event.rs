@@ -108,6 +108,13 @@ pub enum VmdKind {
     WriteNak,
     /// A background re-replication read landed; the repair write follows.
     RepairWrite,
+    /// A pool-reclaim relocation read landed; the copy-out write follows.
+    RelocateWrite,
+    /// A relocation completed: the slot's replica moved to a new server.
+    RelocateDone,
+    /// A relocation was abandoned (source crashed, slot overwritten, or no
+    /// destination had leased headroom).
+    RelocateAbort,
 }
 
 impl VmdKind {
@@ -120,6 +127,9 @@ impl VmdKind {
             VmdKind::ReadNak => "read_nak",
             VmdKind::WriteNak => "write_nak",
             VmdKind::RepairWrite => "repair_write",
+            VmdKind::RelocateWrite => "relocate_write",
+            VmdKind::RelocateDone => "relocate_done",
+            VmdKind::RelocateAbort => "relocate_abort",
         }
     }
 }
@@ -241,6 +251,33 @@ pub enum TraceEvent {
         /// Completion family.
         kind: VmdKind,
     },
+    /// The pool manager resized one server's contribution lease.
+    PoolLease {
+        /// Server index.
+        server: u32,
+        /// New lease, pages.
+        lease_pages: u64,
+        /// True when the lease shrank (donor demand grew).
+        shrink: bool,
+    },
+    /// One pool tick's reclaim work on an over-lease server.
+    PoolReclaim {
+        /// Server index.
+        server: u32,
+        /// Relocations issued this tick.
+        relocated: u32,
+        /// Pages demoted to the disk tier this tick.
+        demoted: u32,
+    },
+    /// The rebalancer moved slots from the most- to least-utilized server.
+    PoolRebalance {
+        /// Source (hot) server index.
+        from: u32,
+        /// Destination (cold) server index.
+        to: u32,
+        /// Relocations issued.
+        pages: u32,
+    },
     /// The cluster scheduler acted on one watermark-selected VM.
     SchedDecision {
         /// VM index.
@@ -273,6 +310,9 @@ impl TraceEvent {
             TraceEvent::WssSample { .. } => "wss_sample",
             TraceEvent::ChaosFault { .. } => "chaos_fault",
             TraceEvent::Vmd { .. } => "vmd",
+            TraceEvent::PoolLease { .. } => "pool_lease",
+            TraceEvent::PoolReclaim { .. } => "pool_reclaim",
+            TraceEvent::PoolRebalance { .. } => "pool_rebalance",
             TraceEvent::SchedDecision { .. } => "sched_decision",
         }
     }
@@ -358,6 +398,29 @@ impl TraceEvent {
             }
             TraceEvent::Vmd { client, kind } => {
                 let _ = write!(out, ",\"client\":{client},\"kind\":\"{}\"", kind.name());
+            }
+            TraceEvent::PoolLease {
+                server,
+                lease_pages,
+                shrink,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{server},\"lease_pages\":{lease_pages},\"shrink\":{shrink}"
+                );
+            }
+            TraceEvent::PoolReclaim {
+                server,
+                relocated,
+                demoted,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{server},\"relocated\":{relocated},\"demoted\":{demoted}"
+                );
+            }
+            TraceEvent::PoolRebalance { from, to, pages } => {
+                let _ = write!(out, ",\"from\":{from},\"to\":{to},\"pages\":{pages}");
             }
             TraceEvent::SchedDecision {
                 vm,
@@ -581,6 +644,51 @@ mod tests {
             .next()
             .unwrap()
             .contains("\"dest\":-1,\"action\":\"queue\""));
+    }
+
+    #[test]
+    fn pool_events_render_stably() {
+        let mut t = Tracer::with_capacity(4);
+        t.record(
+            SimTime::from_secs(1),
+            TraceEvent::PoolLease {
+                server: 2,
+                lease_pages: 4096,
+                shrink: true,
+            },
+        );
+        t.record(
+            SimTime::from_secs(2),
+            TraceEvent::PoolReclaim {
+                server: 2,
+                relocated: 64,
+                demoted: 0,
+            },
+        );
+        t.record(
+            SimTime::from_secs(3),
+            TraceEvent::PoolRebalance {
+                from: 1,
+                to: 0,
+                pages: 32,
+            },
+        );
+        let out = t.to_jsonl();
+        let mut lines = out.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"t_ns\":1000000000,\"ev\":\"pool_lease\",\"server\":2,\"lease_pages\":4096,\
+             \"shrink\":true}"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"t_ns\":2000000000,\"ev\":\"pool_reclaim\",\"server\":2,\"relocated\":64,\
+             \"demoted\":0}"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"t_ns\":3000000000,\"ev\":\"pool_rebalance\",\"from\":1,\"to\":0,\"pages\":32}"
+        );
     }
 
     #[test]

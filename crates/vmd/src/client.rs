@@ -99,6 +99,41 @@ pub enum VmdCompletion {
         /// Content version read from the surviving replica.
         version: u32,
     },
+    /// A relocation read completed; the executor should call
+    /// [`VmdClient::relocate_write`] to copy the page toward its new
+    /// server.
+    RelocateRead {
+        /// Namespace being relocated.
+        ns: NamespaceId,
+        /// Slot being relocated.
+        slot: u32,
+        /// Content version read from the source replica.
+        version: u32,
+        /// The replica being vacated.
+        from: ServerId,
+    },
+    /// A relocation copy was acked; the executor should call
+    /// [`VmdClient::finish_relocation`] to swap the directory entry and
+    /// free the source copy.
+    RelocateDone {
+        /// Namespace being relocated.
+        ns: NamespaceId,
+        /// Slot being relocated.
+        slot: u32,
+        /// The replica being vacated.
+        from: ServerId,
+        /// The replica that now holds the copy.
+        to: ServerId,
+    },
+    /// A relocation was abandoned (source crashed mid-read, the copy's
+    /// destination failed, or a fresh overwrite superseded it); the pool
+    /// manager may pick the slot again on a later tick.
+    RelocateAbort {
+        /// Namespace whose relocation was dropped.
+        ns: NamespaceId,
+        /// Slot whose relocation was dropped.
+        slot: u32,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -119,6 +154,9 @@ enum ReadPurpose {
     Swap,
     /// Re-replication read: completion triggers a repair write.
     Repair,
+    /// Lease-reclaim/rebalance read, pinned to the replica being vacated:
+    /// completion triggers a relocation write.
+    Relocate,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -138,6 +176,12 @@ enum WriteRole {
     Primary,
     /// Internal fan-out/repair copy; its ack only updates accounting.
     Replica,
+    /// Relocation copy headed to a new server; its ack surfaces
+    /// `RelocateDone` so the executor can swap the directory entry.
+    Relocate {
+        /// The replica being vacated.
+        from: ServerId,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -162,6 +206,10 @@ pub struct VmdClient {
     pending_writes: HashMap<u64, PendingWrite>,
     /// (ns, slot) → (version, latest write req).
     writeback: HashMap<(NamespaceId, u32), (u32, u64)>,
+    /// Slots with a relocation in flight. The value flips to `false` when
+    /// a fresh write or free supersedes the relocated content, so
+    /// [`VmdClient::finish_relocation`] never installs a stale copy.
+    relocating: HashMap<(NamespaceId, u32), bool>,
     next_internal: u64,
     /// Slots whose every replica is gone (observed by failed reads or
     /// crash-time eviction). Sorted for deterministic reporting.
@@ -191,6 +239,7 @@ impl VmdClient {
             pending_reads: HashMap::new(),
             pending_writes: HashMap::new(),
             writeback: HashMap::new(),
+            relocating: HashMap::new(),
             next_internal: INTERNAL_REQ_BASE,
             lost_slots: BTreeSet::new(),
             stale_msgs: 0,
@@ -338,6 +387,13 @@ impl VmdClient {
             }
         }
         self.writeback.insert((ns, slot), (version, req));
+        if !self.relocating.is_empty() {
+            if let Some(valid) = self.relocating.get_mut(&(ns, slot)) {
+                // The relocated copy is now stale; let the move finish but
+                // never install it in the directory.
+                *valid = false;
+            }
+        }
         for (i, &server) in set.as_slice().iter().enumerate() {
             let (wreq, role) = if i == 0 {
                 (req, WriteRole::Primary)
@@ -370,6 +426,11 @@ impl VmdClient {
     /// Free a slot: tells every replica and forgets the placement.
     pub fn free(&mut self, dir: &mut VmdDirectory, ns: NamespaceId, slot: u32) {
         self.writeback.remove(&(ns, slot));
+        if !self.relocating.is_empty() {
+            if let Some(valid) = self.relocating.get_mut(&(ns, slot)) {
+                *valid = false;
+            }
+        }
         let set = dir.forget_replicas(ns, slot);
         for &server in set.as_slice() {
             if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
@@ -469,6 +530,12 @@ impl VmdClient {
                             slot: pr.slot,
                             version,
                         }),
+                        ReadPurpose::Relocate => Some(VmdCompletion::RelocateRead {
+                            ns: pr.ns,
+                            slot: pr.slot,
+                            version,
+                            from: pr.server,
+                        }),
                     },
                 }
             }
@@ -480,6 +547,14 @@ impl VmdClient {
                         None
                     }
                     Some(pw) => {
+                        if let WriteRole::Relocate { from } = pw.role {
+                            return Some(VmdCompletion::RelocateDone {
+                                ns: pw.ns,
+                                slot: pw.slot,
+                                from,
+                                to: pw.server,
+                            });
+                        }
                         if pw.role == WriteRole::Replica {
                             return None;
                         }
@@ -496,6 +571,15 @@ impl VmdClient {
                 }
             }
             ServerMsg::Availability { server, free_pages } => {
+                self.update_availability(server, free_pages);
+                None
+            }
+            ServerMsg::LeaseUpdate {
+                server, free_pages, ..
+            } => {
+                // A lease resize is authoritative gossip: adopt the new
+                // free capacity so placement stops aiming at a shrinking
+                // server before the next periodic round.
                 self.update_availability(server, free_pages);
                 None
             }
@@ -521,6 +605,16 @@ impl VmdClient {
     /// the read is abandoned.
     pub fn read_failover(&mut self, dir: &VmdDirectory, req: u64) -> Option<VmdCompletion> {
         let pr = *self.pending_reads.get(&req)?;
+        if pr.purpose == ReadPurpose::Relocate {
+            // The point was to vacate that specific replica; if it cannot
+            // serve the read there is nothing to move — abandon.
+            self.pending_reads.remove(&req);
+            self.relocating.remove(&(pr.ns, pr.slot));
+            return Some(VmdCompletion::RelocateAbort {
+                ns: pr.ns,
+                slot: pr.slot,
+            });
+        }
         let set = dir.replicas(pr.ns, pr.slot);
         if let Some((attempt, server)) = self.first_live_replica(&set, pr.attempt as usize + 1) {
             let entry = self.pending_reads.get_mut(&req).expect("pending read");
@@ -552,6 +646,7 @@ impl VmdClient {
             // A repair that ran out of sources is abandoned; the slot is
             // either already counted lost or still intact elsewhere.
             ReadPurpose::Repair => None,
+            ReadPurpose::Relocate => unreachable!("handled above"),
         }
     }
 
@@ -562,6 +657,17 @@ impl VmdClient {
     /// its request.
     pub fn write_failover(&mut self, dir: &mut VmdDirectory, req: u64) -> Option<VmdCompletion> {
         let pw = self.pending_writes.remove(&req)?;
+        if let WriteRole::Relocate { .. } = pw.role {
+            // The destination copy failed. The directory was never
+            // touched (it changes only in finish_relocation), so just
+            // drop the attempt — the reclaim pump will pick the slot
+            // again on a later tick.
+            self.relocating.remove(&(pw.ns, pw.slot));
+            return Some(VmdCompletion::RelocateAbort {
+                ns: pw.ns,
+                slot: pw.slot,
+            });
+        }
         // Superseded: a newer write of the slot owns the writeback entry —
         // this copy's content no longer matters.
         let superseded = match self.writeback.get(&(pw.ns, pw.slot)) {
@@ -569,6 +675,7 @@ impl VmdClient {
             Some(&(wver, latest)) => match pw.role {
                 WriteRole::Primary => latest != req,
                 WriteRole::Replica => wver != pw.version,
+                WriteRole::Relocate { .. } => unreachable!("handled above"),
             },
         };
         dir.remove_replica(pw.ns, pw.slot, pw.server);
@@ -721,6 +828,172 @@ impl VmdClient {
                 req,
             },
         ));
+    }
+
+    /// Relocations currently in flight on this client (quiescence checks).
+    pub fn relocations_inflight(&self) -> usize {
+        self.relocating.len()
+    }
+
+    /// Start relocating `(ns, slot)` off `from` (lease reclaim or
+    /// rebalance): read the copy from that specific replica so
+    /// [`VmdCompletion::RelocateRead`] can copy it to a server with
+    /// headroom. Returns false when the slot has no copy on `from`, the
+    /// source is suspect, a relocation of the slot is already in flight,
+    /// or the slot is mid-overwrite (writeback owns the content — the new
+    /// version's fan-out will land wherever the directory says).
+    pub fn begin_relocation(
+        &mut self,
+        dir: &VmdDirectory,
+        ns: NamespaceId,
+        slot: u32,
+        from: ServerId,
+    ) -> bool {
+        if self.writeback.contains_key(&(ns, slot))
+            || self.relocating.contains_key(&(ns, slot))
+            || self.is_suspect(from)
+        {
+            return false;
+        }
+        let set = dir.replicas(ns, slot);
+        let Some(pos) = set.as_slice().iter().position(|&s| s == from) else {
+            return false;
+        };
+        self.relocating.insert((ns, slot), true);
+        let req = self.next_internal_req();
+        self.pending_reads.insert(
+            req,
+            PendingRead {
+                ns,
+                slot,
+                server: from,
+                attempt: pos as u8,
+                purpose: ReadPurpose::Relocate,
+            },
+        );
+        self.outbox.push_back((
+            from,
+            ClientMsg::ReadReq {
+                from: self.id,
+                ns,
+                slot,
+                req,
+            },
+        ));
+        true
+    }
+
+    /// Second half of a relocation: write the page read off `from` to a
+    /// fresh server, preferring `prefer` when given (the rebalance
+    /// planner's target). Unlike ordinary placement there is no
+    /// full-server fallback — relocating onto a server without free
+    /// leased DRAM would only move the pressure. Returns false when the
+    /// move is abandoned (superseded, source no longer a replica, or no
+    /// destination with headroom).
+    pub fn relocate_write(
+        &mut self,
+        dir: &VmdDirectory,
+        ns: NamespaceId,
+        slot: u32,
+        version: u32,
+        from: ServerId,
+        prefer: Option<ServerId>,
+    ) -> bool {
+        let current = dir.replicas(ns, slot);
+        if self.relocating.get(&(ns, slot)) != Some(&true) || !current.contains(from) {
+            self.relocating.remove(&(ns, slot));
+            return false;
+        }
+        let dest = prefer
+            .filter(|&p| {
+                !current.contains(p) && !self.is_suspect(p) && self.known_free(p).unwrap_or(0) > 0
+            })
+            .or_else(|| self.next_free_distinct(&current));
+        let Some(dest) = dest else {
+            self.relocating.remove(&(ns, slot));
+            return false;
+        };
+        if let Some(info) = self.servers.iter_mut().find(|i| i.id == dest) {
+            info.free_pages = info.free_pages.saturating_sub(1);
+        }
+        let req = self.next_internal_req();
+        self.pending_writes.insert(
+            req,
+            PendingWrite {
+                ns,
+                slot,
+                server: dest,
+                version,
+                role: WriteRole::Relocate { from },
+            },
+        );
+        self.outbox.push_back((
+            dest,
+            ClientMsg::WriteReq {
+                from: self.id,
+                ns,
+                slot,
+                version,
+                req,
+            },
+        ));
+        true
+    }
+
+    /// Complete a relocation after the destination acked: swap the
+    /// directory entry in place (replica order — and thus failover
+    /// choices — preserved) and free the source copy. When the slot was
+    /// overwritten or freed mid-flight the new copy is dropped instead,
+    /// so no orphan pages leak. Returns true when the directory moved.
+    pub fn finish_relocation(
+        &mut self,
+        dir: &mut VmdDirectory,
+        ns: NamespaceId,
+        slot: u32,
+        from: ServerId,
+        to: ServerId,
+    ) -> bool {
+        let valid = self.relocating.remove(&(ns, slot)) == Some(true);
+        if valid {
+            if dir.replace_replica(ns, slot, from, to) {
+                if let Some(info) = self.servers.iter_mut().find(|i| i.id == from) {
+                    info.free_pages += 1;
+                }
+                self.outbox.push_back((from, ClientMsg::Free { ns, slot }));
+                return true;
+            }
+            // `from` was already evicted (a crash raced the relocation):
+            // the copy at `to` is still the latest acked content, so keep
+            // it as a replacement replica instead of dropping it.
+            if !dir.replicas(ns, slot).is_empty() && dir.add_replica(ns, slot, to) {
+                return true;
+            }
+        }
+        // Superseded (fresh overwrite or free) or no placement left: the
+        // destination copy is an orphan — release it.
+        if !dir.replicas(ns, slot).contains(to) {
+            if let Some(info) = self.servers.iter_mut().find(|i| i.id == to) {
+                info.free_pages += 1;
+            }
+            self.outbox.push_back((to, ClientMsg::Free { ns, slot }));
+        }
+        false
+    }
+
+    /// Next non-member, non-suspect server in ring order *with free leased
+    /// DRAM* — no any-server fallback (see [`VmdClient::relocate_write`]).
+    fn next_free_distinct(&mut self, set: &ReplicaSet) -> Option<ServerId> {
+        let n = self.servers.len();
+        for step in 0..n {
+            let idx = (self.rr + step) % n;
+            let info = self.servers[idx];
+            if set.contains(info.id) || info.suspect || info.free_pages == 0 {
+                continue;
+            }
+            self.rr = (idx + 1) % n;
+            return Some(info.id);
+        }
+        None
     }
 
     fn update_availability(&mut self, server: ServerId, free_pages: u64) {
@@ -1190,6 +1463,233 @@ mod tests {
             None
         );
         assert_eq!(c.stale_msgs(), 2);
+    }
+
+    /// Write one k=2 slot to servers 0 and 1 and ack both copies.
+    fn place_replicated_slot(c: &mut VmdClient, d: &mut VmdDirectory) -> NamespaceId {
+        c.set_replication(2);
+        let ns = d.create_namespace();
+        c.write(d, ns, 0, 7, 1);
+        c.drain_outbox().for_each(drop);
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::WriteAck {
+                req: 1,
+                free_pages: 9,
+            },
+        );
+        c.on_server_msg(
+            ServerId(1),
+            ServerMsg::WriteAck {
+                req: INTERNAL_REQ_BASE,
+                free_pages: 9,
+            },
+        );
+        ns
+    }
+
+    #[test]
+    fn relocation_moves_slot_preserving_order() {
+        let (mut c, mut d) = setup(&[10, 10, 10]);
+        let ns = place_replicated_slot(&mut c, &mut d);
+        assert!(c.begin_relocation(&d, ns, 0, ServerId(0)));
+        assert!(
+            !c.begin_relocation(&d, ns, 0, ServerId(0)),
+            "one relocation per slot at a time"
+        );
+        let (src, _) = c.drain_outbox().next().expect("relocation read");
+        assert_eq!(src, ServerId(0), "read pinned to the vacating replica");
+        let comp = c.on_server_msg(
+            ServerId(0),
+            ServerMsg::ReadResp {
+                req: INTERNAL_REQ_BASE + 1,
+                version: 7,
+                free_pages: 9,
+            },
+        );
+        assert_eq!(
+            comp,
+            Some(VmdCompletion::RelocateRead {
+                ns,
+                slot: 0,
+                version: 7,
+                from: ServerId(0),
+            })
+        );
+        assert!(c.relocate_write(&d, ns, 0, 7, ServerId(0), None));
+        let (dst, _) = c.drain_outbox().next().expect("relocation write");
+        assert_eq!(dst, ServerId(2), "fresh server, not a current replica");
+        let comp = c.on_server_msg(
+            ServerId(2),
+            ServerMsg::WriteAck {
+                req: INTERNAL_REQ_BASE + 2,
+                free_pages: 9,
+            },
+        );
+        assert_eq!(
+            comp,
+            Some(VmdCompletion::RelocateDone {
+                ns,
+                slot: 0,
+                from: ServerId(0),
+                to: ServerId(2),
+            })
+        );
+        assert!(c.finish_relocation(&mut d, ns, 0, ServerId(0), ServerId(2)));
+        assert_eq!(
+            d.replicas(ns, 0).as_slice(),
+            &[ServerId(2), ServerId(1)],
+            "replacement lands in the vacated position"
+        );
+        let frees: Vec<(ServerId, ClientMsg)> = c.drain_outbox().collect();
+        assert_eq!(frees.len(), 1);
+        assert_eq!(frees[0].0, ServerId(0), "source copy released");
+        assert!(matches!(frees[0].1, ClientMsg::Free { slot: 0, .. }));
+        assert_eq!(c.relocations_inflight(), 0);
+    }
+
+    #[test]
+    fn relocation_superseded_by_overwrite_drops_orphan() {
+        let (mut c, mut d) = setup(&[10, 10, 10]);
+        let ns = place_replicated_slot(&mut c, &mut d);
+        assert!(c.begin_relocation(&d, ns, 0, ServerId(0)));
+        c.drain_outbox().for_each(drop);
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::ReadResp {
+                req: INTERNAL_REQ_BASE + 1,
+                version: 7,
+                free_pages: 9,
+            },
+        );
+        assert!(c.relocate_write(&d, ns, 0, 7, ServerId(0), None));
+        // A fresh overwrite lands while the copy is in flight: the
+        // relocated content (v7) is now stale.
+        c.write(&mut d, ns, 0, 8, 99);
+        c.drain_outbox().for_each(drop);
+        c.on_server_msg(
+            ServerId(2),
+            ServerMsg::WriteAck {
+                req: INTERNAL_REQ_BASE + 2,
+                free_pages: 9,
+            },
+        );
+        assert!(!c.finish_relocation(&mut d, ns, 0, ServerId(0), ServerId(2)));
+        assert_eq!(
+            d.replicas(ns, 0).as_slice(),
+            &[ServerId(0), ServerId(1)],
+            "stale copy must not enter the directory"
+        );
+        let frees: Vec<(ServerId, ClientMsg)> = c.drain_outbox().collect();
+        assert_eq!(frees.len(), 1);
+        assert_eq!(frees[0].0, ServerId(2), "orphan copy released");
+    }
+
+    #[test]
+    fn relocation_aborts_when_source_crashes() {
+        let (mut c, mut d) = setup(&[10, 10, 10]);
+        let ns = place_replicated_slot(&mut c, &mut d);
+        assert!(c.begin_relocation(&d, ns, 0, ServerId(0)));
+        c.drain_outbox().for_each(drop);
+        let completions = c.mark_suspect(&mut d, ServerId(0));
+        assert_eq!(
+            completions,
+            vec![VmdCompletion::RelocateAbort { ns, slot: 0 }]
+        );
+        assert_eq!(c.relocations_inflight(), 0);
+        assert_eq!(
+            d.replicas(ns, 0).len(),
+            2,
+            "abort leaves the directory untouched"
+        );
+    }
+
+    #[test]
+    fn relocation_requires_destination_headroom() {
+        // Third server reports no free leased DRAM: the move is abandoned
+        // instead of falling back to a full server.
+        let (mut c, mut d) = setup(&[10, 10, 0]);
+        let ns = place_replicated_slot(&mut c, &mut d);
+        assert!(c.begin_relocation(&d, ns, 0, ServerId(0)));
+        c.drain_outbox().for_each(drop);
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::ReadResp {
+                req: INTERNAL_REQ_BASE + 1,
+                version: 7,
+                free_pages: 9,
+            },
+        );
+        assert!(!c.relocate_write(&d, ns, 0, 7, ServerId(0), None));
+        assert_eq!(c.relocations_inflight(), 0);
+    }
+
+    #[test]
+    fn relocation_becomes_replacement_when_source_is_evicted() {
+        let (mut c, mut d) = setup(&[10, 10, 10]);
+        let ns = place_replicated_slot(&mut c, &mut d);
+        assert!(c.begin_relocation(&d, ns, 0, ServerId(0)));
+        c.drain_outbox().for_each(drop);
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::ReadResp {
+                req: INTERNAL_REQ_BASE + 1,
+                version: 7,
+                free_pages: 9,
+            },
+        );
+        assert!(c.relocate_write(&d, ns, 0, 7, ServerId(0), None));
+        c.drain_outbox().for_each(drop);
+        // The source crashes after serving the read; the directory evicts
+        // it while the copy to server 2 is still in flight.
+        d.evict_server(ServerId(0));
+        let comp = c.on_server_msg(
+            ServerId(2),
+            ServerMsg::WriteAck {
+                req: INTERNAL_REQ_BASE + 2,
+                free_pages: 9,
+            },
+        );
+        assert!(matches!(comp, Some(VmdCompletion::RelocateDone { .. })));
+        assert!(c.finish_relocation(&mut d, ns, 0, ServerId(0), ServerId(2)));
+        assert_eq!(
+            d.replicas(ns, 0).as_slice(),
+            &[ServerId(1), ServerId(2)],
+            "the acked copy substitutes for the lost replica"
+        );
+    }
+
+    #[test]
+    fn lease_update_adopts_free_view() {
+        let (mut c, _) = setup(&[10]);
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::LeaseUpdate {
+                server: ServerId(0),
+                lease_pages: 4,
+                free_pages: 2,
+            },
+        );
+        assert_eq!(c.known_free(ServerId(0)), Some(2));
+    }
+
+    #[test]
+    fn relocation_prefers_planner_target() {
+        let (mut c, mut d) = setup(&[10, 10, 10, 10]);
+        let ns = place_replicated_slot(&mut c, &mut d);
+        assert!(c.begin_relocation(&d, ns, 0, ServerId(0)));
+        c.drain_outbox().for_each(drop);
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::ReadResp {
+                req: INTERNAL_REQ_BASE + 1,
+                version: 7,
+                free_pages: 9,
+            },
+        );
+        assert!(c.relocate_write(&d, ns, 0, 7, ServerId(0), Some(ServerId(3))));
+        let (dst, _) = c.drain_outbox().next().expect("relocation write");
+        assert_eq!(dst, ServerId(3), "planner's target wins over the ring");
     }
 
     #[test]

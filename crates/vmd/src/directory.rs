@@ -86,6 +86,20 @@ impl ReplicaSet {
         true
     }
 
+    /// Replace `old` with `new` *in place* (same position), so failover
+    /// order is preserved across a relocation. Returns false when `old` is
+    /// absent or `new` is already a member.
+    pub fn replace(&mut self, old: ServerId, new: ServerId) -> bool {
+        if self.contains(new) {
+            return false;
+        }
+        let Some(pos) = self.as_slice().iter().position(|&s| s == old) else {
+            return false;
+        };
+        self.servers[pos] = new;
+        true
+    }
+
     /// Remove a replica, preserving the order of the rest. Returns true if
     /// it was present.
     pub fn remove(&mut self, server: ServerId) -> bool {
@@ -206,6 +220,30 @@ impl VmdDirectory {
         true
     }
 
+    /// Relocation: move one replica of `(ns, slot)` from `old` to `new`,
+    /// position preserved (see [`ReplicaSet::replace`]), keeping both
+    /// secondary indices consistent. Returns false when `old` is not a
+    /// replica or `new` already is.
+    pub fn replace_replica(
+        &mut self,
+        ns: NamespaceId,
+        slot: u32,
+        old: ServerId,
+        new: ServerId,
+    ) -> bool {
+        let Some(set) = self.placement.get_mut(&(ns, slot)) else {
+            return false;
+        };
+        if !set.replace(old, new) {
+            return false;
+        }
+        if let Some(slots) = self.server_slots.get_mut(&old) {
+            slots.remove(&(ns, slot));
+        }
+        self.server_slots.entry(new).or_default().insert((ns, slot));
+        true
+    }
+
     /// Forget a slot (freed); returns the primary it was on, if any.
     pub fn forget(&mut self, ns: NamespaceId, slot: u32) -> Option<ServerId> {
         let set = self.placement.remove(&(ns, slot))?;
@@ -286,6 +324,17 @@ impl VmdDirectory {
         out
     }
 
+    /// Placed slots of one namespace, sorted (conservation checks).
+    pub fn namespace_slots(&self, ns: NamespaceId) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .ns_slots
+            .get(&ns)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        out.sort_unstable();
+        out
+    }
+
     /// Number of placed slots across all namespaces.
     pub fn placed_slots(&self) -> usize {
         self.placement.len()
@@ -352,6 +401,43 @@ mod tests {
         assert!(set.remove(ServerId(3)));
         assert_eq!(set.primary(), Some(ServerId(1)));
         assert!(!set.remove(ServerId(3)));
+    }
+
+    #[test]
+    fn replace_preserves_position() {
+        let mut set = ReplicaSet::one(ServerId(3));
+        set.push(ServerId(1));
+        set.push(ServerId(4));
+        assert!(set.replace(ServerId(1), ServerId(9)));
+        assert_eq!(
+            set.as_slice(),
+            &[ServerId(3), ServerId(9), ServerId(4)],
+            "replacement lands in the old member's position"
+        );
+        assert!(
+            !set.replace(ServerId(1), ServerId(5)),
+            "old must be present"
+        );
+        assert!(!set.replace(ServerId(3), ServerId(4)), "new must be absent");
+        assert_eq!(set.as_slice(), &[ServerId(3), ServerId(9), ServerId(4)]);
+    }
+
+    #[test]
+    fn replace_replica_maintains_indices() {
+        let mut d = VmdDirectory::new();
+        let ns = d.create_namespace();
+        let mut set = ReplicaSet::one(ServerId(0));
+        set.push(ServerId(1));
+        d.set_replicas(ns, 4, set);
+        assert!(d.replace_replica(ns, 4, ServerId(0), ServerId(2)));
+        assert_eq!(d.replicas(ns, 4).as_slice(), &[ServerId(2), ServerId(1)]);
+        assert!(d.slots_on_server(ServerId(0)).is_empty());
+        assert_eq!(d.slots_on_server(ServerId(2)), vec![(ns, 4)]);
+        assert!(
+            !d.replace_replica(ns, 4, ServerId(0), ServerId(3)),
+            "old replica already moved"
+        );
+        assert_eq!(d.namespace_slots(ns), vec![4]);
     }
 
     #[test]

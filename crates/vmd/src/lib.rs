@@ -27,12 +27,14 @@
 pub mod backend;
 pub mod client;
 pub mod directory;
+pub mod pool;
 pub mod proto;
 pub mod server;
 
 pub use backend::VmdSwapDevice;
 pub use client::{ReadIssue, VmdClient, VmdCompletion};
 pub use directory::{ReplicaSet, VmdDirectory, MAX_REPLICAS};
+pub use pool::{LeaseConfig, LeaseController, PoolPlanner, ServerLoad};
 pub use proto::{
     ClientId, ClientMsg, NamespaceId, ServerId, ServerMsg, VmdError, MSG_HEADER_BYTES,
 };

@@ -1,0 +1,331 @@
+//! Elastic pool-manager logic: contribution leases and rebalance planning.
+//!
+//! The paper's VMD aggregates the *spare* memory of intermediate hosts
+//! (§IV) — but spare is a moving target: when a donor host's own workloads
+//! grow it must be able to take its DRAM back. This module holds the pure
+//! (sans-IO, deterministic) half of the pool manager:
+//!
+//! - [`LeaseController`] sizes one server's contribution lease from its
+//!   host's demand samples, following the `SwapActivityMonitor` contract
+//!   from `agile-wss`: the first sample only primes the window, shrinks
+//!   act on the latest sample (taking DRAM back must be fast), and growth
+//!   requires two consecutive spacious samples (hysteresis against flap).
+//! - [`PoolPlanner`] decides skew-aware rebalance moves: when the spread
+//!   between the most- and least-utilized server crosses a threshold, it
+//!   names a deterministic `(from, to)` pair.
+//!
+//! The cluster-side executor (`agile-cluster`'s `poolctl`) owns the clocked
+//! loop: it feeds host-ledger samples in, applies the resulting leases to
+//! [`crate::server::VmdServer`]s, and drives the relocation pump.
+
+/// Tuning for one server's lease controller.
+#[derive(Clone, Copy, Debug)]
+pub struct LeaseConfig {
+    /// Ignore lease deltas smaller than this (pages) — gossip churn from
+    /// sub-deadband wobble costs more than it saves.
+    pub deadband_pages: u64,
+    /// Maximum lease change per sample (pages): slew limit so one noisy
+    /// sample cannot trigger a cluster-wide reclaim storm.
+    pub max_step_pages: u64,
+    /// Never lease below this floor (pages), even under full donor demand.
+    pub floor_pages: u64,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            deadband_pages: 16,
+            // 4 GiB of 4 KiB pages per tick: fast enough to track real
+            // demand swings, slow enough to pace the reclaim pump.
+            max_step_pages: 1 << 20,
+            floor_pages: 0,
+        }
+    }
+}
+
+/// Sizes one server's contribution lease from donor-demand samples.
+#[derive(Clone, Copy, Debug)]
+pub struct LeaseController {
+    cfg: LeaseConfig,
+    /// Instantaneous target from the previous sample (None = unprimed).
+    prev_target: Option<u64>,
+}
+
+impl LeaseController {
+    /// New controller (unprimed: the first sample leaves the lease alone).
+    pub fn new(cfg: LeaseConfig) -> Self {
+        LeaseController {
+            cfg,
+            prev_target: None,
+        }
+    }
+
+    /// Feed one sample of the donor host's spare capacity (pages left
+    /// after the host's own demand) and get the new lease. `capacity` is
+    /// the server's raw contribution ceiling, `current` its present lease.
+    pub fn on_sample(&mut self, capacity: u64, spare_pages: u64, current: u64) -> u64 {
+        let floor = self.cfg.floor_pages.min(capacity);
+        let inst = spare_pages.min(capacity).max(floor);
+        let prev = self.prev_target.replace(inst);
+        let Some(prev) = prev else {
+            // First sample primes the window (SwapActivityMonitor contract).
+            return current;
+        };
+        let target = if inst > current {
+            // Growing gives DRAM back to the pool: require two consecutive
+            // spacious samples so a transient dip in donor demand doesn't
+            // re-donate memory that is about to be taken back.
+            inst.min(prev.max(current))
+        } else {
+            // Shrinking protects the donor: act on the latest sample.
+            inst
+        };
+        let step = |from: u64, to: u64| -> u64 {
+            if to >= from {
+                from + (to - from).min(self.cfg.max_step_pages)
+            } else {
+                from - (from - to).min(self.cfg.max_step_pages)
+            }
+        };
+        let next = step(current, target);
+        if next.abs_diff(current) < self.cfg.deadband_pages {
+            current
+        } else {
+            next
+        }
+    }
+
+    /// Forget the sample window (donor host rebooted / server rejoined).
+    pub fn reset(&mut self) {
+        self.prev_target = None;
+    }
+}
+
+/// One server's load as seen by the planner.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerLoad {
+    /// Server id (`ServerId.0`).
+    pub server: u32,
+    /// DRAM-tier pages in use.
+    pub stored_mem_pages: u64,
+    /// Current contribution lease, pages.
+    pub lease_pages: u64,
+}
+
+impl ServerLoad {
+    /// DRAM utilization against the lease. A zero lease that still holds
+    /// pages counts as fully utilized (it is pure reclaim backlog).
+    pub fn utilization(&self) -> f64 {
+        if self.lease_pages == 0 {
+            if self.stored_mem_pages > 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.stored_mem_pages as f64 / self.lease_pages as f64
+        }
+    }
+}
+
+/// Max minus min per-server utilization (0 with fewer than two servers).
+pub fn utilization_spread(loads: &[ServerLoad]) -> f64 {
+    if loads.len() < 2 {
+        return 0.0;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for l in loads {
+        let u = l.utilization();
+        lo = lo.min(u);
+        hi = hi.max(u);
+    }
+    hi - lo
+}
+
+/// Pool-wide DRAM pressure: total stored against total leased capacity.
+pub fn pool_pressure(loads: &[ServerLoad]) -> f64 {
+    let stored: u64 = loads.iter().map(|l| l.stored_mem_pages).sum();
+    let leased: u64 = loads.iter().map(|l| l.lease_pages).sum();
+    if leased == 0 {
+        if stored > 0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        stored as f64 / leased as f64
+    }
+}
+
+/// Skew-aware rebalance planner.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolPlanner {
+    /// Move slots only when the utilization spread exceeds this.
+    pub threshold: f64,
+}
+
+impl PoolPlanner {
+    /// Plan one move from the most- to the least-utilized server, or None
+    /// when the spread is within the threshold (or no useful move exists).
+    /// Ties break to the earliest entry — callers pass loads sorted by
+    /// server id, so identical loads give identical plans.
+    pub fn rebalance_move(&self, loads: &[ServerLoad]) -> Option<(u32, u32)> {
+        if loads.len() < 2 {
+            return None;
+        }
+        let mut hi = &loads[0];
+        let mut lo = &loads[0];
+        for l in &loads[1..] {
+            if l.utilization() > hi.utilization() {
+                hi = l;
+            }
+            if l.utilization() < lo.utilization() {
+                lo = l;
+            }
+        }
+        if hi.server == lo.server
+            || hi.utilization() - lo.utilization() <= self.threshold
+            || hi.stored_mem_pages == 0
+            || lo.stored_mem_pages >= lo.lease_pages
+        {
+            return None;
+        }
+        Some((hi.server, lo.server))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LeaseConfig {
+        LeaseConfig {
+            deadband_pages: 4,
+            max_step_pages: 100,
+            floor_pages: 0,
+        }
+    }
+
+    #[test]
+    fn first_sample_primes_without_adjusting() {
+        let mut c = LeaseController::new(cfg());
+        assert_eq!(c.on_sample(1000, 10, 1000), 1000);
+    }
+
+    #[test]
+    fn shrink_acts_on_latest_sample() {
+        let mut c = LeaseController::new(cfg());
+        c.on_sample(1000, 1000, 1000);
+        assert_eq!(c.on_sample(1000, 950, 1000), 950, "one low sample shrinks");
+    }
+
+    #[test]
+    fn growth_needs_two_spacious_samples() {
+        let mut c = LeaseController::new(LeaseConfig {
+            max_step_pages: 1000,
+            ..cfg()
+        });
+        c.on_sample(1000, 500, 1000);
+        let lease = c.on_sample(1000, 500, 1000);
+        assert_eq!(lease, 500);
+        // Demand recedes: the first spacious sample is not trusted yet…
+        assert_eq!(c.on_sample(1000, 600, lease), 500);
+        // …the second one is.
+        assert_eq!(c.on_sample(1000, 600, lease), 600);
+    }
+
+    #[test]
+    fn steps_are_slew_limited() {
+        let mut c = LeaseController::new(cfg());
+        c.on_sample(1000, 0, 1000);
+        assert_eq!(c.on_sample(1000, 0, 1000), 900, "≤ max_step per sample");
+        assert_eq!(c.on_sample(1000, 0, 900), 800);
+    }
+
+    #[test]
+    fn deadband_suppresses_wobble() {
+        let mut c = LeaseController::new(cfg());
+        c.on_sample(1000, 500, 500);
+        assert_eq!(c.on_sample(1000, 498, 500), 500, "sub-deadband: hold");
+    }
+
+    #[test]
+    fn floor_bounds_the_shrink() {
+        let mut c = LeaseController::new(LeaseConfig {
+            floor_pages: 300,
+            ..cfg()
+        });
+        c.on_sample(1000, 0, 400);
+        assert_eq!(c.on_sample(1000, 0, 400), 300);
+        assert_eq!(c.on_sample(1000, 0, 300), 300, "never below the floor");
+    }
+
+    #[test]
+    fn target_clamps_to_capacity() {
+        let mut c = LeaseController::new(cfg());
+        c.on_sample(1000, 5000, 900);
+        assert_eq!(
+            c.on_sample(1000, 5000, 900),
+            1000,
+            "spare beyond capacity cannot over-lease"
+        );
+    }
+
+    fn load(server: u32, stored: u64, lease: u64) -> ServerLoad {
+        ServerLoad {
+            server,
+            stored_mem_pages: stored,
+            lease_pages: lease,
+        }
+    }
+
+    #[test]
+    fn spread_and_pressure() {
+        let loads = [load(0, 90, 100), load(1, 10, 100)];
+        assert!((utilization_spread(&loads) - 0.8).abs() < 1e-12);
+        assert!((pool_pressure(&loads) - 0.5).abs() < 1e-12);
+        assert_eq!(utilization_spread(&loads[..1]), 0.0);
+        assert_eq!(pool_pressure(&[]), 0.0);
+    }
+
+    #[test]
+    fn zero_lease_counts_as_full() {
+        assert_eq!(load(0, 5, 0).utilization(), 1.0);
+        assert_eq!(load(0, 0, 0).utilization(), 0.0);
+    }
+
+    #[test]
+    fn planner_moves_hot_to_cold_above_threshold() {
+        let p = PoolPlanner { threshold: 0.15 };
+        let loads = [load(0, 50, 100), load(1, 90, 100), load(2, 20, 100)];
+        assert_eq!(p.rebalance_move(&loads), Some((1, 2)));
+        // Within threshold: no move.
+        let even = [load(0, 50, 100), load(1, 55, 100)];
+        assert_eq!(p.rebalance_move(&even), None);
+    }
+
+    #[test]
+    fn planner_ties_break_to_lowest_id() {
+        let p = PoolPlanner { threshold: 0.1 };
+        let loads = [
+            load(3, 90, 100),
+            load(1, 90, 100),
+            load(2, 10, 100),
+            load(4, 10, 100),
+        ];
+        assert_eq!(
+            p.rebalance_move(&loads),
+            Some((3, 2)),
+            "first max and first min in input order win"
+        );
+    }
+
+    #[test]
+    fn planner_skips_full_destination() {
+        let p = PoolPlanner { threshold: 0.1 };
+        // The least-utilized server has no lease headroom: nothing to do.
+        let loads = [load(0, 100, 100), load(1, 40, 40)];
+        assert_eq!(p.rebalance_move(&loads), None);
+    }
+}

@@ -125,6 +125,18 @@ pub enum ServerMsg {
         /// Free capacity, pages.
         free_pages: u64,
     },
+    /// Lease-change notification, pushed on the server's behalf by the
+    /// pool manager when the donor host resizes its contribution, so
+    /// clients stop placing onto a shrinking server *before* the next
+    /// periodic gossip round.
+    LeaseUpdate {
+        /// Reporting server.
+        server: ServerId,
+        /// New contribution lease, pages.
+        lease_pages: u64,
+        /// Free leased capacity, pages.
+        free_pages: u64,
+    },
     /// Negative acknowledgement: the request could not be served. Sent
     /// instead of [`ServerMsg::ReadResp`]/[`ServerMsg::WriteAck`] so the
     /// client can fail over to another replica or report the loss.
@@ -143,9 +155,10 @@ impl ServerMsg {
     pub fn wire_bytes(&self, page_size: u64) -> u64 {
         match self {
             ServerMsg::ReadResp { .. } => MSG_HEADER_BYTES + page_size,
-            ServerMsg::WriteAck { .. } | ServerMsg::Availability { .. } | ServerMsg::Nak { .. } => {
-                MSG_HEADER_BYTES
-            }
+            ServerMsg::WriteAck { .. }
+            | ServerMsg::Availability { .. }
+            | ServerMsg::LeaseUpdate { .. }
+            | ServerMsg::Nak { .. } => MSG_HEADER_BYTES,
         }
     }
 }
@@ -191,5 +204,11 @@ mod tests {
             free_pages: 10,
         };
         assert_eq!(nak.wire_bytes(4096), 64);
+        let lease = ServerMsg::LeaseUpdate {
+            server: ServerId(1),
+            lease_pages: 5,
+            free_pages: 2,
+        };
+        assert_eq!(lease.wire_bytes(4096), 64);
     }
 }

@@ -5,6 +5,20 @@
 //! (the paper's suggested HD/SSD extension) absorbs writes that exceed the
 //! memory capacity instead of rejecting them; reads from the disk tier are
 //! flagged so the cluster executor can charge the device time.
+//!
+//! ## Elastic contribution leases
+//!
+//! The server's DRAM contribution is bounded by a **lease**
+//! ([`VmdServer::set_lease`]) sized by the pool manager from the donor
+//! host's own memory demand. `free_pages()` — and therefore every reply
+//! and availability gossip — advertises lease-aware capacity, so clients
+//! never place onto a shrinking server. When a shrink leaves the server
+//! holding more DRAM pages than the lease allows
+//! ([`VmdServer::over_lease_pages`]), the pool manager reclaims via
+//! [`VmdServer::reclaim_victims`] (relocation) and
+//! [`VmdServer::demote_victims`] (spill to the disk tier). Victim order is
+//! deterministic: coldest namespace first (a logical access clock, not
+//! wall time — the server is sans-IO), slots ascending within a namespace.
 
 use std::collections::HashMap;
 
@@ -34,9 +48,19 @@ pub struct VmdServer {
     id: ServerId,
     mem_capacity_pages: u64,
     disk_capacity_pages: u64,
+    /// Current contribution lease; DRAM beyond `min(lease, capacity)` is
+    /// off-limits to new placements. Starts at the full capacity.
+    lease_pages: u64,
     store: HashMap<(NamespaceId, u32), (u32, Tier)>,
     mem_used: u64,
     disk_used: u64,
+    /// Logical access clock: bumped on every read/write so victim
+    /// selection can order namespaces coldest-first deterministically.
+    access_clock: u64,
+    /// Last access-clock value per namespace.
+    ns_last_access: HashMap<NamespaceId, u64>,
+    /// Stored pages per namespace (both tiers).
+    ns_pages: HashMap<NamespaceId, u64>,
 }
 
 impl VmdServer {
@@ -47,9 +71,13 @@ impl VmdServer {
             id,
             mem_capacity_pages,
             disk_capacity_pages,
+            lease_pages: mem_capacity_pages,
             store: HashMap::new(),
             mem_used: 0,
             disk_used: 0,
+            access_clock: 0,
+            ns_last_access: HashMap::new(),
+            ns_pages: HashMap::new(),
         }
     }
 
@@ -58,9 +86,45 @@ impl VmdServer {
         self.id
     }
 
-    /// Free DRAM pages right now.
+    /// DRAM pages placements may use right now: `min(lease, capacity)`.
+    fn effective_mem(&self) -> u64 {
+        self.lease_pages.min(self.mem_capacity_pages)
+    }
+
+    /// Free *leased* DRAM pages right now. Every reply and availability
+    /// report goes through here, so gossip advertises leased — not raw —
+    /// capacity and clients avoid shrinking servers.
     pub fn free_pages(&self) -> u64 {
-        self.mem_capacity_pages - self.mem_used
+        self.effective_mem().saturating_sub(self.mem_used)
+    }
+
+    /// Raw DRAM contribution ceiling (lease-independent).
+    pub fn mem_capacity_pages(&self) -> u64 {
+        self.mem_capacity_pages
+    }
+
+    /// DRAM pages currently storing data.
+    pub fn mem_used_pages(&self) -> u64 {
+        self.mem_used
+    }
+
+    /// The current contribution lease, in pages (clamped to capacity).
+    pub fn lease_pages(&self) -> u64 {
+        self.effective_mem()
+    }
+
+    /// Resize the contribution lease (clamped to the raw capacity).
+    /// Returns the new effective lease. Shrinking below `mem_used` does
+    /// not evict anything by itself — the pool manager drains the excess
+    /// via [`VmdServer::reclaim_victims`] / [`VmdServer::demote_victims`].
+    pub fn set_lease(&mut self, pages: u64) -> u64 {
+        self.lease_pages = pages.min(self.mem_capacity_pages);
+        self.lease_pages
+    }
+
+    /// DRAM pages held beyond the current lease (reclaim backlog).
+    pub fn over_lease_pages(&self) -> u64 {
+        self.mem_used.saturating_sub(self.effective_mem())
     }
 
     /// Pages currently stored (both tiers).
@@ -75,7 +139,7 @@ impl VmdServer {
 
     /// True if a write arriving now would have to spill (or fail).
     pub fn memory_full(&self) -> bool {
-        self.mem_used >= self.mem_capacity_pages
+        self.mem_used >= self.effective_mem()
     }
 
     /// Build the periodic availability report.
@@ -84,6 +148,87 @@ impl VmdServer {
             server: self.id,
             free_pages: self.free_pages(),
         }
+    }
+
+    /// Build a lease-change notification (pushed by the pool manager so
+    /// clients learn about a shrink before the next gossip round).
+    pub fn lease_update(&self) -> ServerMsg {
+        ServerMsg::LeaseUpdate {
+            server: self.id,
+            lease_pages: self.effective_mem(),
+            free_pages: self.free_pages(),
+        }
+    }
+
+    /// Stored pages (both tiers) per namespace, sorted by namespace id.
+    pub fn pages_per_namespace(&self) -> Vec<(NamespaceId, u64)> {
+        let mut out: Vec<(NamespaceId, u64)> =
+            self.ns_pages.iter().map(|(&ns, &n)| (ns, n)).collect();
+        out.sort_unstable_by_key(|&(ns, _)| ns.0);
+        out
+    }
+
+    fn touch(&mut self, ns: NamespaceId) {
+        self.access_clock += 1;
+        self.ns_last_access.insert(ns, self.access_clock);
+    }
+
+    fn note_insert(&mut self, ns: NamespaceId) {
+        *self.ns_pages.entry(ns).or_insert(0) += 1;
+    }
+
+    fn note_remove(&mut self, ns: NamespaceId) {
+        if let Some(n) = self.ns_pages.get_mut(&ns) {
+            *n -= 1;
+            if *n == 0 {
+                self.ns_pages.remove(&ns);
+                self.ns_last_access.remove(&ns);
+            }
+        }
+    }
+
+    /// Up to `max` DRAM-tier victim slots in deterministic reclaim order:
+    /// coldest namespace first (least-recently-accessed; ties break to the
+    /// lower namespace id), slots ascending within a namespace.
+    pub fn reclaim_victims(&self, max: usize) -> Vec<(NamespaceId, u32)> {
+        if max == 0 || self.mem_used == 0 {
+            return Vec::new();
+        }
+        let mut by_ns: HashMap<NamespaceId, Vec<u32>> = HashMap::new();
+        for (&(ns, slot), &(_, tier)) in &self.store {
+            if tier == Tier::Memory {
+                by_ns.entry(ns).or_default().push(slot);
+            }
+        }
+        let mut order: Vec<NamespaceId> = by_ns.keys().copied().collect();
+        order.sort_unstable_by_key(|ns| (self.ns_last_access.get(ns).copied().unwrap_or(0), ns.0));
+        let mut out = Vec::with_capacity(max.min(self.mem_used as usize));
+        for ns in order {
+            let mut slots = by_ns.remove(&ns).expect("grouped above");
+            slots.sort_unstable();
+            for slot in slots {
+                out.push((ns, slot));
+                if out.len() == max {
+                    return out;
+                }
+            }
+        }
+        out
+    }
+
+    /// Demote up to `max` victim slots (same order as
+    /// [`VmdServer::reclaim_victims`]) from DRAM to the disk tier, bounded
+    /// by disk headroom. Returns the demoted slots.
+    pub fn demote_victims(&mut self, max: usize) -> Vec<(NamespaceId, u32)> {
+        let room = self.disk_capacity_pages.saturating_sub(self.disk_used);
+        let victims = self.reclaim_victims(max.min(room as usize));
+        for &(ns, slot) in &victims {
+            let entry = self.store.get_mut(&(ns, slot)).expect("victim exists");
+            entry.1 = Tier::Disk;
+            self.mem_used -= 1;
+            self.disk_used += 1;
+        }
+        victims
     }
 
     /// Handle one client message. Returns the reply (and which tier did
@@ -104,6 +249,16 @@ impl VmdServer {
                         tier: Tier::Memory,
                     };
                 };
+                self.touch(ns);
+                // A read hit on the disk tier promotes the page back to
+                // DRAM when the lease has headroom (demotion without
+                // promotion wrecks repeat-access latency). This read still
+                // pays the disk time — the reply reports `Tier::Disk`.
+                if tier == Tier::Disk && self.mem_used < self.effective_mem() {
+                    self.store.insert((ns, slot), (version, Tier::Memory));
+                    self.disk_used -= 1;
+                    self.mem_used += 1;
+                }
                 ServerReply {
                     msg: Some(ServerMsg::ReadResp {
                         req,
@@ -121,17 +276,28 @@ impl VmdServer {
                 ..
             } => {
                 let tier = match self.store.get(&(ns, slot)) {
-                    Some((_, t)) => *t, // overwrite in place
+                    // Overwrite in place — but a slot stranded on the disk
+                    // tier while memory was full is promoted to DRAM as
+                    // soon as the lease has headroom again.
+                    Some((_, Tier::Disk)) if self.mem_used < self.effective_mem() => {
+                        self.disk_used -= 1;
+                        self.mem_used += 1;
+                        Tier::Memory
+                    }
+                    Some((_, t)) => *t,
                     None => {
-                        if self.mem_used < self.mem_capacity_pages {
+                        if self.mem_used < self.effective_mem() {
                             self.mem_used += 1;
+                            self.note_insert(ns);
                             Tier::Memory
                         } else if self.disk_used < self.disk_capacity_pages {
                             self.disk_used += 1;
+                            self.note_insert(ns);
                             Tier::Disk
                         } else {
-                            // Both tiers full (stale availability view at
-                            // the client): refuse so the client re-places.
+                            // Leased DRAM and disk both full (stale
+                            // availability view at the client): refuse so
+                            // the client re-places.
                             return ServerReply {
                                 msg: Some(ServerMsg::Nak {
                                     req,
@@ -143,6 +309,7 @@ impl VmdServer {
                         }
                     }
                 };
+                self.touch(ns);
                 self.store.insert((ns, slot), (version, tier));
                 ServerReply {
                     msg: Some(ServerMsg::WriteAck {
@@ -158,6 +325,7 @@ impl VmdServer {
                         Tier::Memory => self.mem_used -= 1,
                         Tier::Disk => self.disk_used -= 1,
                     }
+                    self.note_remove(ns);
                     t
                 } else {
                     Tier::Memory
@@ -168,13 +336,15 @@ impl VmdServer {
     }
 
     /// Crash: the host died and its DRAM (and, in our model, spill-tier
-    /// contents) are gone. Capacity is retained for when the host rejoins
-    /// empty. Returns the number of pages lost.
+    /// contents) are gone. Capacity (and the current lease) is retained
+    /// for when the host rejoins empty. Returns the number of pages lost.
     pub fn crash_reset(&mut self) -> u64 {
         let lost = self.stored_pages();
         self.store.clear();
         self.mem_used = 0;
         self.disk_used = 0;
+        self.ns_last_access.clear();
+        self.ns_pages.clear();
         lost
     }
 
@@ -193,6 +363,8 @@ impl VmdServer {
                 true
             }
         });
+        self.ns_pages.remove(&ns);
+        self.ns_last_access.remove(&ns);
         before - self.stored_pages()
     }
 }
@@ -309,6 +481,11 @@ mod tests {
         s.handle(write(2, 0, 1, 3));
         assert_eq!(s.purge_namespace(NamespaceId(1)), 2);
         assert_eq!(s.stored_pages(), 1);
+        assert_eq!(
+            s.pages_per_namespace(),
+            vec![(NamespaceId(2), 1)],
+            "per-namespace accounting follows the purge"
+        );
     }
 
     #[test]
@@ -351,6 +528,7 @@ mod tests {
         s.handle(write(1, 1, 1, 2));
         assert_eq!(s.crash_reset(), 2);
         assert_eq!(s.free_pages(), 10);
+        assert!(s.pages_per_namespace().is_empty());
         // A rejoined server no longer has the page: read NAKs.
         assert!(matches!(
             s.handle(read(1, 0, 3)).msg,
@@ -367,6 +545,140 @@ mod tests {
             ServerMsg::Availability {
                 server: ServerId(3),
                 free_pages: 4
+            }
+        );
+    }
+
+    #[test]
+    fn overwrite_promotes_stranded_disk_page() {
+        // Regression: a slot written while memory was full used to stay on
+        // Tier::Disk forever, even after DRAM freed up.
+        let mut s = VmdServer::new(ServerId(0), 1, 4);
+        s.handle(write(1, 0, 1, 1)); // fills DRAM
+        assert_eq!(s.handle(write(1, 1, 1, 2)).tier, Tier::Disk);
+        s.handle(ClientMsg::Free {
+            ns: NamespaceId(1),
+            slot: 0,
+        });
+        // Overwrite with DRAM headroom: the page moves up.
+        assert_eq!(s.handle(write(1, 1, 2, 3)).tier, Tier::Memory);
+        assert_eq!(s.disk_pages(), 0);
+        assert_eq!(s.handle(read(1, 1, 4)).tier, Tier::Memory);
+    }
+
+    #[test]
+    fn read_hit_promotes_stranded_disk_page() {
+        let mut s = VmdServer::new(ServerId(0), 1, 4);
+        s.handle(write(1, 0, 1, 1));
+        s.handle(write(1, 1, 1, 2)); // spills
+        s.handle(ClientMsg::Free {
+            ns: NamespaceId(1),
+            slot: 0,
+        });
+        // The promoting read itself still pays the disk time…
+        assert_eq!(s.handle(read(1, 1, 3)).tier, Tier::Disk);
+        // …but the page now lives in DRAM.
+        assert_eq!(s.disk_pages(), 0);
+        assert_eq!(s.handle(read(1, 1, 4)).tier, Tier::Memory);
+    }
+
+    #[test]
+    fn lease_caps_free_pages_and_placements() {
+        let mut s = VmdServer::new(ServerId(0), 10, 0);
+        s.handle(write(1, 0, 1, 1));
+        s.handle(write(1, 1, 1, 2));
+        assert_eq!(s.free_pages(), 8);
+        assert_eq!(s.set_lease(5), 5);
+        // Gossip and replies advertise leased capacity (satellite fix).
+        assert_eq!(s.free_pages(), 3);
+        assert_eq!(
+            s.availability(),
+            ServerMsg::Availability {
+                server: ServerId(0),
+                free_pages: 3
+            }
+        );
+        // The lease clamps to the raw capacity.
+        assert_eq!(s.set_lease(20), 10);
+    }
+
+    #[test]
+    fn shrunk_lease_rejects_new_writes() {
+        let mut s = VmdServer::new(ServerId(0), 10, 0);
+        s.set_lease(1);
+        assert_eq!(s.handle(write(1, 0, 1, 1)).tier, Tier::Memory);
+        // Raw capacity has room, the lease does not: NAK, not store.
+        assert!(matches!(
+            s.handle(write(1, 1, 1, 2)).msg,
+            Some(ServerMsg::Nak {
+                err: VmdError::OutOfCapacity { .. },
+                ..
+            })
+        ));
+        assert_eq!(s.stored_pages(), 1);
+    }
+
+    #[test]
+    fn over_lease_tracks_reclaim_backlog() {
+        let mut s = VmdServer::new(ServerId(0), 10, 0);
+        for slot in 0..4 {
+            s.handle(write(1, slot, 1, u64::from(slot)));
+        }
+        assert_eq!(s.over_lease_pages(), 0);
+        s.set_lease(1);
+        assert_eq!(s.over_lease_pages(), 3);
+        assert_eq!(s.free_pages(), 0);
+    }
+
+    #[test]
+    fn reclaim_victims_coldest_namespace_first() {
+        let mut s = VmdServer::new(ServerId(0), 10, 0);
+        s.handle(write(2, 5, 1, 1));
+        s.handle(write(2, 3, 1, 2));
+        s.handle(write(1, 7, 1, 3));
+        // Namespace 2 was touched again: it is now the hottest.
+        s.handle(read(2, 3, 4));
+        let victims = s.reclaim_victims(3);
+        assert_eq!(
+            victims,
+            vec![
+                (NamespaceId(1), 7),
+                (NamespaceId(2), 3),
+                (NamespaceId(2), 5),
+            ],
+            "coldest namespace first, slots ascending"
+        );
+        assert_eq!(s.reclaim_victims(1), vec![(NamespaceId(1), 7)]);
+    }
+
+    #[test]
+    fn demote_victims_moves_pages_to_disk() {
+        let mut s = VmdServer::new(ServerId(0), 4, 2);
+        for slot in 0..4 {
+            s.handle(write(1, slot, 1, u64::from(slot)));
+        }
+        s.set_lease(1);
+        assert_eq!(s.over_lease_pages(), 3);
+        // Bounded by disk headroom (2), not by the request (3).
+        let demoted = s.demote_victims(3);
+        assert_eq!(demoted.len(), 2);
+        assert_eq!(s.disk_pages(), 2);
+        assert_eq!(s.over_lease_pages(), 1);
+        assert_eq!(s.stored_pages(), 4, "demotion preserves contents");
+        assert_eq!(s.pages_per_namespace(), vec![(NamespaceId(1), 4)]);
+    }
+
+    #[test]
+    fn lease_update_reports_lease_and_free() {
+        let mut s = VmdServer::new(ServerId(2), 8, 0);
+        s.handle(write(1, 0, 1, 1));
+        s.set_lease(4);
+        assert_eq!(
+            s.lease_update(),
+            ServerMsg::LeaseUpdate {
+                server: ServerId(2),
+                lease_pages: 4,
+                free_pages: 3,
             }
         );
     }

@@ -7,6 +7,7 @@
 //! cargo run --release --example memory_pressure -- 16     # 1/16 scale
 //! ```
 
+use agile::cluster::scenario::pressure::{self, PressureConfig};
 use agile::cluster::scenario::ycsb::{self, YcsbScenarioConfig};
 use agile::sim::fmt_bytes;
 use agile::Technique;
@@ -46,4 +47,24 @@ fn main() {
          Table III: 15.0 GB / 10.3 GB / 8.2 GB. Expect the same ordering and\n\
          similar ratios, not the absolute numbers.)"
     );
+
+    // The memory-pressure flip side: donor hosts reclaiming their VMD
+    // contributions. A skewed demand ramp halves the pool's capacity and
+    // the elastic pool manager must relocate/demote every page.
+    println!("\nelastic pool under donor-demand ramp (pool capacity halved):");
+    let p = pressure::run(&PressureConfig {
+        scale,
+        ..Default::default()
+    });
+    println!(
+        "  converged={} lost_placements={} relocated={} demoted={} \
+         rebalance_moves={} final_spread={:.3}",
+        p.converged,
+        p.lost_placements,
+        p.counters.pages_relocated,
+        p.counters.pages_demoted,
+        p.counters.rebalance_moves,
+        p.final_spread,
+    );
+    assert!(p.converged && p.lost_placements == 0);
 }
