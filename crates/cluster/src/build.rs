@@ -9,7 +9,8 @@ use std::rc::Rc;
 
 use agile_memory::{HostMemory, SsdSwap};
 use agile_sim_core::{
-    BlockDevice, DetRng, SimDuration, SimTime, Simulation, ThroughputMeter, TimeSeries,
+    Bandwidth, BlockDevice, DetRng, RackId, SimDuration, SimTime, Simulation, ThroughputMeter,
+    TimeSeries,
 };
 use agile_vm::{HostId, Vm, VmConfig, VmId};
 use agile_vmd::{ClientId, ServerId, VmdClient, VmdServer, VmdSwapDevice};
@@ -52,6 +53,20 @@ impl ClusterBuilder {
     /// guest-layout regions for a workload).
     pub fn world_mut(&mut self) -> &mut World {
         &mut self.world
+    }
+
+    /// Declare a ToR rack with the given trunk capacities in the fluid
+    /// network. Hosts join via [`ClusterBuilder::assign_rack`]; hosts
+    /// never assigned stay spine-attached.
+    pub fn add_net_rack(&mut self, up: Bandwidth, down: Bandwidth) -> RackId {
+        self.world.net.add_rack(up, down)
+    }
+
+    /// Put a host's NIC behind a rack's trunk: all its off-rack traffic
+    /// then shares the trunk as an extra water-filling constraint.
+    pub fn assign_rack(&mut self, host: usize, rack: RackId) {
+        let node = self.world.hosts[host].node;
+        self.world.net.set_node_rack(node, rack);
     }
 
     /// Add a host. `with_ssd` attaches the shared swap SSD partition.

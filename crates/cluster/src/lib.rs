@@ -35,6 +35,7 @@ pub mod poolctl;
 pub mod report;
 pub mod scenario;
 pub mod sched;
+pub mod shard;
 pub mod vmdio;
 pub mod world;
 pub mod wssctl;

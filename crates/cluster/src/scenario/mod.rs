@@ -14,6 +14,7 @@
 //! qualitative results.
 
 pub mod chaos;
+pub mod datacenter;
 pub mod multihost;
 pub mod pressure;
 pub mod single_vm;

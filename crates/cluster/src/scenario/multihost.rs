@@ -17,7 +17,7 @@
 //! both empty hosts — with zero ping-pong (no VM migrates twice).
 
 use agile_migration::{SourceConfig, Technique};
-use agile_sim_core::{SimDuration, SimTime, GIB, MIB};
+use agile_sim_core::{SimDuration, SimTime, Simulation, GIB, MIB};
 use agile_vm::VmConfig;
 use agile_wss::WatermarkTrigger;
 
@@ -25,6 +25,8 @@ use crate::build::{ClusterBuilder, SwapKind};
 use crate::config::ClusterConfig;
 use crate::scenario::set_reservation;
 use crate::sched::{self, ManagedHost, PlacementPolicy, SchedConfig, SchedCounters};
+use crate::shard::{NullCoordinator, ShardedRun};
+use crate::world::World;
 
 /// One multihost rebalancing run.
 #[derive(Clone, Debug)]
@@ -129,8 +131,90 @@ pub struct MultihostResult {
     pub trace_jsonl: Option<String>,
 }
 
+/// A built, armed, ramped multihost world, ready to be driven — either
+/// sequentially ([`run`]) or as one shard of a replicated sharded run
+/// ([`run_replicated`]). Both drivers advance the world through the same
+/// 5-second `run_until` targets, so they produce byte-identical results.
+struct MultihostSetup {
+    sim: Simulation<World>,
+    managed: Vec<ManagedHost>,
+    ramp_end: SimTime,
+    deadline: SimTime,
+}
+
+/// The convergence predicate, evaluated at every 5-second boundary:
+/// rebalanced and quiescent after the ramp, or out of time.
+fn converged_now(
+    sim: &Simulation<World>,
+    managed: &[ManagedHost],
+    ramp_end: SimTime,
+    deadline: SimTime,
+) -> bool {
+    let w = sim.state();
+    let s = w.sched.as_ref().expect("scheduler armed");
+    let below = managed
+        .iter()
+        .all(|mh| sched::host_aggregate(w, mh.host) <= mh.trigger.high_bytes);
+    let quiescent =
+        s.queue.is_empty() && s.inflight.is_empty() && w.migrations.iter().all(|m| m.finished);
+    (sim.now() > ramp_end && below && quiescent) || sim.now() >= deadline
+}
+
 /// Run one multihost rebalancing scenario.
 pub fn run(cfg: &MultihostConfig) -> MultihostResult {
+    let MultihostSetup {
+        mut sim,
+        managed,
+        ramp_end,
+        deadline,
+    } = setup(cfg);
+    // Run in slices until the cluster is rebalanced and quiescent.
+    loop {
+        let next = sim.now() + SimDuration::from_secs(5);
+        sim.run_until(next.min(deadline));
+        if converged_now(&sim, &managed, ramp_end, deadline) {
+            break;
+        }
+    }
+    finish(sim, cfg, &managed, deadline)
+}
+
+/// Run several independent multihost scenarios as shards of one parallel
+/// epoch harness (lookahead = the sequential driver's 5-second slice, so
+/// the `run_until` targets coincide). Every replica's result is
+/// byte-identical to [`run`] of its config at any `workers` count — the
+/// equivalence tests pin this.
+pub fn run_replicated(cfgs: &[MultihostConfig], workers: usize) -> Vec<MultihostResult> {
+    assert!(!cfgs.is_empty());
+    assert!(
+        cfgs.iter()
+            .all(|c| c.deadline_secs == cfgs[0].deadline_secs),
+        "replicated runs share one deadline (epoch targets must coincide)"
+    );
+    let mut meta = Vec::with_capacity(cfgs.len());
+    let mut worlds = Vec::with_capacity(cfgs.len());
+    for cfg in cfgs {
+        let s = setup(cfg);
+        meta.push((s.managed, s.ramp_end, s.deadline));
+        worlds.push(s.sim);
+    }
+    let deadline = meta[0].2;
+    let mut sharded = ShardedRun::new(worlds, SimDuration::from_secs(5));
+    sharded.run(workers, deadline, &mut NullCoordinator, |i, sim| {
+        let (managed, ramp_end, dl) = &meta[i];
+        converged_now(sim, managed, *ramp_end, *dl)
+    });
+    sharded
+        .into_worlds()
+        .into_iter()
+        .zip(cfgs)
+        .zip(&meta)
+        .map(|((sim, cfg), (managed, _, dl))| finish(sim, cfg, managed, *dl))
+        .collect()
+}
+
+/// Build the world: hosts, VMD pool, packed VMs, scheduler, load ramp.
+fn setup(cfg: &MultihostConfig) -> MultihostSetup {
     assert!(cfg.hosts >= 2, "need at least two working hosts");
     assert!(cfg.vms >= 1);
     let sc = cfg.scale.max(1);
@@ -236,24 +320,25 @@ pub fn run(cfg: &MultihostConfig) -> MultihostResult {
         });
     }
 
-    // Run in slices until the cluster is rebalanced and quiescent.
     let ramp_end =
         SimTime::from_secs(cfg.ramp_start_secs + u64::from(steps - 1) * cfg.ramp_interval_secs);
     let deadline = SimTime::from_secs(cfg.deadline_secs);
-    loop {
-        let next = sim.now() + SimDuration::from_secs(5);
-        sim.run_until(next.min(deadline));
-        let w = sim.state();
-        let s = w.sched.as_ref().expect("scheduler armed");
-        let below = managed
-            .iter()
-            .all(|mh| sched::host_aggregate(w, mh.host) <= mh.trigger.high_bytes);
-        let quiescent =
-            s.queue.is_empty() && s.inflight.is_empty() && w.migrations.iter().all(|m| m.finished);
-        if (sim.now() > ramp_end && below && quiescent) || sim.now() >= deadline {
-            break;
-        }
+    MultihostSetup {
+        sim,
+        managed,
+        ramp_end,
+        deadline,
     }
+}
+
+/// Disarm the scheduler and assemble the deterministic result.
+fn finish(
+    mut sim: Simulation<World>,
+    cfg: &MultihostConfig,
+    managed: &[ManagedHost],
+    deadline: SimTime,
+) -> MultihostResult {
+    let sc = cfg.scale.max(1);
     sched::disarm_scheduler(&mut sim);
 
     let events_executed = sim.events_executed();
@@ -310,7 +395,7 @@ pub fn run(cfg: &MultihostConfig) -> MultihostResult {
             cfg.high_frac,
         );
         let _ = writeln!(report, "watermarks:");
-        for mh in &managed {
+        for mh in managed {
             let _ = writeln!(
                 report,
                 "  host{} low={} high={}",

@@ -18,13 +18,14 @@
 //! be accounted to a directory placement — reclaim and rebalance move
 //! pages, they never lose or leak them.
 
-use agile_sim_core::{SimDuration, SimTime, GIB, MIB};
+use agile_sim_core::{SimDuration, SimTime, Simulation, GIB, MIB};
 use agile_vm::VmConfig;
 use agile_vmd::NamespaceId;
 
 use crate::build::{ClusterBuilder, SwapKind};
 use crate::config::ClusterConfig;
 use crate::poolctl::{self, PoolConfig, PoolCounters};
+use crate::shard::{NullCoordinator, ShardedRun};
 use crate::world::World;
 
 /// One pool-pressure run.
@@ -145,8 +146,90 @@ fn audit(w: &World, namespaces: &[NamespaceId]) -> (u64, u64, Vec<(u32, u64)>, u
     (lost, total, per_ns, digest)
 }
 
+/// A built, armed, ramped pressure world, ready to be driven — either
+/// sequentially ([`run`]) or as one shard of a replicated sharded run
+/// ([`run_replicated`]). Both drivers advance the world through the same
+/// 5-second `run_until` targets, so they produce byte-identical results.
+struct PressureSetup {
+    sim: Simulation<World>,
+    namespaces: Vec<NamespaceId>,
+    initial_leases: Vec<u64>,
+    ramp_at: SimTime,
+    deadline: SimTime,
+}
+
+/// The quiescence predicate, evaluated at every 5-second boundary:
+/// leases settled, nothing relocating, repairing, or in flight — or out
+/// of time.
+fn quiescent_now(sim: &Simulation<World>, ramp_at: SimTime, deadline: SimTime) -> bool {
+    let w = sim.state();
+    let quiescent = !poolctl::reclaim_backlog(w)
+        && !poolctl::relocations_inflight(w)
+        && !poolctl::rebalance_pending(w)
+        && w.chaos.repair_queue.is_empty()
+        && w.swap_reqs.is_empty();
+    (sim.now() > ramp_at && quiescent) || sim.now() >= deadline
+}
+
 /// Run one elastic-pool pressure scenario.
 pub fn run(cfg: &PressureConfig) -> PressureResult {
+    let PressureSetup {
+        mut sim,
+        namespaces,
+        initial_leases,
+        ramp_at,
+        deadline,
+    } = setup(cfg);
+    // Run in slices until the pool is quiescent: leases settled, no
+    // reclaim backlog, no relocations or repairs in flight, no planned
+    // rebalance move, and every swap I/O drained.
+    loop {
+        let next = sim.now() + SimDuration::from_secs(5);
+        sim.run_until(next.min(deadline));
+        if quiescent_now(&sim, ramp_at, deadline) {
+            break;
+        }
+    }
+    finish(sim, cfg, &namespaces, &initial_leases, deadline)
+}
+
+/// Run several independent pressure scenarios as shards of one parallel
+/// epoch harness (lookahead = the sequential driver's 5-second slice).
+/// Every replica's result is byte-identical to [`run`] of its config at
+/// any `workers` count.
+pub fn run_replicated(cfgs: &[PressureConfig], workers: usize) -> Vec<PressureResult> {
+    assert!(!cfgs.is_empty());
+    assert!(
+        cfgs.iter()
+            .all(|c| c.deadline_secs == cfgs[0].deadline_secs),
+        "replicated runs share one deadline (epoch targets must coincide)"
+    );
+    let mut meta = Vec::with_capacity(cfgs.len());
+    let mut worlds = Vec::with_capacity(cfgs.len());
+    for cfg in cfgs {
+        let s = setup(cfg);
+        meta.push((s.namespaces, s.initial_leases, s.ramp_at, s.deadline));
+        worlds.push(s.sim);
+    }
+    let deadline = meta[0].3;
+    let mut sharded = ShardedRun::new(worlds, SimDuration::from_secs(5));
+    sharded.run(workers, deadline, &mut NullCoordinator, |i, sim| {
+        let (_, _, ramp_at, dl) = &meta[i];
+        quiescent_now(sim, *ramp_at, *dl)
+    });
+    sharded
+        .into_worlds()
+        .into_iter()
+        .zip(cfgs)
+        .zip(&meta)
+        .map(|((sim, cfg), (namespaces, initial_leases, _, dl))| {
+            finish(sim, cfg, namespaces, initial_leases, *dl)
+        })
+        .collect()
+}
+
+/// Build the world: donors, the VMD pool, spilling VMs, the demand ramp.
+fn setup(cfg: &PressureConfig) -> PressureSetup {
     assert!(cfg.donors >= 2, "need at least two donor hosts");
     assert!(cfg.vms >= 1);
     let sc = cfg.scale.max(1);
@@ -255,30 +338,32 @@ pub fn run(cfg: &PressureConfig) -> PressureResult {
         );
     }
 
-    // Run in slices until the pool is quiescent: leases settled, no
-    // reclaim backlog, no relocations or repairs in flight, no planned
-    // rebalance move, and every swap I/O drained.
     let deadline = SimTime::from_secs(cfg.deadline_secs);
-    loop {
-        let next = sim.now() + SimDuration::from_secs(5);
-        sim.run_until(next.min(deadline));
-        let w = sim.state();
-        let quiescent = !poolctl::reclaim_backlog(w)
-            && !poolctl::relocations_inflight(w)
-            && !poolctl::rebalance_pending(w)
-            && w.chaos.repair_queue.is_empty()
-            && w.swap_reqs.is_empty();
-        if (sim.now() > ramp_at && quiescent) || sim.now() >= deadline {
-            break;
-        }
+    PressureSetup {
+        sim,
+        namespaces,
+        initial_leases,
+        ramp_at,
+        deadline,
     }
+}
+
+/// Disarm the pool and assemble the deterministic result.
+fn finish(
+    mut sim: Simulation<World>,
+    cfg: &PressureConfig,
+    namespaces: &[NamespaceId],
+    initial_leases: &[u64],
+    deadline: SimTime,
+) -> PressureResult {
+    let sc = cfg.scale.max(1);
     poolctl::disarm_pool(&mut sim);
 
     let events_executed = sim.events_executed();
     let w = sim.state();
     let converged = sim.now() < deadline;
     let (lost_placements, directory_replicas, per_namespace, directory_digest) =
-        audit(w, &namespaces);
+        audit(w, namespaces);
     let stored_pages: u64 = w.vmd.servers.iter().map(|e| e.server.stored_pages()).sum();
     let final_leases: Vec<u64> = w
         .vmd

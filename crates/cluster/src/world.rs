@@ -14,7 +14,7 @@ use agile_memory::{HostMemory, SsdSwap, SwapBackend, VmMemory};
 use agile_migration::{DestSession, SourceSession};
 use agile_sim_core::{
     BlockDevice, ChannelId, DetRng, IoCounters, Network, NodeId, SeedSequence, SimDuration,
-    SimTime, ThroughputMeter, TimeSeries,
+    ThroughputMeter, TimeSeries,
 };
 use agile_vm::Vm;
 use agile_vmd::{NamespaceId, VmdClient, VmdDirectory, VmdServer, VmdSwapDevice};
@@ -423,8 +423,14 @@ pub struct World {
     pub seeds: SeedSequence,
     /// The fluid-flow network.
     pub net: Network,
-    /// The single armed network-poll event, if any (driver bookkeeping).
-    pub net_armed: Option<(SimTime, agile_sim_core::EventId)>,
+    /// Per-world network-poll driver state (armed event + counters).
+    pub netdrv: crate::netdrv::NetDriver,
+    /// Which shard of a sharded run this world is (0 when standalone).
+    pub shard_id: usize,
+    /// Cross-shard boundary state: outgoing messages drained at epoch
+    /// barriers, incoming global signals. Empty (and free) when the world
+    /// runs standalone.
+    pub boundary: crate::shard::BoundaryState,
     /// Hosts.
     pub hosts: Vec<Host>,
     /// VM slots.
@@ -478,7 +484,9 @@ impl World {
             cfg,
             seeds: SeedSequence::new(cfg.seed),
             net: Network::new(cfg.prop_delay),
-            net_armed: None,
+            netdrv: crate::netdrv::NetDriver::default(),
+            shard_id: 0,
+            boundary: crate::shard::BoundaryState::default(),
             hosts: Vec::new(),
             vms: Vec::new(),
             vmd: VmdSubsystem::new(),

@@ -129,15 +129,35 @@ impl Bitmap {
         })
     }
 
-    /// Visit every set bit in ascending order, word-at-a-time: each word is
-    /// loaded once and its bits peeled with `trailing_zeros`, so sparse maps
-    /// cost one load per 64 pages plus one shift per set page.
+    /// Visit every set bit in ascending order. Words are scanned in
+    /// cache-line strides (8 × u64 = 512 pages): each stride is OR-folded
+    /// first, so an all-zero line costs eight loads and one branch instead
+    /// of eight. Within a nonzero stride, each word's bits are peeled with
+    /// `trailing_zeros`. Ultra-sparse maps (one dirty page per megabytes of
+    /// clean ones — the tail of a converging pre-copy) thus scan at memory
+    /// bandwidth rather than per-word branch throughput.
     #[inline]
     pub fn for_each_set(&self, mut f: impl FnMut(u32)) {
-        for (wi, &w) in self.words.iter().enumerate() {
+        const STRIDE: usize = 8;
+        let mut chunks = self.words.chunks_exact(STRIDE);
+        let mut base = 0u32;
+        for chunk in &mut chunks {
+            if chunk.iter().fold(0u64, |acc, &w| acc | w) != 0 {
+                for (wi, &w) in chunk.iter().enumerate() {
+                    let mut word = w;
+                    while word != 0 {
+                        let bit = base + wi as u32 * 64 + word.trailing_zeros();
+                        word &= word - 1;
+                        f(bit);
+                    }
+                }
+            }
+            base += (STRIDE * 64) as u32;
+        }
+        for (wi, &w) in chunks.remainder().iter().enumerate() {
             let mut word = w;
             while word != 0 {
-                let bit = wi as u32 * 64 + word.trailing_zeros();
+                let bit = base + wi as u32 * 64 + word.trailing_zeros();
                 word &= word - 1;
                 f(bit);
             }
@@ -303,6 +323,22 @@ mod tests {
         let mut seen = Vec::new();
         b.for_each_set(|p| seen.push(p));
         assert_eq!(seen, b.iter_set().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_set_stride_boundaries() {
+        // Bits straddling the 512-bit scan stride and the tail remainder.
+        let mut b = Bitmap::zeros(1300);
+        for i in [0u32, 511, 512, 513, 1023, 1024, 1025, 1299] {
+            b.set(i);
+        }
+        let mut seen = Vec::new();
+        b.for_each_set(|p| seen.push(p));
+        assert_eq!(seen, b.iter_set().collect::<Vec<_>>());
+        // An all-zero map visits nothing regardless of length.
+        let mut none = 0;
+        Bitmap::zeros(4097).for_each_set(|_| none += 1);
+        assert_eq!(none, 0);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod units;
 
 pub use blockdev::{BlockDevice, BlockDeviceSpec, IoCounters, IoKind};
 pub use event::{EventId, FastEvent, Simulation};
-pub use net::{ChannelId, Delivery, Network, NodeId, SegmentId};
+pub use net::{ChannelId, Delivery, Network, NodeId, RackId, SegmentId};
 pub use rng::{DetRng, SeedSequence};
 pub use stats::{
     percentile, FixedHistogram, Summary, ThroughputMeter, TimeSeries, HISTOGRAM_BUCKETS,

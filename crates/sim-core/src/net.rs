@@ -40,6 +40,15 @@ use crate::units::Bandwidth;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub usize);
 
+/// A rack: a set of NICs behind a shared ToR uplink. Traffic between two
+/// nodes of the same rack never touches the uplink; traffic that leaves
+/// (or enters) the rack consumes the rack's up (down) trunk capacity as an
+/// additional water-filling constraint. Nodes with no rack assignment are
+/// spine-attached (core switches, far-memory servers): a racked↔unracked
+/// channel crosses the racked side's uplink only.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RackId(pub usize);
+
 /// A point-to-point connection between two NICs.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ChannelId(pub usize);
@@ -91,6 +100,11 @@ struct Channel {
     head_done: SimTime,
     delivered_bytes: u64,
     closed: bool,
+    /// Rack uplink consumed on the transmit side (src's rack) when this
+    /// channel leaves its rack; `None` for intra-rack / unracked paths.
+    up_trunk: Option<u32>,
+    /// Rack downlink consumed on the receive side (dst's rack).
+    down_trunk: Option<u32>,
 }
 
 impl Channel {
@@ -110,6 +124,18 @@ struct Node {
     tx_bw: f64,
     rx_bw: f64,
     counters: NodeCounters,
+    /// The rack this NIC sits in, if the topology is hierarchical.
+    rack: Option<u32>,
+}
+
+/// A ToR uplink: aggregate capacity shared by every channel crossing the
+/// rack boundary, in each direction.
+#[derive(Clone, Debug)]
+struct Rack {
+    up_bw: f64,
+    down_bw: f64,
+    up_bytes: u64,
+    down_bytes: u64,
 }
 
 /// An in-flight (fully serialized, propagating) segment.
@@ -146,6 +172,10 @@ struct Waterfill {
     rx_cap: Vec<f64>,
     tx_load: Vec<u32>,
     rx_load: Vec<u32>,
+    up_cap: Vec<f64>,
+    down_cap: Vec<f64>,
+    up_load: Vec<u32>,
+    down_load: Vec<u32>,
     unfrozen: Vec<u32>,
     capped: Vec<u32>,
 }
@@ -155,6 +185,7 @@ struct Waterfill {
 pub struct Network {
     nodes: Vec<Node>,
     channels: Vec<Channel>,
+    racks: Vec<Rack>,
     prop_delay: SimDuration,
     last_update: SimTime,
     in_flight: BinaryHeap<InFlight>,
@@ -176,6 +207,7 @@ impl Network {
         Network {
             nodes: Vec::new(),
             channels: Vec::new(),
+            racks: Vec::new(),
             prop_delay,
             last_update: SimTime::ZERO,
             in_flight: BinaryHeap::new(),
@@ -194,6 +226,7 @@ impl Network {
             tx_bw: tx.as_bytes_per_sec(),
             rx_bw: rx.as_bytes_per_sec(),
             counters: NodeCounters::default(),
+            rack: None,
         });
         NodeId(self.nodes.len() - 1)
     }
@@ -203,9 +236,52 @@ impl Network {
         self.add_node(bw, bw)
     }
 
+    /// Add a rack with the given ToR trunk capacities (rack→spine uplink,
+    /// spine→rack downlink). Populate it with [`Network::set_node_rack`].
+    pub fn add_rack(&mut self, up: Bandwidth, down: Bandwidth) -> RackId {
+        self.racks.push(Rack {
+            up_bw: up.as_bytes_per_sec(),
+            down_bw: down.as_bytes_per_sec(),
+            up_bytes: 0,
+            down_bytes: 0,
+        });
+        RackId(self.racks.len() - 1)
+    }
+
+    /// Place a NIC in a rack. Channels already touching the node have their
+    /// trunk membership recomputed, so topology can be declared in any
+    /// order relative to channel creation.
+    pub fn set_node_rack(&mut self, n: NodeId, r: RackId) {
+        assert!(r.0 < self.racks.len());
+        self.nodes[n.0].rack = Some(r.0 as u32);
+        let nodes = &self.nodes;
+        for ch in &mut self.channels {
+            if ch.src == n || ch.dst == n {
+                let (up, down) = trunk_membership(nodes[ch.src.0].rack, nodes[ch.dst.0].rack);
+                ch.up_trunk = up;
+                ch.down_trunk = down;
+            }
+        }
+        if !self.active.is_empty() {
+            self.recompute_rates();
+        }
+    }
+
+    /// Cumulative bytes that left rack `r` over its uplink.
+    pub fn rack_up_bytes(&self, r: RackId) -> u64 {
+        self.racks[r.0].up_bytes
+    }
+
+    /// Cumulative bytes that entered rack `r` over its downlink.
+    pub fn rack_down_bytes(&self, r: RackId) -> u64 {
+        self.racks[r.0].down_bytes
+    }
+
     /// Open a connection from `src` to `dst`.
     pub fn open_channel(&mut self, src: NodeId, dst: NodeId) -> ChannelId {
         assert!(src.0 < self.nodes.len() && dst.0 < self.nodes.len());
+        let (up_trunk, down_trunk) =
+            trunk_membership(self.nodes[src.0].rack, self.nodes[dst.0].rack);
         self.channels.push(Channel {
             src,
             dst,
@@ -215,6 +291,8 @@ impl Network {
             head_done: SimTime::MAX,
             delivered_bytes: 0,
             closed: false,
+            up_trunk,
+            down_trunk,
         });
         self.active_pos.push(NO_POS);
         ChannelId(self.channels.len() - 1)
@@ -386,6 +464,9 @@ impl Network {
             let ch = &mut self.channels[f.delivery.channel.0];
             ch.delivered_bytes += f.delivery.bytes;
             self.nodes[ch.dst.0].counters.rx_bytes += f.delivery.bytes;
+            if let Some(r) = ch.down_trunk {
+                self.racks[r as usize].down_bytes += f.delivery.bytes;
+            }
             out.push(f.delivery);
         }
         out
@@ -468,7 +549,11 @@ impl Network {
                 any = true;
                 popped = true;
                 let src = ch.src;
+                let up_trunk = ch.up_trunk;
                 self.nodes[src.0].counters.tx_bytes += seg.bytes;
+                if let Some(r) = up_trunk {
+                    self.racks[r as usize].up_bytes += seg.bytes;
+                }
                 let delivery = Delivery {
                     channel: ChannelId(ci),
                     tag: seg.tag,
@@ -507,12 +592,14 @@ impl Network {
         let Network {
             nodes,
             channels,
+            racks,
             scratch,
             active,
             last_update,
             ..
         } = self;
         let n_nodes = nodes.len();
+        let n_racks = racks.len();
         scratch.tx_cap.clear();
         scratch.tx_cap.extend(nodes.iter().map(|n| n.tx_bw));
         scratch.rx_cap.clear();
@@ -521,6 +608,14 @@ impl Network {
         scratch.tx_load.resize(n_nodes, 0);
         scratch.rx_load.clear();
         scratch.rx_load.resize(n_nodes, 0);
+        scratch.up_cap.clear();
+        scratch.up_cap.extend(racks.iter().map(|r| r.up_bw));
+        scratch.down_cap.clear();
+        scratch.down_cap.extend(racks.iter().map(|r| r.down_bw));
+        scratch.up_load.clear();
+        scratch.up_load.resize(n_racks, 0);
+        scratch.down_load.clear();
+        scratch.down_load.resize(n_racks, 0);
         scratch.unfrozen.clear();
         for &ci in active.iter() {
             let ch = &channels[ci as usize];
@@ -528,6 +623,12 @@ impl Network {
             scratch.unfrozen.push(ci);
             scratch.tx_load[ch.src.0] += 1;
             scratch.rx_load[ch.dst.0] += 1;
+            if let Some(r) = ch.up_trunk {
+                scratch.up_load[r as usize] += 1;
+            }
+            if let Some(r) = ch.down_trunk {
+                scratch.down_load[r as usize] += 1;
+            }
         }
 
         while !scratch.unfrozen.is_empty() {
@@ -539,6 +640,17 @@ impl Network {
                 }
                 if scratch.rx_load[n] > 0 {
                     min_share = min_share.min(scratch.rx_cap[n] / f64::from(scratch.rx_load[n]));
+                }
+            }
+            // Rack trunks participate exactly like NICs: an aggregate
+            // capacity divided among the channels crossing them.
+            for r in 0..n_racks {
+                if scratch.up_load[r] > 0 {
+                    min_share = min_share.min(scratch.up_cap[r] / f64::from(scratch.up_load[r]));
+                }
+                if scratch.down_load[r] > 0 {
+                    min_share =
+                        min_share.min(scratch.down_cap[r] / f64::from(scratch.down_load[r]));
                 }
             }
             // A capped channel below the fair share freezes at its cap.
@@ -571,13 +683,25 @@ impl Network {
             let mut k = 0;
             while k < scratch.unfrozen.len() {
                 let ci = scratch.unfrozen[k];
-                let (s, d) = {
+                let (s, d, up, down) = {
                     let ch = &channels[ci as usize];
-                    (ch.src.0, ch.dst.0)
+                    (ch.src.0, ch.dst.0, ch.up_trunk, ch.down_trunk)
                 };
+                let saturated = share * (1.0 + 1e-12);
                 let tx_share = scratch.tx_cap[s] / f64::from(scratch.tx_load[s]);
                 let rx_share = scratch.rx_cap[d] / f64::from(scratch.rx_load[d]);
-                if tx_share <= share * (1.0 + 1e-12) || rx_share <= share * (1.0 + 1e-12) {
+                let mut bottleneck = tx_share <= saturated || rx_share <= saturated;
+                if let Some(r) = up {
+                    bottleneck |= scratch.up_cap[r as usize]
+                        / f64::from(scratch.up_load[r as usize])
+                        <= saturated;
+                }
+                if let Some(r) = down {
+                    bottleneck |= scratch.down_cap[r as usize]
+                        / f64::from(scratch.down_load[r as usize])
+                        <= saturated;
+                }
+                if bottleneck {
                     scratch.unfrozen.swap_remove(k);
                     freeze(channels, scratch, *last_update, ci, share);
                     frozen_any = true;
@@ -592,6 +716,18 @@ impl Network {
                 }
             }
         }
+    }
+}
+
+/// Which trunks a `src → dst` channel consumes: the source rack's uplink
+/// and the destination rack's downlink — but only when the channel crosses
+/// a rack boundary (different racks, or one side spine-attached). A `None`
+/// rack is the spine itself, so unracked↔unracked traffic uses no trunk.
+fn trunk_membership(src_rack: Option<u32>, dst_rack: Option<u32>) -> (Option<u32>, Option<u32>) {
+    if src_rack == dst_rack {
+        (None, None)
+    } else {
+        (src_rack, dst_rack)
     }
 }
 
@@ -612,6 +748,14 @@ fn freeze(
     scratch.rx_cap[ch.dst.0] = (scratch.rx_cap[ch.dst.0] - new_rate).max(0.0);
     scratch.tx_load[ch.src.0] -= 1;
     scratch.rx_load[ch.dst.0] -= 1;
+    if let Some(r) = ch.up_trunk {
+        scratch.up_cap[r as usize] = (scratch.up_cap[r as usize] - new_rate).max(0.0);
+        scratch.up_load[r as usize] -= 1;
+    }
+    if let Some(r) = ch.down_trunk {
+        scratch.down_cap[r as usize] = (scratch.down_cap[r as usize] - new_rate).max(0.0);
+        scratch.down_load[r as usize] -= 1;
+    }
     if (new_rate - ch.rate).abs() <= RATE_EPS {
         return;
     }
@@ -889,6 +1033,98 @@ mod tests {
         let done = drain(&mut net);
         let t = done[0].1.as_secs_f64();
         assert!((t - 1.0).abs() < 1e-2, "t={t}");
+    }
+
+    #[test]
+    fn rack_uplink_is_shared_by_crossing_flows() {
+        // Two racked hosts each send to a spine node. Each NIC alone could
+        // do 1 Gbps, but the shared 1 Gbps ToR uplink halves both flows.
+        let mut net = Network::new(SimDuration::from_micros(50));
+        let h1 = net.add_symmetric_node(Bandwidth::gbps(1.0));
+        let h2 = net.add_symmetric_node(Bandwidth::gbps(1.0));
+        let spine = net.add_symmetric_node(Bandwidth::gbps(10.0));
+        let rack = net.add_rack(Bandwidth::gbps(1.0), Bandwidth::gbps(1.0));
+        net.set_node_rack(h1, rack);
+        net.set_node_rack(h2, rack);
+        let c1 = net.open_channel(h1, spine);
+        let c2 = net.open_channel(h2, spine);
+        net.send(SimTime::ZERO, c1, 125_000_000, 1);
+        net.send(SimTime::ZERO, c2, 125_000_000, 2);
+        assert!((net.channel_rate(c1) - GBPS / 2.0).abs() < 1.0);
+        assert!((net.channel_rate(c2) - GBPS / 2.0).abs() < 1.0);
+        drain(&mut net);
+        assert_eq!(net.rack_up_bytes(rack), 250_000_000);
+        assert_eq!(net.rack_down_bytes(rack), 0);
+    }
+
+    #[test]
+    fn intra_rack_traffic_skips_the_uplink() {
+        let mut net = Network::new(SimDuration::from_micros(50));
+        let h1 = net.add_symmetric_node(Bandwidth::gbps(1.0));
+        let h2 = net.add_symmetric_node(Bandwidth::gbps(1.0));
+        let rack = net.add_rack(Bandwidth::gbps(0.1), Bandwidth::gbps(0.1));
+        net.set_node_rack(h1, rack);
+        net.set_node_rack(h2, rack);
+        let ch = net.open_channel(h1, h2);
+        net.send(SimTime::ZERO, ch, 125_000_000, 1);
+        // A 0.1 Gbps trunk does not constrain in-rack traffic.
+        assert!((net.channel_rate(ch) - GBPS).abs() < 1.0);
+        drain(&mut net);
+        assert_eq!(net.rack_up_bytes(rack), 0);
+        assert_eq!(net.rack_down_bytes(rack), 0);
+    }
+
+    #[test]
+    fn rack_downlink_constrains_incoming_flows() {
+        // Spine (10G) fanning into two hosts behind a 1G downlink.
+        let mut net = Network::new(SimDuration::from_micros(50));
+        let spine = net.add_symmetric_node(Bandwidth::gbps(10.0));
+        let h1 = net.add_symmetric_node(Bandwidth::gbps(1.0));
+        let h2 = net.add_symmetric_node(Bandwidth::gbps(1.0));
+        let rack = net.add_rack(Bandwidth::gbps(1.0), Bandwidth::gbps(1.0));
+        net.set_node_rack(h1, rack);
+        net.set_node_rack(h2, rack);
+        let c1 = net.open_channel(spine, h1);
+        let c2 = net.open_channel(spine, h2);
+        net.send(SimTime::ZERO, c1, 125_000_000, 1);
+        net.send(SimTime::ZERO, c2, 125_000_000, 2);
+        assert!((net.channel_rate(c1) - GBPS / 2.0).abs() < 1.0);
+        assert!((net.channel_rate(c2) - GBPS / 2.0).abs() < 1.0);
+        drain(&mut net);
+        assert_eq!(net.rack_down_bytes(rack), 250_000_000);
+    }
+
+    #[test]
+    fn cross_rack_flow_consumes_both_trunks() {
+        let mut net = Network::new(SimDuration::from_micros(50));
+        let h1 = net.add_symmetric_node(Bandwidth::gbps(1.0));
+        let h2 = net.add_symmetric_node(Bandwidth::gbps(1.0));
+        let r1 = net.add_rack(Bandwidth::gbps(0.25), Bandwidth::gbps(1.0));
+        let r2 = net.add_rack(Bandwidth::gbps(1.0), Bandwidth::gbps(1.0));
+        net.set_node_rack(h1, r1);
+        net.set_node_rack(h2, r2);
+        let ch = net.open_channel(h1, h2);
+        net.send(SimTime::ZERO, ch, 125_000_000, 1);
+        // Bottleneck is r1's 0.25 Gbps uplink.
+        assert!((net.channel_rate(ch) - 0.25 * GBPS).abs() < 1.0);
+        drain(&mut net);
+        assert_eq!(net.rack_up_bytes(r1), 125_000_000);
+        assert_eq!(net.rack_down_bytes(r2), 125_000_000);
+    }
+
+    #[test]
+    fn rack_assignment_after_channel_open_reroutes_trunks() {
+        // set_node_rack recomputes membership of existing channels.
+        let mut net = Network::new(SimDuration::from_micros(50));
+        let h1 = net.add_symmetric_node(Bandwidth::gbps(1.0));
+        let spine = net.add_symmetric_node(Bandwidth::gbps(10.0));
+        let ch = net.open_channel(h1, spine);
+        let rack = net.add_rack(Bandwidth::gbps(0.5), Bandwidth::gbps(0.5));
+        net.set_node_rack(h1, rack);
+        net.send(SimTime::ZERO, ch, 62_500_000, 1);
+        assert!((net.channel_rate(ch) - 0.5 * GBPS).abs() < 1.0);
+        drain(&mut net);
+        assert_eq!(net.rack_up_bytes(rack), 62_500_000);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Sharded-vs-sequential equivalence: driving scenarios through the
+//! conservative epoch harness (`agile_cluster::shard`) must produce
+//! byte-identical results to the plain sequential drivers — at every
+//! worker count. The `workers` knob maps shards to OS threads and
+//! nothing else; these tests are the contract.
+
+use agile_cluster::scenario::datacenter::{self, DatacenterConfig};
+use agile_cluster::scenario::multihost::{self, MultihostConfig};
+use agile_cluster::scenario::pressure::{self, PressureConfig};
+
+/// Four multihost replicas with different seeds: each shard's report,
+/// trace, and metrics must equal its own sequential run, under 1, 2,
+/// and 4 workers.
+#[test]
+fn multihost_sharded_matches_sequential_at_any_worker_count() {
+    let cfgs: Vec<MultihostConfig> = [42u64, 7, 1234, 99]
+        .into_iter()
+        .map(|seed| MultihostConfig {
+            scale: 64,
+            seed,
+            trace: true,
+            ..MultihostConfig::default()
+        })
+        .collect();
+    let sequential: Vec<_> = cfgs.iter().map(multihost::run).collect();
+    for workers in [1usize, 2, 4] {
+        let sharded = multihost::run_replicated(&cfgs, workers);
+        assert_eq!(sharded.len(), sequential.len());
+        for (i, (sh, sq)) in sharded.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                sh.report, sq.report,
+                "replica {i} report, workers={workers}"
+            );
+            assert_eq!(
+                sh.trace_jsonl, sq.trace_jsonl,
+                "replica {i} trace, workers={workers}"
+            );
+            assert_eq!(
+                sh.metrics_json, sq.metrics_json,
+                "replica {i} metrics, workers={workers}"
+            );
+            assert_eq!(
+                sh.events_executed, sq.events_executed,
+                "replica {i} event count, workers={workers}"
+            );
+            assert!(sh.converged, "replica {i} did not converge");
+        }
+    }
+}
+
+/// Same contract for the elastic-pool pressure scenario (reclaim,
+/// relocation, and rebalancing all live behind the boundary).
+#[test]
+fn pressure_sharded_matches_sequential_at_any_worker_count() {
+    let cfgs: Vec<PressureConfig> = [42u64, 7, 1234]
+        .into_iter()
+        .map(|seed| PressureConfig {
+            scale: 64,
+            seed,
+            trace: true,
+            ..PressureConfig::default()
+        })
+        .collect();
+    let sequential: Vec<_> = cfgs.iter().map(pressure::run).collect();
+    for workers in [1usize, 2, 4] {
+        let sharded = pressure::run_replicated(&cfgs, workers);
+        for (i, (sh, sq)) in sharded.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                sh.report, sq.report,
+                "replica {i} report, workers={workers}"
+            );
+            assert_eq!(
+                sh.trace_jsonl, sq.trace_jsonl,
+                "replica {i} trace, workers={workers}"
+            );
+            assert_eq!(sh.metrics_json, sq.metrics_json);
+            assert_eq!(sh.events_executed, sq.events_executed);
+            assert_eq!(sh.directory_digest, sq.directory_digest);
+        }
+    }
+}
+
+/// The coupled datacenter scenario (racks exchange boundary messages
+/// with a live coordinator) stays byte-identical across worker counts
+/// and across repeated runs.
+#[test]
+fn datacenter_report_is_byte_identical_across_worker_counts() {
+    let base = datacenter::run(&DatacenterConfig::small());
+    assert!(
+        base.converged,
+        "datacenter did not converge:\n{}",
+        base.report
+    );
+    let rerun = datacenter::run(&DatacenterConfig::small());
+    assert_eq!(base.report, rerun.report, "rerun diverged");
+    for workers in [2usize, 4, 8] {
+        let r = datacenter::run(&DatacenterConfig {
+            workers,
+            ..DatacenterConfig::small()
+        });
+        assert_eq!(base.report, r.report, "workers={workers}");
+        assert_eq!(base.events_executed, r.events_executed);
+        assert_eq!(base.migrations, r.migrations);
+    }
+}
+
+/// A different seed must change the datacenter's event stream (the
+/// determinism above is not vacuous).
+#[test]
+fn datacenter_seed_actually_matters() {
+    let a = datacenter::run(&DatacenterConfig::small());
+    let b = datacenter::run(&DatacenterConfig {
+        seed: 43,
+        ..DatacenterConfig::small()
+    });
+    assert_ne!(a.report, b.report);
+}
