@@ -218,6 +218,7 @@ impl ClusterBuilder {
             to_vm,
             from_vm,
             rng,
+            think_ns: 0,
         });
     }
 

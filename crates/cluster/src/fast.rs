@@ -14,7 +14,7 @@
 use agile_sim_core::{FastEvent, Simulation};
 
 use crate::world::World;
-use crate::{chaosctl, guest, netdrv, poolctl, sched, vmdio, wssctl};
+use crate::{chaosctl, guest, netdrv, poolctl, sched, vmdio, wlctl, wssctl};
 
 /// `Timer.kind`: advance op `a` (generation `b`) — a parked op waking.
 pub const K_STEP_OP: u32 = 0;
@@ -34,6 +34,8 @@ pub const K_REPAIR_PUMP: u32 = 6;
 pub const K_SCHED_TICK: u32 = 7;
 /// `Timer.kind`: one elastic-pool-manager tick (leases, reclaim, rebalance).
 pub const K_POOL_TICK: u32 = 8;
+/// `Timer.kind`: one temporal-workload-driver tick (signal polling).
+pub const K_WORKLOAD_TICK: u32 = 9;
 
 /// Route one fast event to its handler. Installed via
 /// [`Simulation::set_fast_handler`].
@@ -51,6 +53,7 @@ pub fn dispatch(sim: &mut Simulation<World>, ev: FastEvent) {
             K_REPAIR_PUMP => chaosctl::repair_tick(sim),
             K_SCHED_TICK => sched::tick(sim),
             K_POOL_TICK => poolctl::tick(sim),
+            K_WORKLOAD_TICK => wlctl::tick(sim),
             other => panic!("unknown fast timer kind {other}"),
         },
     }

@@ -661,13 +661,30 @@ pub(crate) fn finish_op(sim: &mut Simulation<World>, id: usize, gen: u32) {
     }
 }
 
-/// A response reached the client: tick the meter, send the next request.
+/// A response reached the client: tick the meter, send the next request
+/// (inline when think time is zero — the legacy loop — or after the
+/// client's think delay when the workload driver has set one).
 pub fn on_response(sim: &mut Simulation<World>, vm_idx: usize, counts: bool) {
     let now = sim.now();
     if counts {
         sim.state_mut().vms[vm_idx].meter.record(now, 1);
     }
-    client_send_next(sim, vm_idx);
+    let think_ns = sim.state().vms[vm_idx]
+        .client
+        .as_ref()
+        .map_or(0, |c| c.think_ns);
+    if think_ns == 0 {
+        client_send_next(sim, vm_idx);
+    } else {
+        sim.schedule_fast_in(
+            SimDuration::from_nanos(think_ns),
+            FastEvent::Timer {
+                kind: crate::fast::K_CLIENT_SEND,
+                a: vm_idx as u64,
+                b: 0,
+            },
+        );
+    }
 }
 
 // --------------------- suspension / resumption ---------------------

@@ -32,11 +32,13 @@ pub mod guest;
 pub mod migrate;
 pub mod netdrv;
 pub mod poolctl;
+pub mod predict;
 pub mod report;
 pub mod scenario;
 pub mod sched;
 pub mod shard;
 pub mod vmdio;
+pub mod wlctl;
 pub mod world;
 pub mod wssctl;
 

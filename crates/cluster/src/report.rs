@@ -139,6 +139,18 @@ pub fn metrics_registry(world: &World) -> agile_trace::MetricsRegistry {
         reg.set_counter("sched.dropped_recovered", s.counters.dropped_recovered);
         reg.set_counter("sched.completed", s.counters.completed);
         reg.set_counter("sched.max_in_flight", s.counters.max_in_flight_observed);
+        if let Some(p) = &s.predict {
+            reg.set_counter("sched.predict.cycles_detected", p.counters.cycles_detected);
+            reg.set_counter("sched.predict.deferrals", p.counters.deferrals);
+            reg.set_counter("sched.predict.window_expiries", p.counters.window_expiries);
+            reg.set_counter("sched.predict.trough_hits", p.counters.trough_hits);
+            reg.set_counter("sched.predict.trough_misses", p.counters.trough_misses);
+            reg.set_counter("sched.predict.cancelled", p.counters.cancelled);
+        }
+    }
+    if let Some(wl) = &world.wldrv {
+        reg.set_counter("wl.ticks", wl.counters.ticks);
+        reg.set_counter("wl.actions", wl.counters.actions);
     }
     if let Some(p) = &world.pool {
         reg.set_counter("pool.leases_shrunk", p.counters.leases_shrunk);

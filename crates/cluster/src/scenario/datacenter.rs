@@ -27,6 +27,7 @@ use std::time::Instant;
 use agile_migration::{SourceConfig, Technique};
 use agile_sim_core::{Bandwidth, RackId, SeedSequence, SimDuration, SimTime, Simulation, GIB, MIB};
 use agile_vm::VmConfig;
+use agile_workload::Signal;
 use agile_wss::WatermarkTrigger;
 
 use crate::build::{ClusterBuilder, SwapKind};
@@ -357,32 +358,43 @@ fn build_rack(cfg: &DatacenterConfig, rack: usize, seq: &SeedSequence) -> RackSe
     };
     sched::arm_scheduler(&mut sim, managed.clone(), sched_cfg);
 
-    // Single-step ramp: every reservation jumps to its precomputed
-    // target (hot racks overflow the packed hosts, cold racks don't).
-    let ramp_vms = vms.clone();
-    sim.schedule_at(SimTime::from_secs(cfg.ramp_start_secs), move |sim| {
-        for (&vm, &target) in ramp_vms.iter().zip(&targets) {
-            if sim.state().vms[vm].migration.is_some() {
-                continue;
-            }
-            set_reservation(sim, vm, target);
-        }
-    });
-
-    // Working-set contraction: once the hot racks have rebalanced, every
-    // reservation shrinks below residency, evicting `SPILL_PAGES` pages
-    // per VM through the VMD client to the spine servers — the swap
+    // Each VM's whole reservation script is one signal: a single-step
+    // ramp to its precomputed jittered target (hot racks overflow the
+    // packed hosts, cold racks don't), summed with a second single-step
+    // ramp at spill time that contracts every reservation to the common
+    // spill target — shrinking below residency evicts `SPILL_PAGES`
+    // pages per VM through the VMD client to the spine servers, the swap
     // stream that crosses the rack trunk.
     let spill_target = RESV_START - u64::from(SPILL_PAGES) * page;
-    let spill_vms = vms.clone();
-    sim.schedule_at(SimTime::from_secs(cfg.spill_start_secs), move |sim| {
-        for &vm in &spill_vms {
+    let ramp_at = SimTime::from_secs(cfg.ramp_start_secs);
+    let spill_at = SimTime::from_secs(cfg.spill_start_secs);
+    let one_step = SimDuration::from_secs(1);
+    let bindings: Vec<(usize, Signal)> = vms
+        .iter()
+        .zip(&targets)
+        .map(|(&vm, &target)| {
+            let to_target = Signal::ramp(ramp_at, one_step, 1, RESV_START as f64, target as f64);
+            let contraction = Signal::ramp(
+                spill_at,
+                one_step,
+                1,
+                0.0,
+                spill_target as f64 - target as f64,
+            );
+            (vm, to_target.sum(contraction))
+        })
+        .collect();
+    super::schedule_step_signals(
+        &mut sim,
+        bindings,
+        SimTime::from_nanos(u64::MAX),
+        |sim, vm, v| {
             if sim.state().vms[vm].migration.is_some() {
-                continue;
+                return;
             }
-            set_reservation(sim, vm, spill_target);
-        }
-    });
+            set_reservation(sim, vm, v as u64);
+        },
+    );
 
     let tick = SimDuration::from_secs(cfg.report_interval_secs.max(1));
     let first = managed.clone();

@@ -15,6 +15,7 @@
 
 pub mod chaos;
 pub mod datacenter;
+pub mod diurnal;
 pub mod multihost;
 pub mod pressure;
 pub mod single_vm;
@@ -22,10 +23,55 @@ pub mod sysbench;
 pub mod wss;
 pub mod ycsb;
 
-use agile_sim_core::Simulation;
+use agile_sim_core::{SimTime, Simulation};
+use agile_workload::Signal;
 
 use crate::guest::{charge_evictions, EvictTarget};
 use crate::world::{WorkloadKind, World};
+
+/// Schedule piecewise-constant [`Signal`]s as discrete DES events.
+///
+/// Collects every change time of every binding's signal in
+/// `[now, horizon)` and schedules exactly **one** closure per distinct
+/// time; each firing applies every binding's value at that instant
+/// through `apply`. This reproduces the event structure of the scenarios'
+/// historical hand-written ramps exactly — same number of events, same
+/// times, same values (see [`Signal::Ramp`] for the integer-exact step
+/// arithmetic) — while the shapes themselves live in the signal DSL.
+/// All-constant bindings schedule nothing.
+///
+/// Unlike the incremental scripted ramps this applies *absolute* values,
+/// so a binding that skips a step (e.g. a VM mid-migration, filtered by
+/// `apply`) lands on the correct value at the next change time instead
+/// of staying permanently behind.
+pub fn schedule_step_signals<K, F>(
+    sim: &mut Simulation<World>,
+    bindings: Vec<(K, Signal)>,
+    horizon: SimTime,
+    apply: F,
+) where
+    K: Copy + 'static,
+    F: Fn(&mut Simulation<World>, K, f64) + Clone + 'static,
+{
+    let from = sim.now().as_nanos();
+    let mut times: Vec<u64> = Vec::new();
+    for (_, s) in &bindings {
+        times.extend(s.change_times_ns(from, horizon.as_nanos()));
+    }
+    times.sort_unstable();
+    times.dedup();
+    let bindings = std::rc::Rc::new(bindings);
+    for t in times {
+        let bindings = std::rc::Rc::clone(&bindings);
+        let apply = apply.clone();
+        sim.schedule_at(SimTime::from_nanos(t), move |sim| {
+            let now = sim.now();
+            for &(k, ref s) in bindings.iter() {
+                apply(sim, k, s.value_at(now));
+            }
+        });
+    }
+}
 
 /// Change a VM's cgroup reservation at runtime (evictions are charged to
 /// its swap device) and update the host ledger.

@@ -19,6 +19,7 @@
 use agile_migration::{SourceConfig, Technique};
 use agile_sim_core::{SimDuration, SimTime, Simulation, GIB, MIB};
 use agile_vm::VmConfig;
+use agile_workload::Signal;
 use agile_wss::WatermarkTrigger;
 
 use crate::build::{ClusterBuilder, SwapKind};
@@ -300,25 +301,31 @@ fn setup(cfg: &MultihostConfig) -> MultihostSetup {
     };
     sched::arm_scheduler(&mut sim, managed.clone(), sched_cfg);
 
-    // The load ramp: every VM's reservation grows toward the target in
-    // `ramp_steps` equal increments (VMs caught mid-migration skip a
-    // step; with the default single-step ramp nothing is migrating yet).
+    // The load ramp, expressed as a staircase signal: every VM's
+    // reservation steps toward the target in `ramp_steps` equal
+    // increments (integer-exact, see `Signal::Ramp`). VMs caught
+    // mid-migration skip the step; with the default single-step ramp
+    // nothing is migrating yet.
     let steps = cfg.ramp_steps.max(1);
-    let delta = (resv_target.saturating_sub(resv_start)) / u64::from(steps);
-    for step in 1..=steps {
-        let at =
-            SimTime::from_secs(cfg.ramp_start_secs + u64::from(step - 1) * cfg.ramp_interval_secs);
-        let vms = vms.clone();
-        sim.schedule_at(at, move |sim| {
-            for &vm in &vms {
-                if sim.state().vms[vm].migration.is_some() {
-                    continue;
-                }
-                let next = (sim.state().vms[vm].vm.memory().limit_bytes() + delta).min(resv_target);
-                set_reservation(sim, vm, next);
+    let ramp = Signal::ramp(
+        SimTime::from_secs(cfg.ramp_start_secs),
+        SimDuration::from_secs(cfg.ramp_interval_secs),
+        steps,
+        resv_start as f64,
+        resv_target as f64,
+    );
+    let bindings: Vec<(usize, Signal)> = vms.iter().map(|&vm| (vm, ramp.clone())).collect();
+    super::schedule_step_signals(
+        &mut sim,
+        bindings,
+        SimTime::from_nanos(u64::MAX),
+        |sim, vm, v| {
+            if sim.state().vms[vm].migration.is_some() {
+                return;
             }
-        });
-    }
+            set_reservation(sim, vm, v as u64);
+        },
+    );
 
     let ramp_end =
         SimTime::from_secs(cfg.ramp_start_secs + u64::from(steps - 1) * cfg.ramp_interval_secs);

@@ -21,6 +21,7 @@
 use agile_sim_core::{SimDuration, SimTime, Simulation, GIB, MIB};
 use agile_vm::VmConfig;
 use agile_vmd::NamespaceId;
+use agile_workload::Signal;
 
 use crate::build::{ClusterBuilder, SwapKind};
 use crate::config::ClusterConfig;
@@ -311,18 +312,35 @@ fn setup(cfg: &PressureConfig) -> PressureSetup {
     // stand in for its own workloads growing. The pool tick samples
     // `available_for_vms - reserved` and shrinks the lease toward the
     // target (slew-limited, so the reclaim pump is never stormed).
+    //
+    // Expressed as one single-step signal per donor carrying its *lease
+    // target*; the firing converts target → phantom demand against the
+    // donor's ledger at fire time (so `available_for_vms` is read when
+    // the demand materializes, exactly like the historical closure).
     let ramp_at = SimTime::from_secs(cfg.ramp_start_secs);
     {
-        let donors = donors.clone();
-        let targets: Vec<u64> = (0..cfg.donors).map(lease_target).collect();
-        sim.schedule_at(ramp_at, move |sim| {
-            let w = sim.state_mut();
-            for (i, &h) in donors.iter().enumerate() {
+        let bindings: Vec<((usize, usize), Signal)> = donors
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| {
+                let target = lease_target(i);
+                (
+                    (i, h),
+                    Signal::ramp(ramp_at, SimDuration::from_secs(1), 1, 0.0, target as f64),
+                )
+            })
+            .collect();
+        super::schedule_step_signals(
+            &mut sim,
+            bindings,
+            SimTime::from_nanos(u64::MAX),
+            |sim, (i, h), target| {
+                let w = sim.state_mut();
                 let avail = w.hosts[h].mem.available_for_vms();
-                let demand = avail.saturating_sub(targets[i]);
+                let demand = avail.saturating_sub(target as u64);
                 w.hosts[h].mem.set_reservation(0xD000 + i as u64, demand);
-            }
-        });
+            },
+        );
     }
     if let Some(server) = cfg.crash_server {
         assert!(cfg.replication >= 2, "crashing below k=2 loses data");

@@ -160,6 +160,9 @@ pub struct SchedExec {
     pub decisions: Vec<Decision>,
     /// False after [`disarm_scheduler`]: the next tick unschedules itself.
     pub armed: bool,
+    /// Trough-deferral overlay ([`arm_predictor`]). `None` — the default
+    /// — leaves every code path byte-identical to the plain scheduler.
+    pub predict: Option<crate::predict::PredictExec>,
 }
 
 /// The scheduler tick's fast-event payload.
@@ -197,6 +200,7 @@ pub fn arm_scheduler(sim: &mut Simulation<World>, hosts: Vec<ManagedHost>, cfg: 
             counters: SchedCounters::default(),
             decisions: Vec::new(),
             armed: true,
+            predict: None,
         });
     }
     sim.schedule_fast_in(cfg.period, tick_timer());
@@ -210,6 +214,202 @@ pub fn disarm_scheduler(sim: &mut Simulation<World>) {
     }
 }
 
+/// Overlay the cycle predictor on an armed scheduler: each tick samples
+/// every managed host's aggregate WSS into a per-host
+/// [`crate::predict::CycleDetector`], and watermark selections on hosts
+/// with a confident cycle are deferred to the predicted trough (bounded
+/// by `cfg.max_defer`) instead of firing immediately. Unarmed, the
+/// scheduler is byte-identical to the plain watermark scheduler.
+pub fn arm_predictor(sim: &mut Simulation<World>, cfg: crate::predict::PredictConfig) {
+    let s = sim
+        .state_mut()
+        .sched
+        .as_mut()
+        .expect("arm the scheduler before the predictor");
+    assert!(s.predict.is_none(), "predictor already armed");
+    assert!(
+        cfg.min_period >= 2 && cfg.max_period >= cfg.min_period,
+        "bad period range"
+    );
+    let n = s.hosts.len();
+    s.predict = Some(crate::predict::PredictExec {
+        cfg,
+        detectors: vec![crate::predict::CycleDetector::new(cfg.window); n],
+        had_cycle: vec![false; n],
+        cycles: vec![None; n],
+        deferred: Vec::new(),
+        counters: crate::predict::PredictCounters::default(),
+    });
+}
+
+/// One predictor pass, run at the top of every scheduler tick when the
+/// overlay is armed: sample each managed host, refresh its cycle cache
+/// (edge-counting detections), then fire deferred migrations whose time
+/// has come.
+fn predict_tick(sim: &mut Simulation<World>) {
+    let now = sim.now();
+    // Sample + refresh cycles.
+    let due: Vec<crate::predict::DeferredMig> = {
+        let w = sim.state_mut();
+        let Some(s) = w.sched.as_mut() else { return };
+        if s.predict.is_none() {
+            return;
+        }
+        let hosts: Vec<usize> = s.hosts.iter().map(|mh| mh.host).collect();
+        let samples: Vec<f64> = {
+            // Reborrow immutably for the aggregate scan.
+            let w_ref: &World = w;
+            hosts
+                .iter()
+                .map(|&h| host_aggregate(w_ref, h) as f64)
+                .collect()
+        };
+        let s = w.sched.as_mut().expect("checked above");
+        let p = s.predict.as_mut().expect("checked above");
+        for (i, v) in samples.into_iter().enumerate() {
+            p.detectors[i].push(v);
+            let cycle = p.detectors[i].detect(&p.cfg);
+            if cycle.is_some() && !p.had_cycle[i] {
+                p.counters.cycles_detected += 1;
+            }
+            p.had_cycle[i] = cycle.is_some();
+            p.cycles[i] = cycle;
+        }
+        // Split out due deferrals (stable order: as recorded).
+        let mut due = Vec::new();
+        p.deferred.retain(|d| {
+            if d.fire_at <= now {
+                due.push(*d);
+                false
+            } else {
+                true
+            }
+        });
+        due
+    };
+    for d in due {
+        let (alive, load_now) = {
+            let w = sim.state();
+            let slot = &w.vms[d.vm];
+            let alive =
+                slot.migration.is_none() && slot.host == d.src && slot.vm.state().can_execute();
+            (alive, host_aggregate(w, d.src))
+        };
+        {
+            let w = sim.state_mut();
+            let p = w
+                .sched
+                .as_mut()
+                .and_then(|s| s.predict.as_mut())
+                .expect("predictor armed");
+            if !alive {
+                p.counters.cancelled += 1;
+                continue;
+            }
+            if d.clamped {
+                // Already counted as a window expiry at defer time; the
+                // firing is the naive fallback, not a trough claim.
+            } else if load_now < d.load_at_defer {
+                p.counters.trough_hits += 1;
+            } else {
+                p.counters.trough_misses += 1;
+            }
+        }
+        admit(sim, d.vm, d.src);
+    }
+}
+
+/// Defer `vm` toward the predicted trough of `src`'s cycle. Returns
+/// false when the predictor is unarmed, shows no confident cycle for the
+/// host, or predicts the trough is *now* — callers then admit naively.
+fn try_defer(sim: &mut Simulation<World>, vm: usize, src: usize, host_slot: usize) -> bool {
+    let now = sim.now();
+    let period = {
+        let Some(s) = sim.state().sched.as_ref() else {
+            return false;
+        };
+        s.cfg.period
+    };
+    let (fire_at, clamped, load_now) = {
+        let w = sim.state();
+        let s = w.sched.as_ref().expect("scheduler armed");
+        let Some(p) = s.predict.as_ref() else {
+            return false;
+        };
+        let Some(cycle) = p.cycles[host_slot] else {
+            return false;
+        };
+        let ticks = cycle.ticks_to_trough();
+        if ticks == 0 {
+            return false; // the trough is now: fire naively
+        }
+        let mut wait = SimDuration::from_nanos(period.as_nanos() * ticks as u64);
+        // Trough capacity is limited: migrations stacked into one trough
+        // share the source NIC and re-create the interference the
+        // deferral avoids. Stagger same-source deferrals across
+        // successive troughs, one full cycle apart (still bounded by
+        // `max_defer` below).
+        let cycle_len = SimDuration::from_nanos(period.as_nanos() * cycle.period as u64);
+        let half = SimDuration::from_nanos(cycle_len.as_nanos() / 2);
+        while p.deferred.iter().any(|d| {
+            let t = now + wait;
+            d.src == src
+                && d.fire_at
+                    .saturating_since(t)
+                    .max(t.saturating_since(d.fire_at))
+                    < half
+        }) {
+            wait += cycle_len;
+        }
+        let bound = p.cfg.max_defer;
+        if wait > bound {
+            (now + bound, true, host_aggregate(w, src))
+        } else {
+            (now + wait, false, host_aggregate(w, src))
+        }
+    };
+    let w = sim.state_mut();
+    let s = w.sched.as_mut().expect("scheduler armed");
+    let p = s.predict.as_mut().expect("checked above");
+    p.deferred.push(crate::predict::DeferredMig {
+        vm,
+        src,
+        fire_at,
+        load_at_defer: load_now,
+        clamped,
+    });
+    p.counters.deferrals += 1;
+    if clamped {
+        p.counters.window_expiries += 1;
+    }
+    s.decisions.push(Decision {
+        at: now,
+        vm,
+        src,
+        dest: None,
+        action: SchedAction::TroughDefer,
+    });
+    w.trace.record(
+        now,
+        TraceEvent::SchedDecision {
+            vm: vm as u32,
+            src: src as u32,
+            dest: u32::MAX,
+            action: SchedAction::TroughDefer,
+        },
+    );
+    w.trace.record(
+        now,
+        TraceEvent::SchedDefer {
+            vm: vm as u32,
+            src: src as u32,
+            fire_t_ns: fire_at.as_nanos(),
+            clamped,
+        },
+    );
+    true
+}
+
 /// One scheduler tick: drain the admission queue into free slots, then
 /// run watermark selection over every managed host in order.
 pub(crate) fn tick(sim: &mut Simulation<World>) {
@@ -220,6 +420,7 @@ pub(crate) fn tick(sim: &mut Simulation<World>) {
     if !armed {
         return;
     }
+    predict_tick(sim);
     drain_queue(sim);
     let hosts: Vec<ManagedHost> = sim
         .state()
@@ -228,14 +429,16 @@ pub(crate) fn tick(sim: &mut Simulation<World>) {
         .expect("armed above")
         .hosts
         .clone();
-    for mh in hosts {
-        check_host(sim, mh);
+    for (slot, mh) in hosts.into_iter().enumerate() {
+        check_host(sim, slot, mh);
     }
     sim.schedule_fast_in(period, tick_timer());
 }
 
 /// Watermark-check one managed host and admit its selected VMs.
-fn check_host(sim: &mut Simulation<World>, mh: ManagedHost) {
+/// `host_slot` is the host's position in [`SchedExec::hosts`] (the
+/// predictor's cycle cache is parallel to that list).
+fn check_host(sim: &mut Simulation<World>, host_slot: usize, mh: ManagedHost) {
     let now = sim.now();
     let selected: Vec<u32> = {
         let w = sim.state();
@@ -243,8 +446,13 @@ fn check_host(sim: &mut Simulation<World>, mh: ManagedHost) {
         // Queued VMs are already committed to leave: they contribute
         // neither pressure nor candidacy to this firing (counting their
         // WSS would over-select; re-selecting them would double-migrate).
+        // Trough-deferred VMs are equally committed and get the same
+        // treatment.
         let mut vms = wssctl::host_wss_of(w, mh.host);
         vms.retain(|v| !s.queue.contains(&(v.vm as usize)));
+        if let Some(p) = s.predict.as_ref() {
+            vms.retain(|v| !p.deferred.iter().any(|d| d.vm == v.vm as usize));
+        }
         // Suspect-aware + cooldown-aware eligibility (see `wssctl` for
         // the repair-queue rationale).
         let deferred: HashSet<NamespaceId> =
@@ -263,7 +471,9 @@ fn check_host(sim: &mut Simulation<World>, mh: ManagedHost) {
         })
     };
     for vm in selected {
-        admit(sim, vm as usize, mh.host);
+        if !try_defer(sim, vm as usize, mh.host, host_slot) {
+            admit(sim, vm as usize, mh.host);
+        }
     }
 }
 

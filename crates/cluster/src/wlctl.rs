@@ -1,0 +1,138 @@
+//! Temporal workload driver executor.
+//!
+//! Bridges the sans-IO [`agile_workload::WorkloadDriver`] into the DES:
+//! when armed, a single periodic fast timer ([`crate::fast::K_WORKLOAD_TICK`])
+//! polls the driver and applies the knob changes it emits — reservation
+//! resizes, YCSB active-fraction resizes, working-set window remaps, and
+//! client think-time changes.
+//!
+//! Cost model (the byte-identity contract):
+//!
+//! * unarmed worlds carry `wldrv: None` — zero state, zero events;
+//! * arming with **all-constant** signals applies each initial value
+//!   once, inline at arm time, and installs **zero** events — legacy
+//!   traces replay byte-identically;
+//! * only a driver with at least one non-constant signal ticks.
+
+use agile_sim_core::{FastEvent, SimDuration, Simulation};
+use agile_workload::driver::{Action, Knob, WorkloadDriver};
+
+use crate::world::{WorkloadKind, World};
+
+/// Counters published under `wl.*` when the driver is armed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WlCounters {
+    /// Driver ticks executed.
+    pub ticks: u64,
+    /// Knob changes applied.
+    pub actions: u64,
+}
+
+/// Armed workload-driver state hanging off [`World::wldrv`].
+pub struct WlExec {
+    /// The sans-IO driver being ticked.
+    pub driver: WorkloadDriver,
+    /// Tick period.
+    pub period: SimDuration,
+    /// False after [`disarm_driver`]: the next tick stops the chain.
+    pub armed: bool,
+    /// Published counters.
+    pub counters: WlCounters,
+    /// Reusable action buffer (no per-tick allocation).
+    scratch: Vec<Action>,
+}
+
+/// Arm the workload driver: apply every binding's initial value now,
+/// then — only if some signal actually varies — start the periodic tick.
+/// A fully-static driver installs zero events.
+pub fn arm_driver(sim: &mut Simulation<World>, mut driver: WorkloadDriver, period: SimDuration) {
+    assert!(sim.state().wldrv.is_none(), "workload driver already armed");
+    let now = sim.now();
+    let mut actions = Vec::new();
+    driver.initial_actions(now, &mut actions);
+    for a in &actions {
+        apply_action(sim, a);
+    }
+    let dynamic = !driver.is_static();
+    sim.state_mut().wldrv = Some(WlExec {
+        driver,
+        period,
+        armed: dynamic,
+        counters: WlCounters::default(),
+        scratch: actions,
+    });
+    if dynamic {
+        schedule_tick(sim, period);
+    }
+}
+
+/// Stop the driver: the pending tick (if any) becomes a no-op that does
+/// not reschedule. State and counters remain readable.
+pub fn disarm_driver(sim: &mut Simulation<World>) {
+    if let Some(ex) = sim.state_mut().wldrv.as_mut() {
+        ex.armed = false;
+    }
+}
+
+fn schedule_tick(sim: &mut Simulation<World>, period: SimDuration) {
+    sim.schedule_fast_in(
+        period,
+        FastEvent::Timer {
+            kind: crate::fast::K_WORKLOAD_TICK,
+            a: 0,
+            b: 0,
+        },
+    );
+}
+
+/// One driver tick: poll bound signals, apply changed knobs, reschedule.
+pub(crate) fn tick(sim: &mut Simulation<World>) {
+    let Some(mut ex) = sim.state_mut().wldrv.take() else {
+        return;
+    };
+    if !ex.armed {
+        sim.state_mut().wldrv = Some(ex);
+        return;
+    }
+    let now = sim.now();
+    ex.counters.ticks += 1;
+    let mut actions = std::mem::take(&mut ex.scratch);
+    ex.driver.poll(now, &mut actions);
+    for a in &actions {
+        apply_action(sim, a);
+    }
+    ex.counters.actions += actions.len() as u64;
+    ex.scratch = actions;
+    let period = ex.period;
+    sim.state_mut().wldrv = Some(ex);
+    schedule_tick(sim, period);
+}
+
+/// Apply one knob change to the world. Reservation changes skip VMs with
+/// a migration in flight (matching the scripted ramps: the migration
+/// fixed its destination reservation at start).
+fn apply_action(sim: &mut Simulation<World>, a: &Action) {
+    match a.knob {
+        Knob::ReservationBytes => {
+            if sim.state().vms[a.vm].migration.is_some() {
+                return;
+            }
+            crate::scenario::set_reservation(sim, a.vm, a.value.max(0.0) as u64);
+        }
+        Knob::ActiveBytes => {
+            if let Some(WorkloadKind::Ycsb(y)) = sim.state_mut().vms[a.vm].workload.as_mut() {
+                y.set_active_bytes(a.value.max(0.0) as u64);
+            }
+        }
+        Knob::WindowPhase { stride_records } => {
+            if let Some(WorkloadKind::Ycsb(y)) = sim.state_mut().vms[a.vm].workload.as_mut() {
+                y.set_active_start(a.value.max(0.0) as u64 * stride_records);
+            }
+        }
+        Knob::ThinkNanos { base_ns } => {
+            if let Some(c) = sim.state_mut().vms[a.vm].client.as_mut() {
+                c.think_ns = (base_ns as f64 * a.value).max(0.0) as u64;
+            }
+        }
+    }
+}

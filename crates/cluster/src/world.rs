@@ -127,6 +127,10 @@ pub struct ClientBinding {
     pub from_vm: ChannelId,
     /// Key/op selection stream.
     pub rng: DetRng,
+    /// Closed-loop think time between a response and the next request,
+    /// in nanoseconds. 0 (the default) keeps the legacy think-free loop:
+    /// the next request is issued inline with no extra event.
+    pub think_ns: u64,
 }
 
 /// A pending fault on one guest page, with parked operations.
@@ -471,6 +475,10 @@ pub struct World {
     /// Elastic pool manager, if armed ([`crate::poolctl::arm_pool`]).
     /// `None` costs nothing and changes nothing (legacy fixed leases).
     pub pool: Option<crate::poolctl::PoolExec>,
+    /// Temporal workload driver, if armed ([`crate::wlctl::arm_driver`]).
+    /// `None` costs nothing; a driver whose signals are all constant
+    /// installs zero events.
+    pub wldrv: Option<crate::wlctl::WlExec>,
     /// Simulated-time trace sink. Disabled by default: `record` is an
     /// inlined early-return and the sink owns no buffer, so untraced
     /// runs pay nothing on the event hot paths.
@@ -505,6 +513,7 @@ impl World {
             chaos: crate::chaosctl::ChaosExec::default(),
             sched: None,
             pool: None,
+            wldrv: None,
             trace: agile_trace::Tracer::disabled(),
         }
     }

@@ -1,0 +1,120 @@
+//! Metamorphic properties of the cycle detector.
+//!
+//! The detector feeds a scheduling decision, so its failure mode is
+//! silent (a deferral to the wrong instant, or no deferral at all).
+//! These tests pin the transformations under which detection must not
+//! change: shifting a periodic signal in time, scaling its amplitude by
+//! a power of two, and replacing it with white noise.
+
+use agile_cluster::predict::{CycleDetector, PredictConfig};
+use agile_sim_core::DetRng;
+
+/// One period of a signal with a unique minimum (phase 5) and a unique
+/// maximum, so trough detection has no tie-break ambiguity.
+const WAVE: [f64; 8] = [60.0, 90.0, 120.0, 90.0, 50.0, 10.0, 20.0, 40.0];
+
+fn cfg() -> PredictConfig {
+    PredictConfig::default()
+}
+
+fn fill(d: &mut CycleDetector, n: u64, f: impl Fn(u64) -> f64) {
+    for i in 0..n {
+        d.push(f(i));
+    }
+}
+
+/// Time-shift invariance: observing the same periodic signal starting
+/// at any phase offset detects the same period, and the trough phase
+/// rotates by exactly the offset (phases are anchored at the global
+/// push count, so a shift by `k` moves the trough bin to `p - k`).
+#[test]
+fn time_shift_preserves_period_and_rotates_trough() {
+    let mut base = CycleDetector::new(64);
+    fill(&mut base, 64, |i| WAVE[(i % 8) as usize]);
+    let b = base.detect(&cfg()).expect("base cycle");
+    assert_eq!(b.period, 8);
+    assert_eq!(b.trough_phase, 5);
+
+    for k in 1..8u64 {
+        let mut d = CycleDetector::new(64);
+        fill(&mut d, 64, |i| WAVE[((i + k) % 8) as usize]);
+        let c = d.detect(&cfg()).expect("shifted cycle");
+        assert_eq!(c.period, b.period, "shift {k} changed the period");
+        assert_eq!(
+            c.trough_phase,
+            (b.trough_phase + 8 - k as usize) % 8,
+            "shift {k} mis-rotated the trough"
+        );
+        assert!(
+            c.confidence >= cfg().min_confidence,
+            "shift {k} lost confidence: {}",
+            c.confidence
+        );
+        // The *absolute* predicted trough instant is shift-invariant:
+        // both detectors point at sample indices where the underlying
+        // signal is at its minimum.
+        let fire = (63 + c.ticks_to_trough() as u64 + k) % 8;
+        assert_eq!(WAVE[fire as usize], 10.0, "shift {k} fires off-trough");
+    }
+}
+
+/// Power-of-two amplitude scaling is *exactly* invariant: the
+/// autocorrelation ratio and folded means scale without rounding, so
+/// the period, trough phase, and even the confidence bits must match.
+#[test]
+fn power_of_two_scaling_is_bit_exact() {
+    let mut base = CycleDetector::new(64);
+    fill(&mut base, 200, |i| WAVE[(i % 8) as usize]);
+    let b = base.detect(&cfg()).expect("base cycle");
+
+    for k in [1i32, 4, 10, -3] {
+        let s = (2.0f64).powi(k);
+        let mut d = CycleDetector::new(64);
+        fill(&mut d, 200, |i| WAVE[(i % 8) as usize] * s);
+        let c = d.detect(&cfg()).expect("scaled cycle");
+        assert_eq!(c.period, b.period, "scale 2^{k} changed the period");
+        assert_eq!(c.trough_phase, b.trough_phase);
+        assert_eq!(c.current_phase, b.current_phase);
+        assert_eq!(
+            c.confidence.to_bits(),
+            b.confidence.to_bits(),
+            "scale 2^{k} perturbed the confidence bits"
+        );
+    }
+}
+
+/// White noise has no cycle: across seeds, no lag reaches the default
+/// confidence threshold, so the scheduler falls back to naive firing
+/// (and never defers on a phantom trough).
+#[test]
+fn white_noise_yields_no_cycle() {
+    for seed in [1u64, 2, 3, 42, 1234] {
+        let mut rng = DetRng::seed_from(seed);
+        let mut d = CycleDetector::new(64);
+        for _ in 0..64 {
+            // Uniform in [0, 1): the top 53 bits of a draw.
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            d.push(u * 100.0);
+        }
+        assert!(
+            d.detect(&cfg()).is_none(),
+            "seed {seed}: phantom cycle in white noise"
+        );
+    }
+}
+
+/// Adding a cycle *into* noise restores detection — the noise test is
+/// not vacuous, and detection degrades gracefully rather than flipping
+/// on arbitrary structure.
+#[test]
+fn cycle_buried_in_noise_is_still_found() {
+    let mut rng = DetRng::seed_from(7);
+    let mut d = CycleDetector::new(64);
+    for i in 0..64u64 {
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        d.push(WAVE[(i % 8) as usize] + u * 10.0);
+    }
+    let c = d.detect(&cfg()).expect("cycle under noise");
+    assert_eq!(c.period, 8);
+    assert_eq!(c.trough_phase, 5);
+}

@@ -79,6 +79,9 @@ pub enum SchedAction {
     Defer,
     /// A queued selection was dropped — its host recovered while waiting.
     Drop,
+    /// The cycle predictor deferred the selection to a predicted
+    /// workload trough (see the companion `sched_defer` trace event).
+    TroughDefer,
 }
 
 impl SchedAction {
@@ -89,6 +92,7 @@ impl SchedAction {
             SchedAction::Queue => "queue",
             SchedAction::Defer => "defer",
             SchedAction::Drop => "drop",
+            SchedAction::TroughDefer => "trough_defer",
         }
     }
 }
@@ -290,6 +294,20 @@ pub enum TraceEvent {
         /// What the scheduler did.
         action: SchedAction,
     },
+    /// The cycle predictor deferred a watermark-selected VM to a
+    /// predicted workload trough instead of firing it immediately.
+    SchedDefer {
+        /// VM index.
+        vm: u32,
+        /// Source (overloaded) host.
+        src: u32,
+        /// When the deferred migration will fire, in sim nanoseconds.
+        fire_t_ns: u64,
+        /// True when the predicted trough fell outside the bounded
+        /// deferral window and the firing time was clamped to its end
+        /// (the naive fallback).
+        clamped: bool,
+    },
 }
 
 impl TraceEvent {
@@ -314,6 +332,7 @@ impl TraceEvent {
             TraceEvent::PoolReclaim { .. } => "pool_reclaim",
             TraceEvent::PoolRebalance { .. } => "pool_rebalance",
             TraceEvent::SchedDecision { .. } => "sched_decision",
+            TraceEvent::SchedDefer { .. } => "sched_defer",
         }
     }
 
@@ -437,6 +456,17 @@ impl TraceEvent {
                     out,
                     ",\"vm\":{vm},\"src\":{src},\"dest\":{dest},\"action\":\"{}\"",
                     action.name()
+                );
+            }
+            TraceEvent::SchedDefer {
+                vm,
+                src,
+                fire_t_ns,
+                clamped,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"vm\":{vm},\"src\":{src},\"fire_t_ns\":{fire_t_ns},\"clamped\":{clamped}"
                 );
             }
         }
@@ -644,6 +674,25 @@ mod tests {
             .next()
             .unwrap()
             .contains("\"dest\":-1,\"action\":\"queue\""));
+    }
+
+    #[test]
+    fn sched_defer_renders_stably() {
+        let mut t = Tracer::with_capacity(2);
+        t.record(
+            SimTime::from_secs(3),
+            TraceEvent::SchedDefer {
+                vm: 5,
+                src: 1,
+                fire_t_ns: 45_000_000_000,
+                clamped: false,
+            },
+        );
+        assert_eq!(
+            t.to_jsonl().lines().next().unwrap(),
+            "{\"t_ns\":3000000000,\"ev\":\"sched_defer\",\"vm\":5,\"src\":1,\
+             \"fire_t_ns\":45000000000,\"clamped\":false}"
+        );
     }
 
     #[test]

@@ -18,16 +18,20 @@
 
 pub mod dataset;
 pub mod dist;
+pub mod driver;
 pub mod oltp;
 pub mod ops;
 pub mod osbg;
+pub mod signal;
 pub mod ycsb;
 pub mod zipfian;
 
 pub use dataset::Dataset;
 pub use dist::KeyDist;
+pub use driver::{Action, Binding, Knob, WorkloadDriver};
 pub use oltp::{OltpParams, SysbenchOltp};
 pub use ops::{OpSpec, TouchList, MAX_TOUCHES};
 pub use osbg::OsBackground;
+pub use signal::Signal;
 pub use ycsb::{YcsbParams, YcsbRedis};
 pub use zipfian::{Zipfian, YCSB_ZIPFIAN_CONSTANT};

@@ -1,0 +1,506 @@
+//! Composable, deterministic intensity signals over simulated time.
+//!
+//! A [`Signal`] is a pure function of simulated time — no hidden state,
+//! no wall clock, no global RNG — so evaluating one is always
+//! reproducible and two evaluations at the same instant always agree.
+//! Signals describe *how a scalar knob evolves*: a reservation in bytes,
+//! a think-time multiplier, an active-fraction, a working-set phase
+//! index. The [`crate::driver::WorkloadDriver`] samples bound signals
+//! periodically and emits knob updates; scripted scenario ramps evaluate
+//! the same signals at their (finitely many) step times.
+//!
+//! Combinators mirror the shapes the roadmap calls out:
+//!
+//! * [`Signal::constant`] — fixed value; installs **zero** events.
+//! * [`Signal::ramp`] — piecewise-constant staircase between two values,
+//!   reproducing the integer arithmetic of the legacy scripted ramps
+//!   exactly (truncated per-step delta).
+//! * [`Signal::diurnal`] — sinusoidal day/night cycle.
+//! * [`Signal::flash_crowd`] — instant arrival spike with exponential
+//!   decay (millions of users arriving at once, then losing interest).
+//! * [`Signal::phase_change`] — step function cycling a working-set
+//!   phase index, for periodic working-set remaps.
+//! * [`Signal::noise`] — seedable white noise, piecewise-constant per
+//!   sample period (a counterexample generator: no cycle to detect).
+//! * [`Signal::sum`] / [`Signal::scale`] / [`Signal::clamp`] — algebra.
+
+use agile_sim_core::time::{SimDuration, SimTime};
+
+/// A deterministic scalar signal over simulated time.
+///
+/// Evaluation is pure: `value_at` depends only on the signal structure
+/// and the queried instant. All periodic/noisy variants carry their own
+/// parameters (including seeds) so replays are byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Signal {
+    /// Fixed value at every instant.
+    Constant(f64),
+    /// Piecewise-constant staircase: holds `from` before `start_ns`,
+    /// then steps once per `interval_ns` until reaching step `steps`.
+    ///
+    /// The per-step increment is `trunc((to - from) / steps)`, matching
+    /// the legacy scripted ramps' integer division so byte-quantity
+    /// ramps reproduce the historical values exactly. The final step
+    /// lands on `from + steps * delta` (possibly short of `to` by the
+    /// truncation remainder, exactly like the scripted code).
+    Ramp {
+        /// Time of the first step.
+        start_ns: u64,
+        /// Spacing between steps (ignored when `steps <= 1`).
+        interval_ns: u64,
+        /// Number of steps; 0 behaves as a constant `from`.
+        steps: u32,
+        /// Value held before the ramp starts.
+        from: f64,
+        /// Ramp target (reached up to truncation remainder).
+        to: f64,
+    },
+    /// Sinusoid `amplitude * sin(2π * (t + phase) / period)`, mean zero.
+    /// Sum with a [`Signal::Constant`] to set the midline.
+    Diurnal {
+        /// Cycle length in nanoseconds (must be > 0).
+        period_ns: u64,
+        /// Peak deviation from the midline.
+        amplitude: f64,
+        /// Phase offset: the signal at `t` equals an unshifted signal at
+        /// `t + phase_ns`.
+        phase_ns: u64,
+    },
+    /// Zero before `arrival_ns`; from arrival, `peak * exp(-(t - arrival)
+    /// / decay_ns)` — an instantaneous crowd that exponentially loses
+    /// interest.
+    FlashCrowd {
+        /// Instant the crowd arrives.
+        arrival_ns: u64,
+        /// Intensity at the arrival instant.
+        peak: f64,
+        /// e-folding time of the decay (0 means the spike lasts a single
+        /// instant).
+        decay_ns: u64,
+    },
+    /// Step function cycling through working-set phases: the value at
+    /// `t` is `floor(t / period) mod phases`, as an f64. Bind it to a
+    /// working-set window knob to remap the hot set each period.
+    PhaseChange {
+        /// Dwell time in each phase.
+        period_ns: u64,
+        /// Number of distinct phases (values `0 .. phases`).
+        phases: u32,
+    },
+    /// Seedable white noise, piecewise-constant over `period_ns` cells:
+    /// the value in cell `k = floor(t / period)` is a pure hash of
+    /// `(seed, k)` mapped to `[-amplitude, amplitude]`. Replays are
+    /// byte-identical; successive cells are uncorrelated.
+    Noise {
+        /// Seed folded into every cell's hash.
+        seed: u64,
+        /// Half-width of the uniform output range.
+        amplitude: f64,
+        /// Cell width (granularity of the noise).
+        period_ns: u64,
+    },
+    /// Pointwise sum of two signals.
+    Sum(Box<Signal>, Box<Signal>),
+    /// Pointwise product with a constant factor.
+    Scale(Box<Signal>, f64),
+    /// Pointwise clamp into `[lo, hi]`.
+    Clamp(Box<Signal>, f64, f64),
+}
+
+impl Signal {
+    /// Fixed value at every instant.
+    pub fn constant(value: f64) -> Self {
+        Signal::Constant(value)
+    }
+
+    /// Staircase from `from` to `to` in `steps` steps starting at
+    /// `start`, one step per `interval`. See [`Signal::Ramp`] for the
+    /// exact step arithmetic.
+    pub fn ramp(start: SimTime, interval: SimDuration, steps: u32, from: f64, to: f64) -> Self {
+        Signal::Ramp {
+            start_ns: start.as_nanos(),
+            interval_ns: interval.as_nanos(),
+            steps,
+            from,
+            to,
+        }
+    }
+
+    /// Mean-zero sinusoid with the given period, amplitude, and phase
+    /// offset.
+    pub fn diurnal(period: SimDuration, amplitude: f64, phase: SimDuration) -> Self {
+        Signal::Diurnal {
+            period_ns: period.as_nanos(),
+            amplitude,
+            phase_ns: phase.as_nanos(),
+        }
+    }
+
+    /// Flash crowd arriving at `arrival` with the given peak intensity,
+    /// decaying with e-folding time `decay`.
+    pub fn flash_crowd(arrival: SimTime, peak: f64, decay: SimDuration) -> Self {
+        Signal::FlashCrowd {
+            arrival_ns: arrival.as_nanos(),
+            peak,
+            decay_ns: decay.as_nanos(),
+        }
+    }
+
+    /// Working-set phase index cycling through `phases` values, dwelling
+    /// `period` in each.
+    pub fn phase_change(period: SimDuration, phases: u32) -> Self {
+        Signal::PhaseChange {
+            period_ns: period.as_nanos(),
+            phases,
+        }
+    }
+
+    /// Seedable white noise in `[-amplitude, amplitude]`, resampled
+    /// every `period`.
+    pub fn noise(seed: u64, amplitude: f64, period: SimDuration) -> Self {
+        Signal::Noise {
+            seed,
+            amplitude,
+            period_ns: period.as_nanos(),
+        }
+    }
+
+    /// Pointwise sum.
+    pub fn sum(self, other: Signal) -> Self {
+        Signal::Sum(Box::new(self), Box::new(other))
+    }
+
+    /// Pointwise product with a constant.
+    pub fn scale(self, factor: f64) -> Self {
+        Signal::Scale(Box::new(self), factor)
+    }
+
+    /// Pointwise clamp into `[lo, hi]`.
+    pub fn clamp(self, lo: f64, hi: f64) -> Self {
+        Signal::Clamp(Box::new(self), lo, hi)
+    }
+
+    /// Evaluate the signal at simulated time `t`.
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        self.value_at_ns(t.as_nanos())
+    }
+
+    /// Evaluate the signal at `t_ns` nanoseconds of simulated time.
+    pub fn value_at_ns(&self, t_ns: u64) -> f64 {
+        match *self {
+            Signal::Constant(v) => v,
+            Signal::Ramp {
+                start_ns,
+                interval_ns,
+                steps,
+                from,
+                to,
+            } => {
+                if steps == 0 || t_ns < start_ns {
+                    return from;
+                }
+                let delta = ((to - from) / f64::from(steps)).trunc();
+                let elapsed = t_ns - start_ns;
+                let k = elapsed
+                    .checked_div(interval_ns)
+                    .map_or(u64::from(steps), |q| (q + 1).min(u64::from(steps)));
+                from + k as f64 * delta
+            }
+            Signal::Diurnal {
+                period_ns,
+                amplitude,
+                phase_ns,
+            } => {
+                if period_ns == 0 {
+                    return 0.0;
+                }
+                // Reduce into one period before the float division so
+                // precision does not drift with absolute sim time.
+                let within = (t_ns.wrapping_add(phase_ns)) % period_ns;
+                let frac = within as f64 / period_ns as f64;
+                amplitude * (core::f64::consts::TAU * frac).sin()
+            }
+            Signal::FlashCrowd {
+                arrival_ns,
+                peak,
+                decay_ns,
+            } => {
+                if t_ns < arrival_ns {
+                    return 0.0;
+                }
+                if decay_ns == 0 {
+                    return if t_ns == arrival_ns { peak } else { 0.0 };
+                }
+                let age = (t_ns - arrival_ns) as f64 / decay_ns as f64;
+                peak * (-age).exp()
+            }
+            Signal::PhaseChange { period_ns, phases } => {
+                if period_ns == 0 || phases == 0 {
+                    return 0.0;
+                }
+                ((t_ns / period_ns) % u64::from(phases)) as f64
+            }
+            Signal::Noise {
+                seed,
+                amplitude,
+                period_ns,
+            } => {
+                let cell = t_ns.checked_div(period_ns).unwrap_or(t_ns);
+                let unit = hash_unit(seed, cell);
+                amplitude * (2.0 * unit - 1.0)
+            }
+            Signal::Sum(ref a, ref b) => a.value_at_ns(t_ns) + b.value_at_ns(t_ns),
+            Signal::Scale(ref s, factor) => s.value_at_ns(t_ns) * factor,
+            Signal::Clamp(ref s, lo, hi) => s.value_at_ns(t_ns).clamp(lo, hi),
+        }
+    }
+
+    /// Whether the signal is provably constant over all time (structural
+    /// check — trivially-constant parameterizations of the varying
+    /// combinators count). Drivers install **zero** events for constant
+    /// bindings, the byte-identity contract for legacy traces.
+    pub fn is_constant(&self) -> bool {
+        match *self {
+            Signal::Constant(_) => true,
+            Signal::Ramp {
+                steps, from, to, ..
+            } => steps == 0 || from == to,
+            Signal::Diurnal { amplitude, .. } => amplitude == 0.0,
+            Signal::FlashCrowd { peak, .. } => peak == 0.0,
+            Signal::PhaseChange { period_ns, phases } => period_ns == 0 || phases <= 1,
+            Signal::Noise { amplitude, .. } => amplitude == 0.0,
+            Signal::Sum(ref a, ref b) => a.is_constant() && b.is_constant(),
+            Signal::Scale(ref s, factor) => factor == 0.0 || s.is_constant(),
+            Signal::Clamp(ref s, lo, hi) => lo == hi || s.is_constant(),
+        }
+    }
+
+    /// Collect the instants in `[from_ns, to_ns)` at which a
+    /// piecewise-constant signal changes value, sorted and deduplicated.
+    ///
+    /// Scripted scenarios use this to schedule exactly one DES event per
+    /// step, reproducing the event structure of hand-written ramps.
+    /// Continuous combinators ([`Signal::Diurnal`], [`Signal::FlashCrowd`],
+    /// [`Signal::Noise`]) contribute no times — they are meant for the
+    /// periodically-ticked driver, not for step scheduling.
+    pub fn change_times_ns(&self, from_ns: u64, to_ns: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.collect_change_times(from_ns, to_ns, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_change_times(&self, from_ns: u64, to_ns: u64, out: &mut Vec<u64>) {
+        match *self {
+            Signal::Constant(_)
+            | Signal::Diurnal { .. }
+            | Signal::FlashCrowd { .. }
+            | Signal::Noise { .. } => {}
+            Signal::Ramp {
+                start_ns,
+                interval_ns,
+                steps,
+                from,
+                to,
+            } => {
+                if steps == 0 || from == to {
+                    return;
+                }
+                for k in 0..u64::from(steps) {
+                    let t = start_ns.saturating_add(k.saturating_mul(interval_ns));
+                    if t >= from_ns && t < to_ns {
+                        out.push(t);
+                    }
+                    if interval_ns == 0 {
+                        break; // all steps coincide at start_ns
+                    }
+                }
+            }
+            Signal::PhaseChange { period_ns, phases } => {
+                if period_ns == 0 || phases <= 1 {
+                    return;
+                }
+                let mut t = from_ns.div_ceil(period_ns) * period_ns;
+                while t < to_ns {
+                    out.push(t);
+                    t = match t.checked_add(period_ns) {
+                        Some(n) => n,
+                        None => break,
+                    };
+                }
+            }
+            Signal::Sum(ref a, ref b) => {
+                a.collect_change_times(from_ns, to_ns, out);
+                b.collect_change_times(from_ns, to_ns, out);
+            }
+            Signal::Scale(ref s, _) | Signal::Clamp(ref s, _, _) => {
+                s.collect_change_times(from_ns, to_ns, out);
+            }
+        }
+    }
+}
+
+/// Pure stateless hash of `(seed, cell)` to a unit float in `[0, 1)`.
+/// SplitMix64-style finalizer; no RNG state is consumed, so noise
+/// signals never perturb any other random stream.
+fn hash_unit(seed: u64, cell: u64) -> f64 {
+    let mut z = seed ^ cell.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // 53 high bits -> [0, 1) with full double precision.
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn constant_is_flat_and_constant() {
+        let s = Signal::constant(7.5);
+        assert_eq!(s.value_at(secs(0)), 7.5);
+        assert_eq!(s.value_at(secs(1_000_000)), 7.5);
+        assert!(s.is_constant());
+        assert!(s.change_times_ns(0, u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn ramp_matches_legacy_integer_staircase() {
+        // Legacy scripted ramps do: delta = (target - start) / steps
+        // (integer division), then add delta per step. Reproduce with
+        // from=1000, to=1007, steps=3: delta = 2, landing at 1006.
+        let s = Signal::ramp(secs(10), SimDuration::from_secs(5), 3, 1000.0, 1007.0);
+        assert_eq!(s.value_at(secs(9)), 1000.0);
+        assert_eq!(s.value_at(secs(10)), 1002.0); // step 1 fires at start
+        assert_eq!(s.value_at(secs(14)), 1002.0);
+        assert_eq!(s.value_at(secs(15)), 1004.0);
+        assert_eq!(s.value_at(secs(20)), 1006.0);
+        assert_eq!(s.value_at(secs(500)), 1006.0); // holds after last step
+        assert_eq!(
+            s.change_times_ns(0, u64::MAX),
+            vec![
+                secs(10).as_nanos(),
+                secs(15).as_nanos(),
+                secs(20).as_nanos()
+            ]
+        );
+        assert!(!s.is_constant());
+    }
+
+    #[test]
+    fn ramp_downward_truncates_toward_zero() {
+        // (to - from) / steps = -7/3 -> trunc = -2: steps never overshoot.
+        let s = Signal::ramp(secs(0), SimDuration::from_secs(1), 3, 1007.0, 1000.0);
+        assert_eq!(s.value_at(secs(0)), 1005.0);
+        assert_eq!(s.value_at(secs(2)), 1001.0);
+        assert_eq!(s.value_at(secs(99)), 1001.0);
+    }
+
+    #[test]
+    fn single_step_ramp_is_a_jump() {
+        let s = Signal::ramp(secs(12), SimDuration::from_secs(10), 1, 100.0, 250.0);
+        assert_eq!(s.value_at(secs(11)), 100.0);
+        assert_eq!(s.value_at(secs(12)), 250.0);
+        assert_eq!(s.change_times_ns(0, u64::MAX), vec![secs(12).as_nanos()]);
+    }
+
+    #[test]
+    fn diurnal_is_periodic_and_phase_shifts() {
+        let p = SimDuration::from_secs(100);
+        let s = Signal::diurnal(p, 3.0, SimDuration::from_nanos(0));
+        assert_eq!(s.value_at(secs(0)), 0.0);
+        let quarter = s.value_at(secs(25));
+        assert!((quarter - 3.0).abs() < 1e-9, "peak at quarter period");
+        // Exact periodicity: same residue -> bit-identical value.
+        assert_eq!(s.value_at(secs(25)), s.value_at(secs(125)));
+        // Phase offset: shifted signal at t equals unshifted at t+phase.
+        let sh = Signal::diurnal(p, 3.0, SimDuration::from_secs(25));
+        assert_eq!(sh.value_at(secs(0)), s.value_at(secs(25)));
+    }
+
+    #[test]
+    fn flash_crowd_spikes_then_decays() {
+        let s = Signal::flash_crowd(secs(50), 8.0, SimDuration::from_secs(10));
+        assert_eq!(s.value_at(secs(49)), 0.0);
+        assert_eq!(s.value_at(secs(50)), 8.0);
+        let one_fold = s.value_at(secs(60));
+        assert!((one_fold - 8.0 * (-1.0f64).exp()).abs() < 1e-12);
+        assert!(s.value_at(secs(200)) < 1e-4);
+    }
+
+    #[test]
+    fn phase_change_cycles_phase_indices() {
+        let s = Signal::phase_change(SimDuration::from_secs(30), 4);
+        assert_eq!(s.value_at(secs(0)), 0.0);
+        assert_eq!(s.value_at(secs(29)), 0.0);
+        assert_eq!(s.value_at(secs(30)), 1.0);
+        assert_eq!(s.value_at(secs(119)), 3.0);
+        assert_eq!(s.value_at(secs(120)), 0.0);
+        let times = s.change_times_ns(1, secs(121).as_nanos());
+        assert_eq!(
+            times,
+            vec![
+                secs(30).as_nanos(),
+                secs(60).as_nanos(),
+                secs(90).as_nanos(),
+                secs(120).as_nanos()
+            ]
+        );
+    }
+
+    #[test]
+    fn noise_is_deterministic_seeded_and_bounded() {
+        let a = Signal::noise(42, 2.0, SimDuration::from_secs(1));
+        let b = Signal::noise(42, 2.0, SimDuration::from_secs(1));
+        let c = Signal::noise(43, 2.0, SimDuration::from_secs(1));
+        let mut diff = 0usize;
+        for t in 0..1000u64 {
+            let va = a.value_at(secs(t));
+            assert_eq!(va, b.value_at(secs(t)), "same seed must replay");
+            assert!((-2.0..=2.0).contains(&va));
+            if va != c.value_at(secs(t)) {
+                diff += 1;
+            }
+        }
+        assert!(diff > 990, "different seeds must differ");
+    }
+
+    #[test]
+    fn algebra_composes_pointwise() {
+        let s = Signal::constant(10.0)
+            .sum(Signal::ramp(
+                secs(5),
+                SimDuration::from_secs(1),
+                1,
+                0.0,
+                6.0,
+            ))
+            .scale(2.0)
+            .clamp(0.0, 30.0);
+        assert_eq!(s.value_at(secs(0)), 20.0);
+        assert_eq!(s.value_at(secs(5)), 30.0); // 32 clamped to 30
+        assert!(!s.is_constant());
+        assert_eq!(s.change_times_ns(0, u64::MAX), vec![secs(5).as_nanos()]);
+    }
+
+    #[test]
+    fn trivially_flat_parameterizations_are_constant() {
+        assert!(
+            Signal::diurnal(SimDuration::from_secs(10), 0.0, SimDuration::from_nanos(0))
+                .is_constant()
+        );
+        assert!(Signal::flash_crowd(secs(1), 0.0, SimDuration::from_secs(1)).is_constant());
+        assert!(Signal::phase_change(SimDuration::from_secs(10), 1).is_constant());
+        assert!(Signal::noise(1, 0.0, SimDuration::from_secs(1)).is_constant());
+        assert!(Signal::ramp(secs(0), SimDuration::from_secs(1), 5, 4.0, 4.0).is_constant());
+        assert!(Signal::constant(1.0)
+            .sum(Signal::constant(2.0))
+            .is_constant());
+    }
+}

@@ -75,6 +75,7 @@ pub struct YcsbRedis {
     index: PageRange,
     dist: KeyDist,
     active_records: u64,
+    active_start: u64,
 }
 
 impl YcsbRedis {
@@ -89,6 +90,7 @@ impl YcsbRedis {
             index,
             dist,
             active_records: active,
+            active_start: 0,
         }
     }
 
@@ -107,6 +109,21 @@ impl YcsbRedis {
     pub fn set_active_bytes(&mut self, bytes: u64) {
         let records = (bytes / self.dataset.record_bytes()).clamp(1, self.dataset.n_records());
         self.active_records = records;
+    }
+
+    /// Rotate the active window to start at record `start` (wrapped into
+    /// the dataset). Key selection stays within the same *number* of
+    /// active records but maps onto `start .. start + active` modulo the
+    /// dataset — a working-set *remap* (memory phase change) rather than
+    /// a resize. An offset of 0 reproduces the legacy key stream exactly
+    /// and consumes no extra RNG draws.
+    pub fn set_active_start(&mut self, start: u64) {
+        self.active_start = start % self.dataset.n_records();
+    }
+
+    /// First record of the active window.
+    pub fn active_start(&self) -> u64 {
+        self.active_start
     }
 
     /// Currently active records.
@@ -131,7 +148,8 @@ impl YcsbRedis {
 
     /// Generate the next request.
     pub fn next_op(&mut self, rng: &mut DetRng) -> OpSpec {
-        let key = self.dist.sample(rng, self.active_records);
+        let key = (self.active_start + self.dist.sample(rng, self.active_records))
+            % self.dataset.n_records();
         let is_read = rng.chance(self.params.read_ratio);
         let mut touches = TouchList::new();
         // Hash-table bucket: spread keys across the index region.
@@ -245,6 +263,46 @@ mod tests {
             seen.len() > 2000,
             "only {} distinct value pages",
             seen.len()
+        );
+    }
+
+    #[test]
+    fn window_rotation_remaps_without_extra_rng_draws() {
+        // Offset 0 is the legacy key stream, bit for bit.
+        let mut a = model(1.0);
+        let mut b = model(1.0);
+        b.set_active_start(0);
+        let mut ra = DetRng::seed_from(9);
+        let mut rb = DetRng::seed_from(9);
+        for _ in 0..200 {
+            assert_eq!(
+                a.next_op(&mut ra).touches.get(1),
+                b.next_op(&mut rb).touches.get(1)
+            );
+        }
+        // A rotated window with the same width consumes the identical
+        // RNG stream and lands every touch inside the rotated range.
+        let mut c = model(1.0);
+        c.set_active_bytes(200 * 1024);
+        c.set_active_start(5000);
+        let mut d = model(1.0);
+        d.set_active_bytes(200 * 1024);
+        let mut rc = DetRng::seed_from(9);
+        let mut rd = DetRng::seed_from(9);
+        for _ in 0..200 {
+            let op = c.next_op(&mut rc);
+            let _ = d.next_op(&mut rd);
+            let (page, _) = op.touches.get(1);
+            // records 5000..5200 at 1 KiB over 4 KiB pages → pages 2250..2300.
+            assert!(
+                (2250..2300).contains(&page),
+                "page {page} outside rotated window"
+            );
+        }
+        assert_eq!(
+            rc.next_u64(),
+            rd.next_u64(),
+            "rotation must not consume RNG"
         );
     }
 

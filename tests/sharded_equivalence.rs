@@ -5,6 +5,7 @@
 //! nothing else; these tests are the contract.
 
 use agile_cluster::scenario::datacenter::{self, DatacenterConfig};
+use agile_cluster::scenario::diurnal::{self, DiurnalConfig};
 use agile_cluster::scenario::multihost::{self, MultihostConfig};
 use agile_cluster::scenario::pressure::{self, PressureConfig};
 
@@ -101,6 +102,47 @@ fn datacenter_report_is_byte_identical_across_worker_counts() {
         assert_eq!(base.report, r.report, "workers={workers}");
         assert_eq!(base.events_executed, r.events_executed);
         assert_eq!(base.migrations, r.migrations);
+    }
+}
+
+/// Same contract for the diurnal scenario with the workload driver and
+/// cycle predictor armed: signal ticks, trough deferrals, and staggered
+/// firings all ride ordinary DES events, so each shard must stay
+/// byte-identical to its own sequential run at 1, 2, and 4 workers.
+#[test]
+fn diurnal_sharded_matches_sequential_at_any_worker_count() {
+    let cfgs: Vec<DiurnalConfig> = [42u64, 7]
+        .into_iter()
+        .map(|seed| DiurnalConfig {
+            predict: true,
+            scale: 64,
+            seed,
+            trace: true,
+            ..DiurnalConfig::default()
+        })
+        .collect();
+    let sequential: Vec<_> = cfgs.iter().map(diurnal::run).collect();
+    for workers in [1usize, 2, 4] {
+        let sharded = diurnal::run_replicated(&cfgs, workers);
+        assert_eq!(sharded.len(), sequential.len());
+        for (i, (sh, sq)) in sharded.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                sh.report, sq.report,
+                "replica {i} report, workers={workers}"
+            );
+            assert_eq!(
+                sh.trace_jsonl, sq.trace_jsonl,
+                "replica {i} trace, workers={workers}"
+            );
+            assert_eq!(
+                sh.metrics_json, sq.metrics_json,
+                "replica {i} metrics, workers={workers}"
+            );
+            assert_eq!(
+                sh.events_executed, sq.events_executed,
+                "replica {i} event count, workers={workers}"
+            );
+        }
     }
 }
 
