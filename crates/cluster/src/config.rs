@@ -5,6 +5,18 @@
 
 use agile_sim_core::{Bandwidth, BlockDeviceSpec, SimDuration};
 
+/// Which working-set estimator `wssctl::enable_tracking` installs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WssEstimatorKind {
+    /// The paper's iostat path: swap-device I/O rates into the α/β/τ
+    /// controller. The default — legacy traces replay byte-identically.
+    #[default]
+    SwapIo,
+    /// Simulated-PML dirty-epoch sampling (Bitchebe et al.): sees
+    /// working-set growth with zero swap pressure.
+    Pml,
+}
+
 /// Static parameters of a simulated cluster.
 #[derive(Clone, Copy, Debug)]
 pub struct ClusterConfig {
@@ -36,6 +48,20 @@ pub struct ClusterConfig {
     /// suspect, fail over in-flight requests, and background
     /// re-replication starts.
     pub vmd_detect_delay: SimDuration,
+    /// Which WSS estimator tracking installs (see [`WssEstimatorKind`]).
+    pub wss_estimator: WssEstimatorKind,
+    /// Simulated-PML log capacity in entries (real hardware: 512; the
+    /// buffer overflows into a full PTE-bit scan at drain).
+    pub pml_log_cap: u32,
+    /// PML sampling epoch (fixed cadence; no fast/slow switch).
+    pub pml_epoch: SimDuration,
+    /// PML sliding window, in epochs, the estimate is the max over.
+    pub pml_window: u32,
+    /// PML reservation headroom: reservation = estimate × num / den.
+    /// `den` must divide `page_size` (exactly-linear sizing).
+    pub pml_headroom_num: u64,
+    /// PML reservation headroom denominator.
+    pub pml_headroom_den: u64,
     /// Master seed for all RNG streams.
     pub seed: u64,
 }
@@ -53,6 +79,12 @@ impl Default for ClusterConfig {
             minor_fault_cost: SimDuration::from_micros(2),
             vmd_replication: 1,
             vmd_detect_delay: SimDuration::from_millis(500),
+            wss_estimator: WssEstimatorKind::default(),
+            pml_log_cap: 512,
+            pml_epoch: SimDuration::from_secs(2),
+            pml_window: 3,
+            pml_headroom_num: 5,
+            pml_headroom_den: 4,
             seed: 42,
         }
     }

@@ -132,6 +132,13 @@ pub fn metrics_registry(world: &World) -> agile_trace::MetricsRegistry {
     reg.set_counter("chaos.lost_reads", world.chaos.lost_reads);
     reg.set_counter("chaos.slots_repaired", world.chaos.slots_repaired);
     reg.set_counter("chaos.slots_lost", world.chaos.total_slots_lost());
+    // WSS estimator rows only when the simulated-PML machinery ran:
+    // legacy (swap-I/O-only) metrics JSON stays byte-identical.
+    if world.wss_counters.epoch_drains > 0 {
+        reg.set_counter("wss.samples", world.wss_counters.samples);
+        reg.set_counter("wss.epoch_drains", world.wss_counters.epoch_drains);
+        reg.set_counter("wss.pml_overflows", world.wss_counters.pml_overflows);
+    }
     if let Some(s) = &world.sched {
         reg.set_counter("sched.started", s.counters.started);
         reg.set_counter("sched.queued", s.counters.queued);

@@ -16,6 +16,7 @@
 pub mod chaos;
 pub mod datacenter;
 pub mod diurnal;
+pub mod estimators;
 pub mod multihost;
 pub mod pressure;
 pub mod single_vm;

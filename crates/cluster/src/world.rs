@@ -19,7 +19,7 @@ use agile_sim_core::{
 use agile_vm::Vm;
 use agile_vmd::{NamespaceId, VmdClient, VmdDirectory, VmdServer, VmdSwapDevice};
 use agile_workload::{OpSpec, OsBackground, SysbenchOltp, YcsbRedis};
-use agile_wss::{ReservationController, SwapActivityMonitor};
+use agile_wss::WssEstimator;
 
 use crate::config::ClusterConfig;
 
@@ -165,16 +165,30 @@ pub struct OpExec {
 
 /// The WSS tracking machinery attached to a VM.
 pub struct WssExec {
-    /// iostat sampler over the per-VM swap device.
-    pub monitor: SwapActivityMonitor,
-    /// α/β/τ controller.
-    pub controller: ReservationController,
-    /// The VM's [`VmSlot::mem_epoch`] the monitor last sampled under. A
+    /// The pluggable estimator driving reservation sizing (swap-I/O by
+    /// default; simulated-PML when configured).
+    pub estimator: Box<dyn WssEstimator>,
+    /// The VM's [`VmSlot::mem_epoch`] the estimator last sampled under. A
     /// mismatch means the VM resumed elsewhere — the swap device binding
-    /// (and its cumulative counters) was replaced under the monitor, so
+    /// (and its cumulative counters) was replaced under the estimator, so
     /// the sampling window must re-prime instead of computing a rate from
     /// counters of two different devices.
     pub epoch_seen: u32,
+    /// When set, the VM's memory image has simulated-PML epoch tracking
+    /// armed with this log capacity; the sampling tick drains it and —
+    /// after a migration replaces the image — re-arms the fresh image.
+    pub epoch_log_cap: Option<usize>,
+}
+
+/// Cumulative WSS-tracking counters (one set per world).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct WssCounters {
+    /// Applied estimator ticks (reservation adjustments).
+    pub samples: u64,
+    /// Simulated-PML epoch drains.
+    pub epoch_drains: u64,
+    /// Drains whose bounded log overflowed into the full-scan fallback.
+    pub pml_overflows: u64,
 }
 
 /// A VM slot: the VM plus everything the executor needs around it.
@@ -483,6 +497,9 @@ pub struct World {
     /// inlined early-return and the sink owns no buffer, so untraced
     /// runs pay nothing on the event hot paths.
     pub trace: agile_trace::Tracer,
+    /// WSS-tracking counters (metrics rows appear only when the PML
+    /// machinery actually ran, keeping legacy metrics JSON unchanged).
+    pub wss_counters: WssCounters,
 }
 
 impl World {
@@ -515,6 +532,7 @@ impl World {
             pool: None,
             wldrv: None,
             trace: agile_trace::Tracer::disabled(),
+            wss_counters: WssCounters::default(),
         }
     }
 

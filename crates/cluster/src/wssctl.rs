@@ -1,39 +1,107 @@
 //! Working-set-tracking executor (§IV-D) and watermark trigger (§III-B).
 //!
-//! Per tracked VM, a sampling chain reads the per-VM swap device's
-//! cumulative counters (iostat), feeds the rate to the α/β/τ controller,
-//! applies the new reservation to the cgroup (evictions go to the swap
-//! device), and reschedules itself at the controller's chosen interval —
-//! 2 s while converging, 30 s once stable.
+//! Per tracked VM, a sampling chain drives a pluggable
+//! [`WssEstimator`]: it snapshots the per-VM swap device's cumulative
+//! counters (iostat), drains the memory image's simulated-PML epoch
+//! tracker when armed, hands both to the estimator, applies the chosen
+//! reservation to the cgroup (evictions go to the swap device), and
+//! reschedules itself at the estimator's chosen interval. Under the
+//! default swap-I/O estimator this is bit-for-bit the legacy α/β/τ
+//! chain — 2 s while converging, 30 s once stable.
 
 use std::cell::Cell;
 use std::rc::Rc;
 
 use agile_sim_core::{FastEvent, SimTime, Simulation};
 use agile_wss::{
-    ControllerParams, ReservationController, SwapActivityMonitor, VmWss, WatermarkTrigger,
+    ControllerParams, EpochSample, EstimateSignal, PmlEstimator, PmlParams, SwapIoEstimator, VmWss,
+    WatermarkTrigger, WssEstimator, WssObservation,
 };
 
+use crate::config::WssEstimatorKind;
 use crate::guest::{charge_evictions, EvictTarget};
 use crate::world::{World, WssExec};
 
 /// Enable WSS tracking on a VM and start the sampling chain at `at`.
+/// The estimator comes from the world's [`crate::config::ClusterConfig`]
+/// (`wss_estimator`); `params` bounds the reservation either way.
 pub fn enable_tracking(
     sim: &mut Simulation<World>,
     vm_idx: usize,
     params: ControllerParams,
     at: SimTime,
 ) {
+    let cfg = sim.state().cfg;
+    match cfg.wss_estimator {
+        WssEstimatorKind::SwapIo => enable_tracking_with(
+            sim,
+            vm_idx,
+            Box::new(SwapIoEstimator::new(params)),
+            None,
+            at,
+        ),
+        WssEstimatorKind::Pml => {
+            let pml = PmlParams {
+                epoch: cfg.pml_epoch,
+                window: cfg.pml_window,
+                headroom_num: cfg.pml_headroom_num,
+                headroom_den: cfg.pml_headroom_den,
+                page_size: cfg.page_size,
+                min_bytes: params.min_bytes,
+                max_bytes: params.max_bytes,
+                ..PmlParams::defaults(cfg.page_size, params.min_bytes, params.max_bytes)
+            };
+            enable_tracking_with(
+                sim,
+                vm_idx,
+                Box::new(PmlEstimator::new(pml)),
+                Some(cfg.pml_log_cap as usize),
+                at,
+            )
+        }
+    }
+}
+
+/// Enable WSS tracking with an explicit estimator. `epoch_log_cap`
+/// arms simulated-PML epoch tracking on the VM's memory image (and
+/// re-arms it after migration replaces the image).
+pub fn enable_tracking_with(
+    sim: &mut Simulation<World>,
+    vm_idx: usize,
+    estimator: Box<dyn WssEstimator>,
+    epoch_log_cap: Option<usize>,
+    at: SimTime,
+) {
     {
         let w = sim.state_mut();
         let epoch_seen = w.vms[vm_idx].mem_epoch;
+        if let Some(cap) = epoch_log_cap {
+            w.vms[vm_idx].vm.memory_mut().arm_epoch_tracking(cap);
+        }
         w.vms[vm_idx].wss = Some(WssExec {
-            monitor: SwapActivityMonitor::new(),
-            controller: ReservationController::new(params),
+            estimator,
             epoch_seen,
+            epoch_log_cap,
         });
     }
     sim.schedule_fast(at, sample_timer(vm_idx));
+}
+
+/// Arm the ground-truth epoch oracle alongside an already-enabled
+/// estimator: the memory image's epoch tracker is armed (so every tick
+/// drains it and emits a `wss_estimate` trace event with the exact
+/// count), but the installed estimator keeps ignoring inputs it does
+/// not consume — the swap-I/O arithmetic is unperturbed. Test/bench
+/// instrumentation for the accuracy harness.
+pub fn arm_oracle(sim: &mut Simulation<World>, vm_idx: usize, log_cap: usize) {
+    let w = sim.state_mut();
+    let slot = &mut w.vms[vm_idx];
+    let wss = slot
+        .wss
+        .as_mut()
+        .expect("arm_oracle requires enable_tracking first");
+    wss.epoch_log_cap = Some(log_cap);
+    slot.vm.memory_mut().arm_epoch_tracking(log_cap);
 }
 
 /// The sampling chain's timer payload.
@@ -65,7 +133,7 @@ pub(crate) fn sample(sim: &mut Simulation<World>, vm_idx: usize) {
             // must re-prime rather than average the cumulative counters
             // over the whole paused interval, which would read as a
             // near-zero rate and trigger a bogus shrink.
-            slot.wss.as_mut().expect("checked above").monitor.reset();
+            slot.wss.as_mut().expect("checked above").estimator.reset();
             Some(agile_sim_core::SimDuration::from_secs(2))
         } else {
             let counters = slot.swap.counters();
@@ -74,15 +142,42 @@ pub(crate) fn sample(sim: &mut Simulation<World>, vm_idx: usize) {
             if wss.epoch_seen != epoch {
                 // The VM resumed on another host between our ticks: the
                 // swap-device binding (and its cumulative counters) was
-                // replaced under the monitor, so any retained window
+                // replaced under the estimator, so any retained window
                 // would difference counters of two different devices.
+                // The destination image is a fresh VmMemory, so epoch
+                // tracking (when in use) must also be re-armed on it.
                 wss.epoch_seen = epoch;
-                wss.monitor.reset();
+                wss.estimator.reset();
+                if let Some(cap) = wss.epoch_log_cap {
+                    slot.vm.memory_mut().arm_epoch_tracking(cap);
+                }
             }
-            match wss.monitor.sample(now, counters) {
-                Some(rate) => {
-                    let current = slot.vm.memory().limit_bytes();
-                    let adj = wss.controller.on_sample(current, rate);
+            // Drain the simulated-PML epoch whenever tracking is armed —
+            // estimators that don't consume it (swap-I/O) ignore it, which
+            // is what lets the accuracy harness run the ground-truth
+            // oracle alongside either estimator without perturbing it.
+            let epoch_sample = if slot.vm.memory().epoch_armed() {
+                let rep = slot.vm.memory_mut().drain_epoch();
+                w.wss_counters.epoch_drains += 1;
+                if rep.overflowed {
+                    w.wss_counters.pml_overflows += 1;
+                }
+                Some(EpochSample {
+                    pml_pages: rep.pml_pages as u64,
+                    exact_pages: rep.distinct_pages as u64,
+                    overflowed: rep.overflowed,
+                })
+            } else {
+                None
+            };
+            let obs = WssObservation {
+                io: counters,
+                epoch: epoch_sample,
+            };
+            let current = slot.vm.memory().limit_bytes();
+            match wss.estimator.on_tick(now, &obs, current) {
+                Some(tick) => {
+                    let adj = tick.adjustment;
                     let new_reservation = if defer_shrink && adj.new_reservation < current {
                         if let Some(p) = w.pool.as_mut() {
                             p.counters.deferred_shrinks += 1;
@@ -99,22 +194,39 @@ pub(crate) fn sample(sim: &mut Simulation<World>, vm_idx: usize) {
                     w.hosts[host]
                         .mem
                         .set_reservation(vm_idx as u64, new_reservation);
-                    w.trace.record(
-                        now,
-                        agile_trace::TraceEvent::WssSample {
-                            vm: vm_idx as u32,
-                            rate_kbps: rate.total_kbps(),
-                            reservation: new_reservation,
-                            stable: adj.stable,
-                        },
-                    );
+                    w.wss_counters.samples += 1;
+                    if let EstimateSignal::SwapRate { kbps } = tick.signal {
+                        w.trace.record(
+                            now,
+                            agile_trace::TraceEvent::WssSample {
+                                vm: vm_idx as u32,
+                                rate_kbps: kbps,
+                                reservation: new_reservation,
+                                stable: adj.stable,
+                            },
+                        );
+                    }
+                    if let Some(ep) = obs.epoch {
+                        let est_bytes = wss.estimator.wss_estimate().unwrap_or(new_reservation);
+                        w.trace.record(
+                            now,
+                            agile_trace::TraceEvent::WssEstimate {
+                                vm: vm_idx as u32,
+                                estimator: wss.estimator.kind(),
+                                est_bytes,
+                                truth_bytes: ep.exact_pages * w.cfg.page_size,
+                                reservation: new_reservation,
+                                overflowed: ep.overflowed,
+                            },
+                        );
+                    }
                     Some(adj.next_sample_in)
                 }
                 None => {
-                    // First sample only primes the window.
+                    // Still priming (e.g. the swap monitor's first window).
                     slot.reservation_series
                         .push(now, slot.vm.memory().limit_bytes() as f64);
-                    Some(wss.controller.params().fast_interval)
+                    Some(wss.estimator.priming_interval())
                 }
             }
         }

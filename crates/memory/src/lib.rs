@@ -20,6 +20,7 @@
 //! executor charges them to devices, so the semantics are unit-testable in
 //! isolation.
 
+pub mod epoch;
 pub mod host;
 pub mod lru;
 pub mod page;
@@ -27,6 +28,7 @@ pub mod slots;
 pub mod swap;
 pub mod vmmem;
 
+pub use epoch::{EpochReport, EpochTracker};
 pub use host::HostMemory;
 pub use lru::{LruLinks, LruList, NIL};
 pub use page::{PageFlags, PagemapEntry};

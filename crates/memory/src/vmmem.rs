@@ -21,6 +21,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use crate::epoch::{EpochReport, EpochTracker};
 use crate::lru::{LruLinks, LruList};
 use crate::page::{PageFlags, PagemapEntry};
 use crate::slots::{SlotAllocator, NO_SLOT};
@@ -155,6 +156,9 @@ pub struct VmMemory {
     swapped: u32,
     slots: Slots,
     counters: MemCounters,
+    /// Simulated-PML dirty-page epoch tracker; `None` (the default) costs
+    /// one branch per guest access and keeps legacy behaviour untouched.
+    epoch: Option<Box<EpochTracker>>,
 }
 
 impl VmMemory {
@@ -175,6 +179,7 @@ impl VmMemory {
             swapped: 0,
             slots: Slots::Owned(SlotAllocator::unbounded()),
             counters: MemCounters::default(),
+            epoch: None,
         }
     }
 
@@ -298,11 +303,45 @@ impl VmMemory {
         self.flags[pfn as usize]
     }
 
+    /// Arm simulated-PML epoch tracking with a `log_cap`-entry buffer,
+    /// replacing (and discarding) any in-progress epoch. Guest accesses
+    /// from this instant on feed the tracker; migration-side installs
+    /// never do.
+    pub fn arm_epoch_tracking(&mut self, log_cap: usize) {
+        self.epoch = Some(Box::new(EpochTracker::new(log_cap, self.pages())));
+    }
+
+    /// Stop epoch tracking and drop any in-progress epoch.
+    pub fn disarm_epoch_tracking(&mut self) {
+        self.epoch = None;
+    }
+
+    /// Whether epoch tracking is armed.
+    #[inline]
+    pub fn epoch_armed(&self) -> bool {
+        self.epoch.is_some()
+    }
+
+    /// Close the current epoch and start the next one. Panics if tracking
+    /// is not armed — callers gate on [`VmMemory::epoch_armed`].
+    pub fn drain_epoch(&mut self) -> EpochReport {
+        let tracker = self.epoch.as_mut().expect("epoch tracking not armed");
+        tracker.drain(&self.present_map)
+    }
+
+    #[inline]
+    fn note_epoch(&mut self, pfn: u32) {
+        if let Some(t) = self.epoch.as_deref_mut() {
+            t.note(pfn);
+        }
+    }
+
     /// Guest access. See [`Touch`] for the contract.
     pub fn touch(&mut self, pfn: u32, write: bool) -> Touch {
         let i = pfn as usize;
         let f = self.flags[i];
         if f.present() {
+            self.note_epoch(pfn);
             let fl = &mut self.flags[i];
             fl.set(PageFlags::ACCESSED);
             if write {
@@ -342,6 +381,10 @@ impl VmMemory {
     /// Makes the page resident and returns any evictions needed to stay
     /// within the reservation.
     pub fn fault_in(&mut self, pfn: u32, write: bool, evictions: &mut Vec<Eviction>) {
+        // A completed fault is one guest access, counted here (not at the
+        // triggering `touch`) so parked InFlight waiters aren't multiply
+        // counted and migration-side installs never register.
+        self.note_epoch(pfn);
         let i = pfn as usize;
         let was_swapped = self.flags[i].swapped();
         if was_swapped {

@@ -238,6 +238,25 @@ pub enum TraceEvent {
         /// Whether the controller considers the estimate stable.
         stable: bool,
     },
+    /// A WSS estimator tick with simulated-PML epoch tracking armed:
+    /// the estimator's view next to the exact ground truth. Emitted only
+    /// when a VM's memory image has epoch tracking armed (the estimator
+    /// A/B harness) — legacy runs never record it.
+    WssEstimate {
+        /// VM index.
+        vm: u32,
+        /// Estimator short name ("swap_io", "pml", "ground_truth").
+        estimator: &'static str,
+        /// The estimator's working-set estimate in bytes (for swap-I/O,
+        /// the reservation it sized — §IV-D's hover-above-WSS estimate).
+        est_bytes: u64,
+        /// Exact distinct bytes touched this epoch (ground truth).
+        truth_bytes: u64,
+        /// Reservation applied this tick, in bytes.
+        reservation: u64,
+        /// Whether the simulated PML log overflowed this epoch.
+        overflowed: bool,
+    },
     /// A chaos fault fired. `start == true` opens a fault window
     /// (crash/degrade/slow/drop); `false` closes one (rejoin/restore).
     ChaosFault {
@@ -326,6 +345,7 @@ impl TraceEvent {
             TraceEvent::DemandServed { .. } => "demand_served",
             TraceEvent::FaultRouted { .. } => "fault_routed",
             TraceEvent::WssSample { .. } => "wss_sample",
+            TraceEvent::WssEstimate { .. } => "wss_estimate",
             TraceEvent::ChaosFault { .. } => "chaos_fault",
             TraceEvent::Vmd { .. } => "vmd",
             TraceEvent::PoolLease { .. } => "pool_lease",
@@ -402,6 +422,21 @@ impl TraceEvent {
                     out,
                     ",\"vm\":{vm},\"rate_kbps\":{rate_kbps:?},\"reservation\":{reservation},\
                      \"stable\":{stable}"
+                );
+            }
+            TraceEvent::WssEstimate {
+                vm,
+                estimator,
+                est_bytes,
+                truth_bytes,
+                reservation,
+                overflowed,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"vm\":{vm},\"estimator\":\"{estimator}\",\"est_bytes\":{est_bytes},\
+                     \"truth_bytes\":{truth_bytes},\"reservation\":{reservation},\
+                     \"overflowed\":{overflowed}"
                 );
             }
             TraceEvent::ChaosFault {
@@ -674,6 +709,28 @@ mod tests {
             .next()
             .unwrap()
             .contains("\"dest\":-1,\"action\":\"queue\""));
+    }
+
+    #[test]
+    fn wss_estimate_renders_stably() {
+        let mut t = Tracer::with_capacity(2);
+        t.record(
+            SimTime::from_secs(4),
+            TraceEvent::WssEstimate {
+                vm: 2,
+                estimator: "pml",
+                est_bytes: 33_554_432,
+                truth_bytes: 34_603_008,
+                reservation: 41_943_040,
+                overflowed: true,
+            },
+        );
+        assert_eq!(
+            t.to_jsonl().lines().next().unwrap(),
+            "{\"t_ns\":4000000000,\"ev\":\"wss_estimate\",\"vm\":2,\"estimator\":\"pml\",\
+             \"est_bytes\":33554432,\"truth_bytes\":34603008,\"reservation\":41943040,\
+             \"overflowed\":true}"
+        );
     }
 
     #[test]

@@ -11,14 +11,23 @@
 //! * [`WatermarkTrigger`] — starts migration when the aggregate WSS
 //!   crosses the high watermark and selects the provably-fewest VMs that
 //!   bring it back below the low watermark.
+//! * [`WssEstimator`] — the pluggable estimator trait over both signal
+//!   paths: [`SwapIoEstimator`] (monitor + controller, the default) and
+//!   [`PmlEstimator`] (simulated-PML dirty-epoch sampling), plus the
+//!   test-only [`GroundTruthWss`] oracle.
 //!
 //! Everything here is pure logic over sampled numbers — no clock, no
 //! devices — so the control behaviour is exactly unit-testable.
 
 pub mod controller;
+pub mod estimator;
 pub mod monitor;
 pub mod watermark;
 
 pub use controller::{Adjustment, ControllerParams, ReservationController};
+pub use estimator::{
+    EpochSample, EstimateSignal, EstimatorTick, GroundTruthWss, PmlEstimator, PmlParams,
+    SwapIoEstimator, WssEstimator, WssObservation,
+};
 pub use monitor::{SwapActivityMonitor, SwapRate};
 pub use watermark::{VmWss, WatermarkTrigger};

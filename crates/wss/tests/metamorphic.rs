@@ -10,9 +10,11 @@
 //! Cases are generated from the deterministic simulation RNG with fixed
 //! seeds, so any failure reproduces.
 
-use agile_sim_core::{DetRng, IoCounters, SimTime};
+use agile_sim_core::{DetRng, IoCounters, SimDuration, SimTime};
 use agile_wss::{
-    Adjustment, ControllerParams, ReservationController, SwapActivityMonitor, SwapRate,
+    Adjustment, ControllerParams, EpochSample, EstimateSignal, GroundTruthWss, PmlEstimator,
+    PmlParams, ReservationController, SwapActivityMonitor, SwapIoEstimator, SwapRate, WssEstimator,
+    WssObservation,
 };
 
 fn rate(kbps: f64) -> SwapRate {
@@ -98,6 +100,248 @@ fn below_tau_never_grows_above_tau_never_shrinks() {
             }
             r = adj.new_reservation;
         }
+    }
+}
+
+/// Replay an observation stream through any [`WssEstimator`], threading
+/// the reservation. Returns one `(reservation, next_sample_in_ns,
+/// stable)` row per tick (priming ticks keep the current reservation).
+fn replay_trait(
+    mut est: Box<dyn WssEstimator>,
+    obs: &[(SimTime, WssObservation)],
+    start: u64,
+) -> Vec<(u64, u64, bool)> {
+    let mut r = start;
+    obs.iter()
+        .map(|&(at, o)| match est.on_tick(at, &o, r) {
+            Some(tick) => {
+                r = tick.adjustment.new_reservation;
+                (
+                    r,
+                    tick.adjustment.next_sample_in.as_nanos(),
+                    tick.adjustment.stable,
+                )
+            }
+            None => (r, est.priming_interval().as_nanos(), false),
+        })
+        .collect()
+}
+
+/// Seeded monotone cumulative swap counters at 1-second spacing, with
+/// junk epoch drains attached (the swap-I/O estimator must ignore them).
+fn io_stream(g: &mut DetRng, n: usize, byte_scale: u64) -> Vec<(SimTime, WssObservation)> {
+    let mut acc = IoCounters::default();
+    (0..n)
+        .map(|i| {
+            acc.read_ops += g.index(100);
+            acc.write_ops += g.index(100);
+            acc.read_bytes += g.index(1 << 24) * byte_scale;
+            acc.write_bytes += g.index(1 << 24) * byte_scale;
+            let epoch = Some(EpochSample {
+                pml_pages: g.index(1 << 20),
+                exact_pages: g.index(1 << 20),
+                overflowed: g.index(2) == 1,
+            });
+            (
+                SimTime::from_secs(1 + i as u64),
+                WssObservation { io: acc, epoch },
+            )
+        })
+        .collect()
+}
+
+/// The swap-I/O metamorphic relation holds *through the trait*: scaling
+/// the cumulative byte counters and τ by the same power of two produces
+/// an identical (reservation, cadence, stability) sequence — and the
+/// attached epoch drains (redrawn differently per scale) change nothing,
+/// because the estimator does not consume them.
+#[test]
+fn swap_io_trait_scaling_preserves_adjustments() {
+    for case in 0..50u64 {
+        let mut g = DetRng::seed_from(0xe5717 * 3 + case);
+        let n = 2 + g.index(40) as usize;
+        let seed = 0xab5 * 17 + case;
+        let mut params = ControllerParams::paper(64 << 20, 4 << 30);
+        params.alpha = g.range_f64(0.80, 0.99);
+        params.beta = g.range_f64(1.01, 1.25);
+        params.tau_kbps = g.range_f64(1.0, 16.0);
+        let start = 2u64 << 30;
+        let base = replay_trait(
+            Box::new(SwapIoEstimator::new(params)),
+            &io_stream(&mut DetRng::seed_from(seed), n, 1),
+            start,
+        );
+        for c in [2u64, 4, 8] {
+            // Same draw sequence, bytes scaled by `c` — the junk epoch
+            // fields are consumed from the same RNG, so they match the
+            // base stream; a second pass below redraws them entirely.
+            let mut scaled_params = params;
+            scaled_params.tau_kbps = params.tau_kbps * c as f64;
+            let scaled = replay_trait(
+                Box::new(SwapIoEstimator::new(scaled_params)),
+                &io_stream(&mut DetRng::seed_from(seed), n, c),
+                start,
+            );
+            assert_eq!(base, scaled, "case {case}, scale {c}");
+        }
+        // Redraw the epoch junk from a different seed while keeping the
+        // io counters: the swap-I/O estimator must not notice.
+        let mut stream = io_stream(&mut DetRng::seed_from(seed), n, 1);
+        let mut g2 = DetRng::seed_from(seed ^ 0xffff);
+        for (_, o) in stream.iter_mut() {
+            o.epoch = Some(EpochSample {
+                pml_pages: g2.index(1 << 30),
+                exact_pages: g2.index(1 << 30),
+                overflowed: g2.index(2) == 0,
+            });
+        }
+        let rejunked = replay_trait(Box::new(SwapIoEstimator::new(params)), &stream, start);
+        assert_eq!(base, rejunked, "case {case}: epoch junk perturbed swap-I/O");
+    }
+}
+
+/// Seeded epoch-drain stream (the io field stays flat: the epoch-fed
+/// estimators must ignore it).
+fn epoch_stream(g: &mut DetRng, n: usize, page_scale: u64) -> Vec<(SimTime, WssObservation)> {
+    (0..n)
+        .map(|i| {
+            let pages = g.index(1 << 20) * page_scale;
+            (
+                SimTime::from_secs(2 * (1 + i as u64)),
+                WssObservation {
+                    io: IoCounters::default(),
+                    epoch: Some(EpochSample {
+                        pml_pages: pages,
+                        exact_pages: pages,
+                        overflowed: g.index(2) == 1,
+                    }),
+                },
+            )
+        })
+        .collect()
+}
+
+/// The PML estimator's sizing is exactly linear and its stability band
+/// is scale-free, so scaling every per-epoch page count *and* the
+/// reservation bounds by a power of two scales every reservation by
+/// exactly that factor, with identical cadence and stability verdicts.
+/// Holds for the ground-truth oracle too (same window machinery).
+#[test]
+fn pml_trait_scaling_scales_reservations_exactly() {
+    for case in 0..50u64 {
+        let mut g = DetRng::seed_from(0x9d1 * 29 + case);
+        let n = 2 + g.index(40) as usize;
+        let seed = 0x77a * 31 + case;
+        let mut params = PmlParams::defaults(4096, 64 << 20, 4 << 30);
+        params.window = 1 + g.index(4) as u32;
+        params.band_shift = 2 + g.index(4) as u32;
+        params.stable_after = 1 + g.index(4) as u32;
+        let start = 2u64 << 30;
+        for oracle in [false, true] {
+            let make = |p: PmlParams| -> Box<dyn WssEstimator> {
+                if oracle {
+                    Box::new(GroundTruthWss::new(p))
+                } else {
+                    Box::new(PmlEstimator::new(p))
+                }
+            };
+            let base = replay_trait(
+                make(params),
+                &epoch_stream(&mut DetRng::seed_from(seed), n, 1),
+                start,
+            );
+            for c in [2u64, 4, 8] {
+                let mut scaled_params = params;
+                scaled_params.min_bytes = params.min_bytes * c;
+                scaled_params.max_bytes = params.max_bytes * c;
+                let scaled = replay_trait(
+                    make(scaled_params),
+                    &epoch_stream(&mut DetRng::seed_from(seed), n, c),
+                    start * c,
+                );
+                let want: Vec<(u64, u64, bool)> =
+                    base.iter().map(|&(r, dt, s)| (r * c, dt, s)).collect();
+                assert_eq!(want, scaled, "case {case}, oracle {oracle}, scale {c}");
+            }
+        }
+    }
+}
+
+/// Direction consistency through the trait, both estimators.
+///
+/// * Swap-I/O: a tick whose own reported rate is at or below τ never
+///   grows the reservation; strictly above τ never shrinks it (modulo
+///   the clamp toward the bounds) — the controller relation, observed
+///   end-to-end through [`EstimateSignal::SwapRate`].
+/// * PML: reservations are monotone in the drained page counts — a
+///   pointwise-larger epoch stream never yields a smaller reservation.
+#[test]
+fn trait_direction_consistency_both_estimators() {
+    for case in 0..50u64 {
+        let mut g = DetRng::seed_from(0x51f7 * 7 + case);
+        let n = 2 + g.index(40) as usize;
+        let (min, max) = (64u64 << 20, 4u64 << 30);
+        let mut params = ControllerParams::paper(min, max);
+        params.tau_kbps = g.range_f64(1.0, 16.0);
+        let mut est = SwapIoEstimator::new(params);
+        let mut r = 2u64 << 30;
+        for (at, o) in io_stream(&mut g, n, 1) {
+            if let Some(tick) = est.on_tick(at, &o, r) {
+                let kbps = match tick.signal {
+                    EstimateSignal::SwapRate { kbps } => kbps,
+                    other => panic!("case {case}: {other:?}"),
+                };
+                let next = tick.adjustment.new_reservation;
+                if kbps > params.tau_kbps {
+                    assert!(next >= r.min(max), "case {case}: above-τ shrank");
+                } else {
+                    assert!(next <= r.max(min), "case {case}: below-τ grew");
+                }
+                r = next;
+            }
+        }
+
+        let pml_params = PmlParams {
+            window: 1 + g.index(4) as u32,
+            ..PmlParams::defaults(4096, min, max)
+        };
+        let seed = 0x1357 * 5 + case;
+        let lo = epoch_stream(&mut DetRng::seed_from(seed), n, 1);
+        let hi: Vec<(SimTime, WssObservation)> = lo
+            .iter()
+            .map(|&(at, o)| {
+                let ep = o.epoch.expect("epoch stream");
+                let extra = g.index(1 << 18);
+                (
+                    at,
+                    WssObservation {
+                        io: o.io,
+                        epoch: Some(EpochSample {
+                            pml_pages: ep.pml_pages + extra,
+                            exact_pages: ep.exact_pages + extra,
+                            overflowed: ep.overflowed,
+                        }),
+                    },
+                )
+            })
+            .collect();
+        let base = replay_trait(Box::new(PmlEstimator::new(pml_params)), &lo, 2u64 << 30);
+        let bigger = replay_trait(Box::new(PmlEstimator::new(pml_params)), &hi, 2u64 << 30);
+        for (i, (b, s)) in base.iter().zip(&bigger).enumerate() {
+            assert!(
+                s.0 >= b.0,
+                "case {case} tick {i}: more pages shrank the reservation ({} -> {})",
+                b.0,
+                s.0
+            );
+        }
+        // Cadence is fixed for the epoch-fed estimator regardless of input.
+        assert!(
+            bigger
+                .iter()
+                .all(|&(_, dt, _)| dt == SimDuration::from_secs(2).as_nanos()),
+            "case {case}: PML cadence is not the fixed epoch"
+        );
     }
 }
 

@@ -1,0 +1,199 @@
+//! Property tests: the simulated-PML estimate against the ground-truth
+//! oracle, over seeded guest access streams.
+//!
+//! Drives [`agile_memory::EpochTracker`] (the dirty-log model hung off
+//! the memory image) with randomized touch streams and residency maps,
+//! then feeds the drains through [`PmlEstimator`] and [`GroundTruthWss`]
+//! via the [`WssEstimator`] trait. Pins the estimator's stated accuracy
+//! contract:
+//!
+//! * **Exact without overflow**: while the per-epoch log never fills,
+//!   the PML estimate equals the exact distinct-pages-touched count —
+//!   regardless of evictions.
+//! * **Exact when fully resident**: even under overflow, the full-scan
+//!   fallback recovers every still-resident touched page.
+//! * **Bounded degradation under forced overflow**: the estimate never
+//!   over-reports, loses at most the touched-and-evicted pages that
+//!   missed the log prefix, and is monotonically non-decreasing in the
+//!   log capacity. The trait-level reservations inherit the same
+//!   ordering (PML ≤ oracle, equal when lossless).
+
+use agile_memory::EpochTracker;
+use agile_sim_core::{DetRng, IoCounters, SimTime, GIB, MIB};
+use agile_wss::{
+    EpochSample, GroundTruthWss, PmlEstimator, PmlParams, WssEstimator, WssObservation,
+};
+
+const PAGES: u32 = 4096;
+const WORDS: usize = (PAGES as usize) / 64;
+
+/// One seeded epoch: touch a random stream, evict a random subset, and
+/// drain. Returns (report, exact distinct via independent count, touched
+/// bitmap, present bitmap).
+fn run_epoch(
+    t: &mut EpochTracker,
+    g: &mut DetRng,
+    touches: usize,
+    evict_denominator: u64,
+) -> (agile_memory::EpochReport, u32, Vec<u64>, Vec<u64>) {
+    let mut touched = vec![0u64; WORDS];
+    for _ in 0..touches {
+        let pfn = g.index(PAGES as u64) as u32;
+        t.note(pfn);
+        touched[pfn as usize / 64] |= 1 << (pfn % 64);
+    }
+    // Residency at drain time: each page evicted with probability
+    // 1/evict_denominator (u64::MAX denominator = everything resident).
+    let present: Vec<u64> = (0..WORDS)
+        .map(|w| {
+            let mut bits = u64::MAX;
+            for b in 0..64 {
+                if g.index(evict_denominator) == 0 {
+                    bits &= !(1u64 << b);
+                }
+            }
+            let _ = w;
+            bits
+        })
+        .collect();
+    let independent_distinct: u32 = touched.iter().map(|w| w.count_ones()).sum();
+    let report = t.drain(&present);
+    (report, independent_distinct, touched, present)
+}
+
+/// While the log never fills, the estimate is exact — evictions or not.
+#[test]
+fn exact_when_log_never_overflows() {
+    for case in 0..40u64 {
+        let mut g = DetRng::seed_from(0x50c1 * 3 + case);
+        let touches = 1 + g.index(1 << 10) as usize; // ≤ 1024 < cap
+        let mut t = EpochTracker::new(2048, PAGES);
+        let (r, independent, _, _) = run_epoch(&mut t, &mut g, touches, 4);
+        assert!(!r.overflowed, "case {case}: 2048-entry log filled early");
+        assert_eq!(r.distinct_pages, independent, "case {case}: truth drifted");
+        assert_eq!(r.pml_pages, r.distinct_pages, "case {case}: lossless epoch");
+    }
+}
+
+/// Even under overflow, a fully-resident epoch is recovered exactly by
+/// the full-scan fallback.
+#[test]
+fn overflowed_but_fully_resident_is_exact() {
+    for case in 0..40u64 {
+        let mut g = DetRng::seed_from(0xfee1 * 7 + case);
+        let touches = 600 + g.index(4000) as usize;
+        let mut t = EpochTracker::new(64, PAGES);
+        let (r, independent, _, _) = run_epoch(&mut t, &mut g, touches, u64::MAX);
+        assert_eq!(r.distinct_pages, independent, "case {case}");
+        if r.overflowed {
+            assert_eq!(
+                r.pml_pages, r.distinct_pages,
+                "case {case}: resident pages escaped the full scan"
+            );
+        }
+    }
+}
+
+/// Forced overflow + evictions: never over-reports, never crashes, and
+/// the loss is bounded by the touched-and-evicted population that could
+/// not have been logged.
+#[test]
+fn overflow_degrades_monotonically_never_over_reports() {
+    for case in 0..40u64 {
+        let mut g = DetRng::seed_from(0xdead * 11 + case);
+        let touches = 512 + g.index(6000) as usize;
+        let cap = 8 + g.index(128) as usize;
+        let mut t = EpochTracker::new(cap, PAGES);
+        let (r, independent, touched, present) = run_epoch(&mut t, &mut g, touches, 3);
+        assert_eq!(r.distinct_pages, independent, "case {case}");
+        assert!(
+            r.pml_pages <= r.distinct_pages,
+            "case {case}: over-reported {} > {}",
+            r.pml_pages,
+            r.distinct_pages
+        );
+        let evicted_touched: u32 = touched
+            .iter()
+            .zip(&present)
+            .map(|(t, p)| (t & !p).count_ones())
+            .sum();
+        let lost = r.distinct_pages - r.pml_pages;
+        assert!(
+            lost <= evicted_touched,
+            "case {case}: lost {lost} > touched-and-evicted {evicted_touched}"
+        );
+        if !r.overflowed {
+            assert_eq!(lost, 0, "case {case}: lossless when not overflowed");
+        }
+    }
+}
+
+/// Replaying the same touch stream with growing log capacities never
+/// decreases the estimate (a bigger buffer logs a superset prefix).
+#[test]
+fn bigger_log_cap_never_worse_on_same_stream() {
+    for case in 0..40u64 {
+        let seed = 0xcafe * 13 + case;
+        let mut last = 0u32;
+        for cap in [4usize, 16, 64, 256, 1024, 1 << 14] {
+            // Same seed per cap: identical touch stream and residency.
+            let mut g = DetRng::seed_from(seed);
+            let touches = 512 + g.index(6000) as usize;
+            let mut t = EpochTracker::new(cap, PAGES);
+            let (r, _, _, _) = run_epoch(&mut t, &mut g, touches, 3);
+            assert!(
+                r.pml_pages >= last,
+                "case {case}: cap {cap} regressed {last} -> {}",
+                r.pml_pages
+            );
+            last = r.pml_pages;
+        }
+        assert!(last > 0, "case {case}: degenerate stream");
+    }
+}
+
+/// End to end through the trait: feed the same drains to [`PmlEstimator`]
+/// and [`GroundTruthWss`] (same params). The PML reservation never
+/// exceeds the oracle's, and matches it exactly on epochs whose drains
+/// were lossless.
+#[test]
+fn pml_reservation_tracks_oracle_from_below() {
+    for case in 0..20u64 {
+        let mut g = DetRng::seed_from(0xace * 17 + case);
+        let params = PmlParams {
+            window: 1 + g.index(3) as u32,
+            ..PmlParams::defaults(4096, MIB, 4 * GIB)
+        };
+        let mut pml = PmlEstimator::new(params);
+        let mut oracle = GroundTruthWss::new(params);
+        let cap = 8 + g.index(256) as usize;
+        let mut t = EpochTracker::new(cap, PAGES);
+        let mut lossless_run = true;
+        for epoch in 0..12u64 {
+            let touches = 64 + g.index(5000) as usize;
+            let (r, _, _, _) = run_epoch(&mut t, &mut g, touches, 4);
+            lossless_run &= r.pml_pages == r.distinct_pages;
+            let obs = WssObservation {
+                io: IoCounters::default(),
+                epoch: Some(EpochSample {
+                    pml_pages: r.pml_pages as u64,
+                    exact_pages: r.distinct_pages as u64,
+                    overflowed: r.overflowed,
+                }),
+            };
+            let now = SimTime::from_secs(2 * (epoch + 1));
+            let p = pml.on_tick(now, &obs, GIB).expect("epoch present");
+            let o = oracle.on_tick(now, &obs, GIB).expect("epoch present");
+            assert!(
+                p.adjustment.new_reservation <= o.adjustment.new_reservation,
+                "case {case} epoch {epoch}: PML sized above the oracle"
+            );
+            if lossless_run {
+                assert_eq!(
+                    p.adjustment, o.adjustment,
+                    "case {case} epoch {epoch}: lossless drains must agree"
+                );
+            }
+        }
+    }
+}

@@ -4,8 +4,10 @@
 //! worker count. The `workers` knob maps shards to OS threads and
 //! nothing else; these tests are the contract.
 
+use agile_cluster::config::WssEstimatorKind;
 use agile_cluster::scenario::datacenter::{self, DatacenterConfig};
 use agile_cluster::scenario::diurnal::{self, DiurnalConfig};
+use agile_cluster::scenario::estimators::{self, EstimatorsConfig};
 use agile_cluster::scenario::multihost::{self, MultihostConfig};
 use agile_cluster::scenario::pressure::{self, PressureConfig};
 
@@ -142,6 +144,53 @@ fn diurnal_sharded_matches_sequential_at_any_worker_count() {
                 sh.events_executed, sq.events_executed,
                 "replica {i} event count, workers={workers}"
             );
+        }
+    }
+}
+
+/// Swapping the WSS estimator is a config change, not a determinism
+/// hazard: the estimator A/B scenario — one replica per estimator arm,
+/// epoch tracking and the ground-truth oracle armed — must be
+/// byte-identical run-to-run and across 1, 2, and 4 workers. (The
+/// complementary contract, that the *default* estimator leaves every
+/// legacy scenario's goldens untouched, is carried by the three tests
+/// above plus `tests/golden_trace.rs`: none of them mention estimators
+/// and all predate the trait.)
+#[test]
+fn estimator_arms_sharded_match_sequential_at_any_worker_count() {
+    let cfgs: Vec<EstimatorsConfig> = [WssEstimatorKind::SwapIo, WssEstimatorKind::Pml]
+        .into_iter()
+        .map(|estimator| EstimatorsConfig {
+            estimator,
+            scale: 64,
+            deadline_secs: 60,
+            trace: true,
+            ..EstimatorsConfig::default()
+        })
+        .collect();
+    let sequential: Vec<_> = cfgs.iter().map(estimators::run).collect();
+    assert_ne!(
+        sequential[0].trace_jsonl, sequential[1].trace_jsonl,
+        "the two arms produced identical traces — the estimator knob is dead"
+    );
+    for workers in [1usize, 2, 4] {
+        let sharded = estimators::run_replicated(&cfgs, workers);
+        assert_eq!(sharded.len(), sequential.len());
+        for (i, (sh, sq)) in sharded.iter().zip(&sequential).enumerate() {
+            assert_eq!(sh.report, sq.report, "arm {i} report, workers={workers}");
+            assert_eq!(
+                sh.trace_jsonl, sq.trace_jsonl,
+                "arm {i} trace, workers={workers}"
+            );
+            assert_eq!(
+                sh.metrics_json, sq.metrics_json,
+                "arm {i} metrics, workers={workers}"
+            );
+            assert_eq!(
+                sh.events_executed, sq.events_executed,
+                "arm {i} event count, workers={workers}"
+            );
+            assert_eq!(sh, sq, "arm {i} full result, workers={workers}");
         }
     }
 }
