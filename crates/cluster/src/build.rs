@@ -93,12 +93,21 @@ impl ClusterBuilder {
     }
 
     /// Contribute `mem_bytes` of a host's spare memory (plus optional disk
-    /// spill) to the VMD pool.
+    /// spill) to the VMD pool. The server is built with the config's tier
+    /// stack ([`crate::config::ClusterConfig::vmd_tiers`]); fractional and
+    /// contribution-relative tier capacities resolve against these two
+    /// byte counts.
     pub fn add_vmd_server(&mut self, host: usize, mem_bytes: u64, disk_bytes: u64) -> usize {
         let page_size = self.world.cfg.page_size;
         let id = ServerId(self.world.vmd.servers.len() as u32);
-        let server = VmdServer::new(id, mem_bytes / page_size, disk_bytes / page_size);
+        let stack = self.world.cfg.vmd_tiers;
+        let server = VmdServer::with_tiers(
+            id,
+            stack.resolve(mem_bytes / page_size, disk_bytes / page_size),
+            stack.heat,
+        );
         let free = server.free_pages();
+        let spill = server.spill_free_pages();
         self.world.vmd.servers.push(VmdServerEntry {
             server,
             host,
@@ -106,7 +115,7 @@ impl ClusterBuilder {
         });
         // Existing clients learn about the new server.
         for entry in &self.world.vmd.clients {
-            entry.client.borrow_mut().add_server(id, free);
+            entry.client.borrow_mut().add_server(id, free, spill);
         }
         self.world.vmd.servers.len() - 1
     }
@@ -117,14 +126,14 @@ impl ClusterBuilder {
             return c;
         }
         let id = ClientId(self.world.vmd.clients.len() as u32);
-        let servers: Vec<(ServerId, u64)> = self
-            .world
-            .vmd
-            .servers
-            .iter()
-            .map(|e| (e.server.id(), e.server.free_pages()))
-            .collect();
-        let mut c = VmdClient::new(id, servers);
+        let mut c = VmdClient::new(id, std::iter::empty());
+        for e in &self.world.vmd.servers {
+            c.add_server(
+                e.server.id(),
+                e.server.free_pages(),
+                e.server.spill_free_pages(),
+            );
+        }
         c.set_replication(self.world.cfg.vmd_replication);
         let client = Rc::new(RefCell::new(c));
         self.world.vmd.clients.push(VmdClientEntry { client, host });

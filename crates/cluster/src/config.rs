@@ -4,6 +4,7 @@
 //! ToR switch, SATA-SSD swap, 4 KB pages, Linux-like swap readahead.
 
 use agile_sim_core::{Bandwidth, BlockDeviceSpec, SimDuration};
+use agile_vmd::TierStackConfig;
 
 /// Which working-set estimator `wssctl::enable_tracking` installs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -50,6 +51,12 @@ pub struct ClusterConfig {
     pub vmd_detect_delay: SimDuration,
     /// Which WSS estimator tracking installs (see [`WssEstimatorKind`]).
     pub wss_estimator: WssEstimatorKind,
+    /// Swap tier stack every VMD server is built with. The default is the
+    /// legacy DRAM + host-SSD pair with heat tracking disabled, which
+    /// replays all historical traces byte-identically; richer stacks add
+    /// zswap-like compressed memory or CXL-like far-memory tiers with
+    /// their own capacity/latency points (see [`agile_vmd::tier`]).
+    pub vmd_tiers: TierStackConfig,
     /// Simulated-PML log capacity in entries (real hardware: 512; the
     /// buffer overflows into a full PTE-bit scan at drain).
     pub pml_log_cap: u32,
@@ -80,6 +87,7 @@ impl Default for ClusterConfig {
             vmd_replication: 1,
             vmd_detect_delay: SimDuration::from_millis(500),
             wss_estimator: WssEstimatorKind::default(),
+            vmd_tiers: TierStackConfig::legacy(),
             pml_log_cap: 512,
             pml_epoch: SimDuration::from_secs(2),
             pml_window: 3,
@@ -100,5 +108,8 @@ mod tests {
         assert_eq!(c.page_size, 4096);
         assert!((c.link_bw.as_bytes_per_sec() - 125e6).abs() < 1.0);
         assert!(c.guest_readahead_pages >= 1);
+        // The default tier stack must be the legacy pair — every golden
+        // trace replays byte-identically only under this invariant.
+        assert!(c.vmd_tiers.is_legacy());
     }
 }

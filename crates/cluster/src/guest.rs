@@ -495,6 +495,7 @@ fn issue_major_fault(
                 pfn,
                 epoch,
                 dest_stat,
+                issued: now,
             },
         );
         let readahead = if vms[vm_idx].swap.is_vmd() {

@@ -33,7 +33,7 @@
 use std::collections::HashMap;
 
 use agile_sim_core::{FastEvent, SimDuration, Simulation};
-use agile_vmd::pool::{pool_pressure, utilization_spread};
+use agile_vmd::pool::{pool_pressure, utilization_spread, ReclaimTarget};
 use agile_vmd::{LeaseConfig, LeaseController, NamespaceId, PoolPlanner, ServerId, ServerLoad};
 
 use crate::guest;
@@ -258,7 +258,10 @@ fn update_leases(sim: &mut Simulation<World>) {
 }
 
 /// Shed pages from servers holding more than their lease: relocate to
-/// servers with leased headroom, else demote to the local disk tier.
+/// servers with leased headroom, else demote to the local spill tier.
+/// Heat-driven tier stacks additionally compare the spill tier's read
+/// cost against a network round trip ([`agile_vmd::pool::reclaim_target`])
+/// and demote locally when the local tier is cheaper to fault from.
 fn reclaim(sim: &mut Simulation<World>) {
     let now = sim.now();
     let n_servers = sim.state().vmd.servers.len();
@@ -292,8 +295,26 @@ fn reclaim(sim: &mut Simulation<World>) {
                 o != s && w.vmd.servers[o].alive && w.vmd.servers[o].server.free_pages() > 0
             })
         };
+        // Cost-aware reclaim (heat-driven tier stacks only): when the
+        // server's next spill tier is cheaper to reach than a round trip
+        // through the network, demote locally even though remote headroom
+        // exists. Legacy stacks keep the relocate-first policy unchanged.
+        let prefer_demote = {
+            let w = sim.state();
+            w.cfg.vmd_tiers.heat.enabled && {
+                let relocation = agile_vmd::pool::relocation_cost(
+                    w.cfg.prop_delay,
+                    w.cfg.vmd_server_delay,
+                    w.cfg.page_size,
+                    w.cfg.link_bw.as_bytes_per_sec() as u64,
+                );
+                let server = &w.vmd.servers[s].server;
+                agile_vmd::pool::reclaim_target(server.best_demotion_cost(), headroom, relocation)
+                    == ReclaimTarget::Demote
+            }
+        };
         let mut relocated = 0u32;
-        if headroom {
+        if headroom && !prefer_demote {
             for &(ns, slot) in &victims {
                 if budget == 0 {
                     break;

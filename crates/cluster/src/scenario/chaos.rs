@@ -50,6 +50,10 @@ pub struct ChaosScenarioConfig {
     /// Enable the event tracer (off by default; chaos fault windows then
     /// appear as `chaos_fault` spans in the JSONL export).
     pub trace: bool,
+    /// Swap tier stack on every VMD server (legacy Memory+Disk pair by
+    /// default). Multi-tier stacks put demotions in flight across tier
+    /// boundaries for the crash schedule to interrupt.
+    pub tiers: agile_vmd::TierStackConfig,
 }
 
 impl Default for ChaosScenarioConfig {
@@ -67,6 +71,7 @@ impl Default for ChaosScenarioConfig {
             deadline_secs: 4000,
             seed: 42,
             trace: false,
+            tiers: agile_vmd::TierStackConfig::legacy(),
         }
     }
 }
@@ -120,6 +125,7 @@ pub fn run(cfg: &ChaosScenarioConfig) -> ChaosScenarioResult {
     let cluster_cfg = ClusterConfig {
         seed: cfg.seed,
         vmd_replication: cfg.replication,
+        vmd_tiers: cfg.tiers,
         ..ClusterConfig::default()
     };
     let page = cluster_cfg.page_size;
@@ -199,6 +205,15 @@ pub fn run(cfg: &ChaosScenarioConfig) -> ChaosScenarioResult {
 
     let events_executed = sim.events_executed();
     let w = sim.state();
+    // Tier-ledger invariant: whatever the crash interrupted (demotions,
+    // relocations, purges), every surviving server's per-tier accounting
+    // must still reconcile with its actual placements.
+    for (i, s) in w.vmd.servers.iter().enumerate() {
+        assert!(
+            s.server.ledger_consistent(),
+            "server {i} tier ledger inconsistent after chaos run"
+        );
+    }
     let metrics = w.migrations[0].src.metrics();
     ChaosScenarioResult {
         finished: w.migrations[0].finished,

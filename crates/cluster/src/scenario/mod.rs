@@ -21,6 +21,7 @@ pub mod multihost;
 pub mod pressure;
 pub mod single_vm;
 pub mod sysbench;
+pub mod tiers;
 pub mod wss;
 pub mod ycsb;
 

@@ -60,6 +60,11 @@ pub struct PressureConfig {
     pub seed: u64,
     /// Enable the event tracer (`pool_*` lines in the JSONL export).
     pub trace: bool,
+    /// Swap tier stack on every VMD server (legacy Memory+Disk pair by
+    /// default). A heat-driven stack with a cheap spill tier flips the
+    /// reclaim pump from relocate-first to demote-first (see
+    /// `agile_vmd::pool::reclaim_target`).
+    pub tiers: agile_vmd::TierStackConfig,
 }
 
 impl Default for PressureConfig {
@@ -78,6 +83,7 @@ impl Default for PressureConfig {
             crash_at_secs: 8,
             seed: 42,
             trace: false,
+            tiers: agile_vmd::TierStackConfig::legacy(),
         }
     }
 }
@@ -257,6 +263,7 @@ fn setup(cfg: &PressureConfig) -> PressureSetup {
     let cluster_cfg = ClusterConfig {
         seed: cfg.seed,
         vmd_replication: cfg.replication,
+        vmd_tiers: cfg.tiers,
         ..ClusterConfig::default()
     };
     let page = cluster_cfg.page_size;

@@ -3,7 +3,7 @@
 //! completions back into the guest/migration paths.
 
 use agile_sim_core::Simulation;
-use agile_vmd::{ClientMsg, ServerId, ServerMsg, Tier, VmdCompletion};
+use agile_vmd::{ClientMsg, ServerId, ServerMsg, TierBacking, VmdCompletion};
 
 use crate::netdrv::touch_net;
 use crate::world::{NetPayload, SwapReqCtx, World};
@@ -66,23 +66,34 @@ pub fn on_server_recv(
             (r.msg, r.tier)
         };
         let Some(reply) = reply else { return };
-        // Disk-tier requests pay the intermediate host's device time
-        // before the reply leaves (the HD/SSD-backed VMD extension).
-        let send_at = if tier == Tier::Disk {
-            let w = sim.state_mut();
-            let host = w.vmd.servers[server_idx].host;
-            match &w.hosts[host].ssd {
-                Some(dev) => {
-                    let kind = match msg {
-                        ClientMsg::ReadReq { .. } => agile_sim_core::IoKind::Read,
-                        _ => agile_sim_core::IoKind::Write,
-                    };
-                    dev.borrow_mut().submit(now, kind, page_size)
+        // Requests served below the DRAM head tier pay that tier's device
+        // time before the reply leaves: the host's shared SSD queue for
+        // the HD/SSD-backed VMD extension, or the tier's fixed latency for
+        // zswap/CXL-like backings (no queueing — they are memory-class
+        // devices, not a spindle).
+        let backing = sim.state().vmd.servers[server_idx]
+            .server
+            .tier_backing(tier);
+        let send_at = match backing {
+            TierBacking::Dram => now,
+            TierBacking::HostSsd => {
+                let w = sim.state_mut();
+                let host = w.vmd.servers[server_idx].host;
+                match &w.hosts[host].ssd {
+                    Some(dev) => {
+                        let kind = match msg {
+                            ClientMsg::ReadReq { .. } => agile_sim_core::IoKind::Read,
+                            _ => agile_sim_core::IoKind::Write,
+                        };
+                        dev.borrow_mut().submit(now, kind, page_size)
+                    }
+                    None => now,
                 }
-                None => now,
             }
-        } else {
-            now
+            TierBacking::Fixed { read, write } => match msg {
+                ClientMsg::ReadReq { .. } => now + read,
+                _ => now + write,
+            },
         };
         sim.schedule_at(send_at, move |sim| {
             let t = sim.now();
@@ -270,7 +281,17 @@ pub fn resolve_swap_completion(sim: &mut Simulation<World>, req: u64) {
             pfn,
             epoch,
             dest_stat,
-        } => guest::complete_guest_fault(sim, vm, pfn, epoch, dest_stat),
+            issued,
+        } => {
+            // Every guest-fault completion funnels through here — local
+            // SSD reads and VMD reads alike — so this one observation
+            // point covers the whole guest-visible latency distribution.
+            let now = sim.now();
+            if let Some(hist) = sim.state_mut().fault_hist.as_deref_mut() {
+                hist.observe(now - issued);
+            }
+            guest::complete_guest_fault(sim, vm, pfn, epoch, dest_stat)
+        }
         SwapReqCtx::MigrationSwapIn { mig, batch, pfn } => {
             migrate::complete_migration_swapin(sim, mig, batch, pfn)
         }

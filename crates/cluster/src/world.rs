@@ -363,6 +363,8 @@ pub enum SwapReqCtx {
         epoch: u32,
         /// Count the completion as a destination fault-from-swap (Agile).
         dest_stat: bool,
+        /// When the fault was issued (guest-visible latency histogram).
+        issued: agile_sim_core::SimTime,
     },
     /// One page of a Migration-Manager swap-in batch.
     MigrationSwapIn {
@@ -500,6 +502,10 @@ pub struct World {
     /// WSS-tracking counters (metrics rows appear only when the PML
     /// machinery actually ran, keeping legacy metrics JSON unchanged).
     pub wss_counters: WssCounters,
+    /// Guest-visible major-fault latency histogram. `None` (the default)
+    /// records nothing and costs nothing; scenarios that report fault
+    /// latency (`scenario::tiers`) install one.
+    pub fault_hist: Option<Box<agile_sim_core::FixedHistogram>>,
 }
 
 impl World {
@@ -533,6 +539,7 @@ impl World {
             wldrv: None,
             trace: agile_trace::Tracer::disabled(),
             wss_counters: WssCounters::default(),
+            fault_hist: None,
         }
     }
 

@@ -78,6 +78,17 @@ impl VmdSwapDevice {
             .borrow_mut()
             .free(&mut self.directory.borrow_mut(), self.ns, slot);
     }
+
+    /// Tear down the whole namespace (VM destroyed): drop buffered
+    /// writebacks, cancel relocations, and free every placed slot on its
+    /// servers. Returns the number of placements released. After this the
+    /// namespace owns no storage anywhere — in-flight demotions or
+    /// relocations that complete later must not resurrect any slot.
+    pub fn purge(&mut self) -> usize {
+        self.client
+            .borrow_mut()
+            .purge_namespace(&mut self.directory.borrow_mut(), self.ns)
+    }
 }
 
 impl SwapBackend for VmdSwapDevice {
@@ -168,6 +179,18 @@ mod tests {
             },
         );
         assert_eq!(d.read(SimTime::ZERO, 0, 2), SwapIssue::Pending);
+    }
+
+    #[test]
+    fn purge_releases_every_placement() {
+        let mut d = device();
+        d.write(SimTime::ZERO, 0, 1, 1);
+        d.write(SimTime::ZERO, 1, 1, 2);
+        assert_eq!(d.purge(), 2);
+        // The directory holds nothing for the namespace and the client
+        // queued a Free per placement for the servers.
+        assert_eq!(d.directory.borrow().placed_slots(), 0);
+        assert!(d.client().borrow().has_outbox());
     }
 
     #[test]

@@ -143,6 +143,11 @@ struct ServerInfo {
     /// optimistically decremented on issued writes and corrected by
     /// acks/gossip.
     free_pages: u64,
+    /// View of the server's free *spill-tier* capacity (pages below its
+    /// DRAM head tier), from availability gossip. Placement uses it to
+    /// prefer servers that can still absorb writes once every server's
+    /// leased DRAM is full.
+    spill_free: u64,
     /// True while the failure detector considers the server crashed.
     suspect: bool,
 }
@@ -230,6 +235,7 @@ impl VmdClient {
                 .map(|(id, free_pages)| ServerInfo {
                     id,
                     free_pages,
+                    spill_free: 0,
                     suspect: false,
                 })
                 .collect(),
@@ -264,14 +270,16 @@ impl VmdClient {
     }
 
     /// Learn about a server that joined after this client was created
-    /// (idempotent; updates the advertised capacity if already known).
-    pub fn add_server(&mut self, id: ServerId, free_pages: u64) {
+    /// (idempotent; updates the advertised capacities if already known).
+    pub fn add_server(&mut self, id: ServerId, free_pages: u64, spill_free_pages: u64) {
         if let Some(info) = self.servers.iter_mut().find(|i| i.id == id) {
             info.free_pages = free_pages;
+            info.spill_free = spill_free_pages;
         } else {
             self.servers.push(ServerInfo {
                 id,
                 free_pages,
+                spill_free: spill_free_pages,
                 suspect: false,
             });
         }
@@ -379,10 +387,15 @@ impl VmdClient {
             set = self.pick_replicas(want);
             dir.set_replicas(ns, slot, set);
             // Optimistic accounting: the page will occupy a server page on
-            // every replica.
+            // every replica — its DRAM if the view says there is room,
+            // otherwise a spill tier.
             for &s in set.as_slice() {
                 if let Some(info) = self.servers.iter_mut().find(|i| i.id == s) {
-                    info.free_pages = info.free_pages.saturating_sub(1);
+                    if info.free_pages > 0 {
+                        info.free_pages -= 1;
+                    } else {
+                        info.spill_free = info.spill_free.saturating_sub(1);
+                    }
                 }
             }
         }
@@ -443,14 +456,26 @@ impl VmdClient {
 
     /// Load-aware round-robin: next non-suspect server in ring order that
     /// reports unused memory. When every live server reports full DRAM,
-    /// placement falls back to plain round-robin — servers with a disk
-    /// spill tier (§IV-A's HD/SSD extension) absorb the overflow there.
+    /// the fallback prefers servers that still advertise spill-tier
+    /// headroom (§IV-A's HD/SSD extension — and any lower tier of the
+    /// stack) over plain round-robin: a server whose DRAM is full but
+    /// whose spill tiers are empty used to be treated the same as one
+    /// that is full everywhere, skewing placement away from usable
+    /// capacity. Only when no live server has headroom *anywhere* does
+    /// placement degenerate to plain round-robin.
     fn pick_server(&mut self) -> ServerId {
         assert!(!self.servers.is_empty(), "VMD has no servers");
         let n = self.servers.len();
         for step in 0..n {
             let idx = (self.rr + step) % n;
             if self.servers[idx].free_pages > 0 && !self.servers[idx].suspect {
+                self.rr = (idx + 1) % n;
+                return self.servers[idx].id;
+            }
+        }
+        for step in 0..n {
+            let idx = (self.rr + step) % n;
+            if self.servers[idx].spill_free > 0 && !self.servers[idx].suspect {
                 self.rr = (idx + 1) % n;
                 return self.servers[idx].id;
             }
@@ -517,7 +542,7 @@ impl VmdClient {
                 version,
                 free_pages,
             } => {
-                self.update_availability(from, free_pages);
+                self.update_availability(from, free_pages, None);
                 match self.pending_reads.remove(&req) {
                     None => {
                         self.stale_msgs += 1;
@@ -540,7 +565,7 @@ impl VmdClient {
                 }
             }
             ServerMsg::WriteAck { req, free_pages } => {
-                self.update_availability(from, free_pages);
+                self.update_availability(from, free_pages, None);
                 match self.pending_writes.remove(&req) {
                     None => {
                         self.stale_msgs += 1;
@@ -570,8 +595,12 @@ impl VmdClient {
                     }
                 }
             }
-            ServerMsg::Availability { server, free_pages } => {
-                self.update_availability(server, free_pages);
+            ServerMsg::Availability {
+                server,
+                free_pages,
+                spill_free_pages,
+            } => {
+                self.update_availability(server, free_pages, Some(spill_free_pages));
                 None
             }
             ServerMsg::LeaseUpdate {
@@ -580,13 +609,16 @@ impl VmdClient {
                 // A lease resize is authoritative gossip: adopt the new
                 // free capacity so placement stops aiming at a shrinking
                 // server before the next periodic round.
-                self.update_availability(server, free_pages);
+                self.update_availability(server, free_pages, None);
                 None
             }
             ServerMsg::Nak {
-                req, free_pages, ..
+                req,
+                free_pages,
+                spill_free_pages,
+                ..
             } => {
-                self.update_availability(from, free_pages);
+                self.update_availability(from, free_pages, Some(spill_free_pages));
                 if self.pending_reads.contains_key(&req) {
                     Some(VmdCompletion::ReadNak { req })
                 } else if self.pending_writes.contains_key(&req) {
@@ -980,6 +1012,37 @@ impl VmdClient {
         false
     }
 
+    /// Tear down a namespace (the VM was destroyed, not migrated): drop
+    /// its writeback entries, invalidate any in-flight relocation of its
+    /// slots, and tell every replica to free its pages. Returns the
+    /// number of placements released.
+    ///
+    /// The relocation guard is the point: a purge racing a reclaim
+    /// demotion/relocation must not resurrect a purged page. In-flight
+    /// relocation entries stay pending — their completions still have to
+    /// drain — but flip invalid, so [`VmdClient::relocate_write`] abandons
+    /// the move and [`VmdClient::finish_relocation`] frees the copy at the
+    /// destination instead of re-installing it in the directory.
+    pub fn purge_namespace(&mut self, dir: &mut VmdDirectory, ns: NamespaceId) -> usize {
+        self.writeback.retain(|&(n, _), _| n != ns);
+        for (&(n, _), valid) in self.relocating.iter_mut() {
+            if n == ns {
+                *valid = false;
+            }
+        }
+        self.lost_slots.retain(|&(n, _)| n != ns);
+        let placements = dir.purge_namespace(ns);
+        let count = placements.len();
+        for (slot, server) in placements {
+            if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
+                info.free_pages += 1;
+            }
+            self.outbox
+                .push_back((server, ClientMsg::Free { ns, slot }));
+        }
+        count
+    }
+
     /// Next non-member, non-suspect server in ring order *with free leased
     /// DRAM* — no any-server fallback (see [`VmdClient::relocate_write`]).
     fn next_free_distinct(&mut self, set: &ReplicaSet) -> Option<ServerId> {
@@ -996,7 +1059,7 @@ impl VmdClient {
         None
     }
 
-    fn update_availability(&mut self, server: ServerId, free_pages: u64) {
+    fn update_availability(&mut self, server: ServerId, free_pages: u64, spill_free: Option<u64>) {
         if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
             // Hearing from (or authoritatively about) a server means it is
             // up — a rejoined server stops being suspect.
@@ -1009,6 +1072,11 @@ impl VmdClient {
                 .filter(|(s, m)| *s == server && matches!(m, ClientMsg::WriteReq { .. }))
                 .count() as u64;
             info.free_pages = free_pages.saturating_sub(inflight_to_server);
+            // Only gossip and NAKs carry the spill view; per-request acks
+            // leave it untouched.
+            if let Some(sp) = spill_free {
+                info.spill_free = sp;
+            }
         }
     }
 
@@ -1018,6 +1086,14 @@ impl VmdClient {
             .iter()
             .find(|i| i.id == server)
             .map(|i| i.free_pages)
+    }
+
+    /// The client's current view of a server's free spill-tier pages.
+    pub fn known_spill_free(&self, server: ServerId) -> Option<u64> {
+        self.servers
+            .iter()
+            .find(|i| i.id == server)
+            .map(|i| i.spill_free)
     }
 }
 
@@ -1173,9 +1249,11 @@ mod tests {
             ServerMsg::Availability {
                 server: ServerId(0),
                 free_pages: 3,
+                spill_free_pages: 5,
             },
         );
         assert_eq!(c.known_free(ServerId(0)), Some(3));
+        assert_eq!(c.known_spill_free(ServerId(0)), Some(5));
     }
 
     #[test]
@@ -1369,6 +1447,7 @@ mod tests {
                 req: 5,
                 err: VmdError::UnwrittenSlot { ns, slot: 0 },
                 free_pages: 10,
+                spill_free_pages: 0,
             },
         );
         assert_eq!(nak, Some(VmdCompletion::ReadNak { req: 5 }));
@@ -1707,8 +1786,100 @@ mod tests {
             ServerMsg::Availability {
                 server: ServerId(0),
                 free_pages: 10,
+                spill_free_pages: 0,
             },
         );
         assert!(!c.is_suspect(ServerId(0)));
+    }
+
+    /// Satellite-2 regression: with every server's DRAM full, a server
+    /// with empty spill tiers must win placement over one that is full
+    /// everywhere — the historical fallback was plain round-robin and
+    /// skewed half the writes onto the server with no headroom at all.
+    #[test]
+    fn full_dram_placement_prefers_spill_headroom() {
+        let (mut c, mut d) = setup(&[0, 0]);
+        // Gossip: server 0 is full everywhere, server 1 has spill room.
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::Availability {
+                server: ServerId(0),
+                free_pages: 0,
+                spill_free_pages: 0,
+            },
+        );
+        c.on_server_msg(
+            ServerId(1),
+            ServerMsg::Availability {
+                server: ServerId(1),
+                free_pages: 0,
+                spill_free_pages: 4,
+            },
+        );
+        let ns = d.create_namespace();
+        for slot in 0..4 {
+            c.write(&mut d, ns, slot, 1, slot as u64);
+        }
+        let targets: Vec<ServerId> = c.drain_outbox().map(|(s, _)| s).collect();
+        assert_eq!(
+            targets,
+            vec![ServerId(1); 4],
+            "all writes must aim at the server with spill headroom"
+        );
+        // The optimistic view consumed the spill headroom as it placed.
+        assert_eq!(c.known_spill_free(ServerId(1)), Some(0));
+        // With the spill view exhausted too, placement degenerates to
+        // plain round-robin (the legacy fallback) instead of wedging.
+        c.write(&mut d, ns, 10, 1, 10);
+        c.write(&mut d, ns, 11, 1, 11);
+        let targets: Vec<ServerId> = c.drain_outbox().map(|(s, _)| s).collect();
+        assert_ne!(targets[0], targets[1], "exhausted pool round-robins");
+    }
+
+    /// Satellite-3 regression: a purge racing an in-flight relocation
+    /// (the reclaim pump vacating a server) must not resurrect the purged
+    /// page — the relocated copy has to be dropped, not installed.
+    #[test]
+    fn purge_racing_relocation_does_not_resurrect_slot() {
+        let (mut c, mut d) = setup(&[10, 10, 10]);
+        let ns = place_replicated_slot(&mut c, &mut d);
+        assert!(c.begin_relocation(&d, ns, 0, ServerId(0)));
+        c.drain_outbox().for_each(drop);
+        c.on_server_msg(
+            ServerId(0),
+            ServerMsg::ReadResp {
+                req: INTERNAL_REQ_BASE + 1,
+                version: 7,
+                free_pages: 9,
+            },
+        );
+        assert!(c.relocate_write(&d, ns, 0, 7, ServerId(0), None));
+        c.drain_outbox().for_each(drop);
+        // VM destroyed while the relocation copy is in flight to server 2.
+        assert_eq!(c.purge_namespace(&mut d, ns), 2);
+        let frees: Vec<(ServerId, ClientMsg)> = c.drain_outbox().collect();
+        assert_eq!(frees.len(), 2, "both directory replicas freed");
+        assert!(frees
+            .iter()
+            .all(|(_, m)| matches!(m, ClientMsg::Free { .. })));
+        // The copy's ack arrives after the purge: finish_relocation must
+        // free the orphan at the destination, not re-enter the directory.
+        let comp = c.on_server_msg(
+            ServerId(2),
+            ServerMsg::WriteAck {
+                req: INTERNAL_REQ_BASE + 2,
+                free_pages: 9,
+            },
+        );
+        assert!(matches!(comp, Some(VmdCompletion::RelocateDone { .. })));
+        assert!(!c.finish_relocation(&mut d, ns, 0, ServerId(0), ServerId(2)));
+        assert!(
+            d.replicas(ns, 0).is_empty(),
+            "purged slot must stay purged — no tier resurrection"
+        );
+        let frees: Vec<(ServerId, ClientMsg)> = c.drain_outbox().collect();
+        assert_eq!(frees.len(), 1);
+        assert_eq!(frees[0].0, ServerId(2), "orphan copy released");
+        assert_eq!(c.relocations_inflight(), 0);
     }
 }

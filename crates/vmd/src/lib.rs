@@ -8,8 +8,9 @@
 //! Components:
 //!
 //! * [`VmdServer`] — runs on each intermediate host; stores pages in spare
-//!   DRAM (allocated only on write) with an optional disk spill tier, and
-//!   gossips its free capacity to clients.
+//!   DRAM (allocated only on write) with a configurable spill tier stack
+//!   below it ([`tier`]: disk, zswap-like compressed memory, CXL-like far
+//!   memory), and gossips its free capacity to clients.
 //! * [`VmdClient`] — runs on source/destination hosts; routes page I/O to
 //!   servers using load-aware round-robin placement, keeps a writeback
 //!   buffer for issued-but-unacked writes, and exposes namespaces.
@@ -30,12 +31,17 @@ pub mod directory;
 pub mod pool;
 pub mod proto;
 pub mod server;
+pub mod tier;
 
 pub use backend::VmdSwapDevice;
 pub use client::{ReadIssue, VmdClient, VmdCompletion};
 pub use directory::{ReplicaSet, VmdDirectory, MAX_REPLICAS};
-pub use pool::{LeaseConfig, LeaseController, PoolPlanner, ServerLoad};
+pub use pool::{LeaseConfig, LeaseController, PoolPlanner, ReclaimTarget, ServerLoad};
 pub use proto::{
     ClientId, ClientMsg, NamespaceId, ServerId, ServerMsg, VmdError, MSG_HEADER_BYTES,
 };
-pub use server::{ServerReply, Tier, VmdServer};
+pub use server::{ServerReply, VmdServer};
+pub use tier::{
+    HeatPolicy, ResolvedTier, TierBacking, TierCapacity, TierLedger, TierSpec, TierStackConfig,
+    MAX_TIERS,
+};

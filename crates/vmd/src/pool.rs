@@ -158,6 +158,61 @@ pub fn pool_pressure(loads: &[ServerLoad]) -> f64 {
     }
 }
 
+/// Where the reclaim pump should send one over-lease victim page.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReclaimTarget {
+    /// Move the page to another server's DRAM (network relocation).
+    Relocate,
+    /// Demote the page down this server's own tier stack.
+    Demote,
+}
+
+/// Nominal per-page cost of relocating a victim to another server's DRAM:
+/// a pinned read plus a copy write — two propagation delays, one server
+/// lookup, and the page crossing the wire once.
+pub fn relocation_cost(
+    prop_delay: agile_sim_core::SimDuration,
+    server_delay: agile_sim_core::SimDuration,
+    page_bytes: u64,
+    link_bytes_per_s: u64,
+) -> agile_sim_core::SimDuration {
+    let transfer = match page_bytes
+        .saturating_mul(1_000_000_000)
+        .checked_div(link_bytes_per_s)
+    {
+        Some(ns) => agile_sim_core::SimDuration::from_nanos(ns),
+        None => agile_sim_core::SimDuration::ZERO,
+    };
+    prop_delay + prop_delay + server_delay + transfer
+}
+
+/// Cost-aware reclaim decision (tier-stack mode): weigh demoting a victim
+/// into this server's own cheapest lower tier against relocating it to
+/// another server's DRAM. `demotion_cost` is
+/// [`crate::server::VmdServer::best_demotion_cost`] (`None` when every
+/// lower tier is full); `remote_headroom` says whether any other server
+/// has free leased DRAM. Ties prefer relocation — DRAM served remotely
+/// still beats an equal-cost local device on later repeat faults.
+pub fn reclaim_target(
+    demotion_cost: Option<agile_sim_core::SimDuration>,
+    remote_headroom: bool,
+    relocation: agile_sim_core::SimDuration,
+) -> ReclaimTarget {
+    if !remote_headroom {
+        return ReclaimTarget::Demote;
+    }
+    match demotion_cost {
+        None => ReclaimTarget::Relocate,
+        Some(demote) => {
+            if relocation <= demote {
+                ReclaimTarget::Relocate
+            } else {
+                ReclaimTarget::Demote
+            }
+        }
+    }
+}
+
 /// Skew-aware rebalance planner.
 #[derive(Clone, Copy, Debug)]
 pub struct PoolPlanner {
@@ -327,5 +382,41 @@ mod tests {
         // The least-utilized server has no lease headroom: nothing to do.
         let loads = [load(0, 100, 100), load(1, 40, 40)];
         assert_eq!(p.rebalance_move(&loads), None);
+    }
+
+    #[test]
+    fn reclaim_prefers_cheap_local_tier_over_slow_network() {
+        use agile_sim_core::SimDuration;
+        // 50 µs propagation each way + 40 µs lookup + 4 KiB over 1 Gb/s
+        // (~33 µs) ≈ 173 µs per relocated page.
+        let reloc = relocation_cost(
+            SimDuration::from_micros(50),
+            SimDuration::from_micros(40),
+            4096,
+            125_000_000,
+        );
+        assert_eq!(reloc, SimDuration::from_nanos(172_768));
+        // A 2 µs CXL-like tier beats the network: demote locally.
+        assert_eq!(
+            reclaim_target(Some(SimDuration::from_micros(2)), true, reloc),
+            ReclaimTarget::Demote
+        );
+        // A 90 µs SSD tier is still cheaper than 173 µs of network.
+        assert_eq!(
+            reclaim_target(Some(SimDuration::from_micros(90)), true, reloc),
+            ReclaimTarget::Demote
+        );
+        // A 5 ms cold-HDD tier loses to remote DRAM: relocate.
+        assert_eq!(
+            reclaim_target(Some(SimDuration::from_millis(5)), true, reloc),
+            ReclaimTarget::Relocate
+        );
+        // Local tiers full: relocate; no remote headroom either: demote
+        // (the pump will find nothing to do and stall-count instead).
+        assert_eq!(reclaim_target(None, true, reloc), ReclaimTarget::Relocate);
+        assert_eq!(
+            reclaim_target(Some(SimDuration::from_micros(2)), false, reloc),
+            ReclaimTarget::Demote
+        );
     }
 }

@@ -122,8 +122,12 @@ pub enum ServerMsg {
     Availability {
         /// Reporting server.
         server: ServerId,
-        /// Free capacity, pages.
+        /// Free leased DRAM capacity, pages.
         free_pages: u64,
+        /// Free capacity below the DRAM head tier, pages (the headroom a
+        /// write would spill into when `free_pages` is zero). Clients use
+        /// this to keep spill-capable servers in the placement ring.
+        spill_free_pages: u64,
     },
     /// Lease-change notification, pushed on the server's behalf by the
     /// pool manager when the donor host resizes its contribution, so
@@ -147,6 +151,8 @@ pub enum ServerMsg {
         err: VmdError,
         /// Server's current free capacity, pages.
         free_pages: u64,
+        /// Free spill-tier capacity, pages (see [`ServerMsg::Availability`]).
+        spill_free_pages: u64,
     },
 }
 
@@ -202,8 +208,15 @@ mod tests {
                 slot: 2,
             },
             free_pages: 10,
+            spill_free_pages: 0,
         };
         assert_eq!(nak.wire_bytes(4096), 64);
+        let avail = ServerMsg::Availability {
+            server: ServerId(1),
+            free_pages: 5,
+            spill_free_pages: 7,
+        };
+        assert_eq!(avail.wire_bytes(4096), 64);
         let lease = ServerMsg::LeaseUpdate {
             server: ServerId(1),
             lease_pages: 5,

@@ -1,10 +1,13 @@
 //! VMD server module (runs on each intermediate host).
 //!
 //! Stores pages in the host's spare memory. Memory is allocated only when a
-//! write arrives — no reservation up front (§IV-A). An optional disk tier
-//! (the paper's suggested HD/SSD extension) absorbs writes that exceed the
-//! memory capacity instead of rejecting them; reads from the disk tier are
-//! flagged so the cluster executor can charge the device time.
+//! write arrives — no reservation up front (§IV-A). Below the DRAM head
+//! tier sits a configurable **tier stack** ([`crate::tier`]): the legacy
+//! disk spill tier, zswap-like compressed memory, CXL-like far memory —
+//! each with its own capacity and cost. Writes that exceed the head tier
+//! spill to the cheapest lower tier with headroom instead of being
+//! rejected; reads report the serving tier index so the cluster executor
+//! can charge the right device time.
 //!
 //! ## Elastic contribution leases
 //!
@@ -16,65 +19,91 @@
 //! holding more DRAM pages than the lease allows
 //! ([`VmdServer::over_lease_pages`]), the pool manager reclaims via
 //! [`VmdServer::reclaim_victims`] (relocation) and
-//! [`VmdServer::demote_victims`] (spill to the disk tier). Victim order is
+//! [`VmdServer::demote_victims`] (spill down the stack). Victim order is
 //! deterministic: coldest namespace first (a logical access clock, not
-//! wall time — the server is sans-IO), slots ascending within a namespace.
+//! wall time — the server is sans-IO), slots ascending within a namespace;
+//! with the heat policy enabled, coldest *page* first by decayed heat.
 
 use std::collections::HashMap;
 
 use crate::proto::{ClientMsg, NamespaceId, ServerId, ServerMsg, VmdError};
-
-/// Where a stored page lives on the intermediate host.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Tier {
-    /// In the server's spare DRAM.
-    Memory,
-    /// Spilled to the server's local disk (extension, §IV-A last paragraph).
-    Disk,
-}
+use crate::tier::{HeatPolicy, ResolvedTier, TierBacking, TierLedger, TierStackConfig};
 
 /// Outcome of handling one client message.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ServerReply {
     /// The reply to transmit, if any (`Free` is fire-and-forget).
     pub msg: Option<ServerMsg>,
-    /// Tier that served/absorbed the request (for device-time accounting).
-    pub tier: Tier,
+    /// Index of the tier that served/absorbed the request (0 = DRAM head
+    /// tier), for device-time accounting via [`VmdServer::tier_backing`].
+    pub tier: u8,
+}
+
+/// Per-page metadata: the stored version, which tier holds the page, and
+/// the decayed-heat state driving promotion (see [`HeatPolicy`]).
+#[derive(Clone, Copy, Debug)]
+struct PageMeta {
+    version: u32,
+    tier: u8,
+    heat: u16,
+    /// Truncated access-clock value of the last touch (heat age base).
+    last: u32,
 }
 
 /// One intermediate host's VMD server state.
 #[derive(Clone, Debug)]
 pub struct VmdServer {
     id: ServerId,
-    mem_capacity_pages: u64,
-    disk_capacity_pages: u64,
+    /// The resolved tier stack, fastest first. Tier 0 is always raw DRAM;
+    /// the contribution lease applies to it alone.
+    tiers: Vec<ResolvedTier>,
+    heat: HeatPolicy,
     /// Current contribution lease; DRAM beyond `min(lease, capacity)` is
     /// off-limits to new placements. Starts at the full capacity.
     lease_pages: u64,
-    store: HashMap<(NamespaceId, u32), (u32, Tier)>,
-    mem_used: u64,
-    disk_used: u64,
+    store: HashMap<(NamespaceId, u32), PageMeta>,
+    /// Checked per-tier occupancy (the satellite-1 fix: decrements
+    /// debug-assert and saturate instead of silently wrapping).
+    ledger: TierLedger,
     /// Logical access clock: bumped on every read/write so victim
     /// selection can order namespaces coldest-first deterministically.
     access_clock: u64,
     /// Last access-clock value per namespace.
     ns_last_access: HashMap<NamespaceId, u64>,
-    /// Stored pages per namespace (both tiers).
+    /// Stored pages per namespace (all tiers).
     ns_pages: HashMap<NamespaceId, u64>,
 }
 
 impl VmdServer {
-    /// Create a server contributing `mem_capacity_pages` of spare DRAM and
-    /// (optionally) `disk_capacity_pages` of spill space.
+    /// Create a server with the legacy two-tier stack: `mem_capacity_pages`
+    /// of spare DRAM and (optionally) `disk_capacity_pages` of spill space
+    /// on the host's SSD.
     pub fn new(id: ServerId, mem_capacity_pages: u64, disk_capacity_pages: u64) -> Self {
+        let stack = TierStackConfig::legacy();
+        Self::with_tiers(
+            id,
+            stack.resolve(mem_capacity_pages, disk_capacity_pages),
+            stack.heat,
+        )
+    }
+
+    /// Create a server with an explicit resolved tier stack (tier 0 must
+    /// be the raw-DRAM head tier) and heat policy.
+    pub fn with_tiers(id: ServerId, tiers: Vec<ResolvedTier>, heat: HeatPolicy) -> Self {
+        assert!(!tiers.is_empty(), "tier stack cannot be empty");
+        assert!(
+            tiers[0].backing == TierBacking::Dram,
+            "tier 0 must be the raw-DRAM head tier"
+        );
+        let lease = tiers[0].capacity_pages;
+        let n = tiers.len();
         VmdServer {
             id,
-            mem_capacity_pages,
-            disk_capacity_pages,
-            lease_pages: mem_capacity_pages,
+            tiers,
+            heat,
+            lease_pages: lease,
             store: HashMap::new(),
-            mem_used: 0,
-            disk_used: 0,
+            ledger: TierLedger::new(n),
             access_clock: 0,
             ns_last_access: HashMap::new(),
             ns_pages: HashMap::new(),
@@ -86,26 +115,64 @@ impl VmdServer {
         self.id
     }
 
+    /// Number of tiers in this server's stack.
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// The backing device of tier `t` (for executor device-time charging).
+    pub fn tier_backing(&self, t: u8) -> TierBacking {
+        self.tiers[t as usize].backing
+    }
+
+    /// Pages stored in tier `t`.
+    pub fn tier_used_pages(&self, t: u8) -> u64 {
+        self.ledger.used(t as usize)
+    }
+
     /// DRAM pages placements may use right now: `min(lease, capacity)`.
     fn effective_mem(&self) -> u64 {
-        self.lease_pages.min(self.mem_capacity_pages)
+        self.lease_pages.min(self.tiers[0].capacity_pages)
+    }
+
+    /// Usable capacity of tier `t`: the lease bounds the DRAM head tier,
+    /// lower tiers use their full resolved capacity.
+    fn effective_cap(&self, t: usize) -> u64 {
+        if t == 0 {
+            self.effective_mem()
+        } else {
+            self.tiers[t].capacity_pages
+        }
+    }
+
+    /// Free pages in tier `t` right now.
+    fn free_in(&self, t: usize) -> u64 {
+        self.effective_cap(t).saturating_sub(self.ledger.used(t))
     }
 
     /// Free *leased* DRAM pages right now. Every reply and availability
     /// report goes through here, so gossip advertises leased — not raw —
     /// capacity and clients avoid shrinking servers.
     pub fn free_pages(&self) -> u64 {
-        self.effective_mem().saturating_sub(self.mem_used)
+        self.free_in(0)
+    }
+
+    /// Free pages across every tier below the DRAM head — the headroom a
+    /// write would spill into. Gossiped so placement can prefer servers
+    /// that still absorb writes when their leased DRAM is full
+    /// (the satellite-2 fix).
+    pub fn spill_free_pages(&self) -> u64 {
+        (1..self.tiers.len()).map(|t| self.free_in(t)).sum()
     }
 
     /// Raw DRAM contribution ceiling (lease-independent).
     pub fn mem_capacity_pages(&self) -> u64 {
-        self.mem_capacity_pages
+        self.tiers[0].capacity_pages
     }
 
     /// DRAM pages currently storing data.
     pub fn mem_used_pages(&self) -> u64 {
-        self.mem_used
+        self.ledger.used(0)
     }
 
     /// The current contribution lease, in pages (clamped to capacity).
@@ -114,32 +181,41 @@ impl VmdServer {
     }
 
     /// Resize the contribution lease (clamped to the raw capacity).
-    /// Returns the new effective lease. Shrinking below `mem_used` does
-    /// not evict anything by itself — the pool manager drains the excess
-    /// via [`VmdServer::reclaim_victims`] / [`VmdServer::demote_victims`].
+    /// Returns the new effective lease. Shrinking below the DRAM usage
+    /// does not evict anything by itself — the pool manager drains the
+    /// excess via [`VmdServer::reclaim_victims`] /
+    /// [`VmdServer::demote_victims`].
     pub fn set_lease(&mut self, pages: u64) -> u64 {
-        self.lease_pages = pages.min(self.mem_capacity_pages);
+        self.lease_pages = pages.min(self.tiers[0].capacity_pages);
         self.lease_pages
     }
 
     /// DRAM pages held beyond the current lease (reclaim backlog).
     pub fn over_lease_pages(&self) -> u64 {
-        self.mem_used.saturating_sub(self.effective_mem())
+        self.ledger.used(0).saturating_sub(self.effective_mem())
     }
 
-    /// Pages currently stored (both tiers).
+    /// Pages currently stored (all tiers).
     pub fn stored_pages(&self) -> u64 {
-        self.mem_used + self.disk_used
+        self.ledger.total()
     }
 
-    /// Pages stored on the disk tier.
+    /// Pages stored below the DRAM head tier (the legacy "disk" view:
+    /// with the default stack this is exactly the disk tier).
     pub fn disk_pages(&self) -> u64 {
-        self.disk_used
+        self.ledger.spill_used()
     }
 
     /// True if a write arriving now would have to spill (or fail).
     pub fn memory_full(&self) -> bool {
-        self.mem_used >= self.effective_mem()
+        self.ledger.used(0) >= self.effective_mem()
+    }
+
+    /// Consistency check: the ledger matches a recount of the store.
+    /// Cheap enough for tests and debug audits; not on any hot path.
+    pub fn ledger_consistent(&self) -> bool {
+        self.ledger.matches(self.store.values().map(|m| m.tier))
+            && self.ns_pages.values().sum::<u64>() == self.store.len() as u64
     }
 
     /// Build the periodic availability report.
@@ -147,6 +223,7 @@ impl VmdServer {
         ServerMsg::Availability {
             server: self.id,
             free_pages: self.free_pages(),
+            spill_free_pages: self.spill_free_pages(),
         }
     }
 
@@ -160,7 +237,7 @@ impl VmdServer {
         }
     }
 
-    /// Stored pages (both tiers) per namespace, sorted by namespace id.
+    /// Stored pages (all tiers) per namespace, sorted by namespace id.
     pub fn pages_per_namespace(&self) -> Vec<(NamespaceId, u64)> {
         let mut out: Vec<(NamespaceId, u64)> =
             self.ns_pages.iter().map(|(&ns, &n)| (ns, n)).collect();
@@ -187,22 +264,83 @@ impl VmdServer {
         }
     }
 
-    /// Up to `max` DRAM-tier victim slots in deterministic reclaim order:
-    /// coldest namespace first (least-recently-accessed; ties break to the
-    /// lower namespace id), slots ascending within a namespace.
+    /// The tier a hit page in tier `from` should be promoted into: the
+    /// *cheapest tier with headroom that is strictly cheaper* than `from`
+    /// — not "one level up". Equal-cost adjacent tiers therefore behave
+    /// exactly like one merged tier (the metamorphic property the tier
+    /// tests pin). `None` when no cheaper tier has room.
+    fn promote_target(&self, from: u8) -> Option<u8> {
+        let from_cost = self.tiers[from as usize].read_cost;
+        (0..from as usize)
+            .find(|&t| self.tiers[t].read_cost < from_cost && self.free_in(t) > 0)
+            .map(|t| t as u8)
+    }
+
+    /// The tier a new or demoted page should land in when tier `from` has
+    /// no headroom: the cheapest strictly-lower tier with room (index
+    /// order is cost order). `None` when the whole stack below is full.
+    fn spill_target(&self, from: u8) -> Option<u8> {
+        (from as usize + 1..self.tiers.len())
+            .find(|&t| self.free_in(t) > 0)
+            .map(|t| t as u8)
+    }
+
+    /// Whether the heat policy allows promoting this page now. With heat
+    /// disabled (legacy) every hit promotes, exactly as before.
+    fn heat_allows_promotion(&self, meta: &PageMeta) -> bool {
+        if !self.heat.enabled {
+            return true;
+        }
+        let age = (self.access_clock as u32).wrapping_sub(meta.last);
+        self.heat.decayed(meta.heat, age) >= self.heat.promote_min_heat
+    }
+
+    /// Apply one hit's heat update (no-op when the policy is disabled).
+    fn bump_heat(&self, meta: &mut PageMeta, clock: u64) {
+        if !self.heat.enabled {
+            return;
+        }
+        let age = (clock as u32).wrapping_sub(meta.last);
+        meta.heat = self.heat.bump(self.heat.decayed(meta.heat, age));
+        meta.last = clock as u32;
+    }
+
+    /// Up to `max` DRAM-tier victim slots in deterministic reclaim order.
+    /// Legacy policy: coldest namespace first (least-recently-accessed;
+    /// ties break to the lower namespace id), slots ascending within a
+    /// namespace. Heat policy: coldest page first by decayed heat, ties
+    /// by (namespace, slot).
     pub fn reclaim_victims(&self, max: usize) -> Vec<(NamespaceId, u32)> {
-        if max == 0 || self.mem_used == 0 {
+        if max == 0 || self.ledger.used(0) == 0 {
             return Vec::new();
         }
+        if self.heat.enabled {
+            let clock = self.access_clock as u32;
+            let mut pages: Vec<(u16, u32, u32)> = self
+                .store
+                .iter()
+                .filter(|(_, m)| m.tier == 0)
+                .map(|(&(ns, slot), m)| {
+                    let age = clock.wrapping_sub(m.last);
+                    (self.heat.decayed(m.heat, age), ns.0, slot)
+                })
+                .collect();
+            pages.sort_unstable();
+            pages.truncate(max);
+            return pages
+                .into_iter()
+                .map(|(_, ns, slot)| (NamespaceId(ns), slot))
+                .collect();
+        }
         let mut by_ns: HashMap<NamespaceId, Vec<u32>> = HashMap::new();
-        for (&(ns, slot), &(_, tier)) in &self.store {
-            if tier == Tier::Memory {
+        for (&(ns, slot), meta) in &self.store {
+            if meta.tier == 0 {
                 by_ns.entry(ns).or_default().push(slot);
             }
         }
         let mut order: Vec<NamespaceId> = by_ns.keys().copied().collect();
         order.sort_unstable_by_key(|ns| (self.ns_last_access.get(ns).copied().unwrap_or(0), ns.0));
-        let mut out = Vec::with_capacity(max.min(self.mem_used as usize));
+        let mut out = Vec::with_capacity(max.min(self.ledger.used(0) as usize));
         for ns in order {
             let mut slots = by_ns.remove(&ns).expect("grouped above");
             slots.sort_unstable();
@@ -217,52 +355,70 @@ impl VmdServer {
     }
 
     /// Demote up to `max` victim slots (same order as
-    /// [`VmdServer::reclaim_victims`]) from DRAM to the disk tier, bounded
-    /// by disk headroom. Returns the demoted slots.
+    /// [`VmdServer::reclaim_victims`]) from DRAM down the stack — each
+    /// victim lands in the cheapest lower tier with headroom — bounded by
+    /// total lower-tier headroom. Returns the demoted slots.
     pub fn demote_victims(&mut self, max: usize) -> Vec<(NamespaceId, u32)> {
-        let room = self.disk_capacity_pages.saturating_sub(self.disk_used);
+        let room: u64 = (1..self.tiers.len()).map(|t| self.free_in(t)).sum();
         let victims = self.reclaim_victims(max.min(room as usize));
         for &(ns, slot) in &victims {
+            let dest = self.spill_target(0).expect("bounded by headroom above");
             let entry = self.store.get_mut(&(ns, slot)).expect("victim exists");
-            entry.1 = Tier::Disk;
-            self.mem_used -= 1;
-            self.disk_used += 1;
+            entry.tier = dest;
+            self.ledger.transfer(0, dest as usize);
         }
         victims
+    }
+
+    /// Nominal per-page cost of demoting one more victim locally (the
+    /// read cost of the tier the next victim would land in). `None` when
+    /// every lower tier is full. The pool manager weighs this against the
+    /// cost of relocating to another server's DRAM.
+    pub fn best_demotion_cost(&self) -> Option<agile_sim_core::SimDuration> {
+        self.spill_target(0)
+            .map(|t| self.tiers[t as usize].read_cost)
     }
 
     /// Handle one client message. Returns the reply (and which tier did
     /// the work). A read of a never-written slot — which happens when this
     /// server crashed, lost its store, and rejoined — is answered with a
     /// [`ServerMsg::Nak`] so the client can fail over to another replica;
-    /// same for a write that exceeds both tiers.
+    /// same for a write that exceeds every tier.
     pub fn handle(&mut self, msg: ClientMsg) -> ServerReply {
         match msg {
             ClientMsg::ReadReq { ns, slot, req, .. } => {
-                let Some(&(version, tier)) = self.store.get(&(ns, slot)) else {
+                let Some(meta) = self.store.get(&(ns, slot)).copied() else {
                     return ServerReply {
                         msg: Some(ServerMsg::Nak {
                             req,
                             err: VmdError::UnwrittenSlot { ns, slot },
                             free_pages: self.free_pages(),
+                            spill_free_pages: self.spill_free_pages(),
                         }),
-                        tier: Tier::Memory,
+                        tier: 0,
                     };
                 };
                 self.touch(ns);
-                // A read hit on the disk tier promotes the page back to
-                // DRAM when the lease has headroom (demotion without
-                // promotion wrecks repeat-access latency). This read still
-                // pays the disk time — the reply reports `Tier::Disk`.
-                if tier == Tier::Disk && self.mem_used < self.effective_mem() {
-                    self.store.insert((ns, slot), (version, Tier::Memory));
-                    self.disk_used -= 1;
-                    self.mem_used += 1;
+                let tier = meta.tier;
+                let mut updated = meta;
+                self.bump_heat(&mut updated, self.access_clock);
+                // A read hit below the head tier promotes the page to the
+                // cheapest strictly-cheaper tier with headroom (demotion
+                // without promotion wrecks repeat-access latency; the heat
+                // policy, when enabled, gates this on decayed heat). The
+                // promoting read still pays the serving tier's time — the
+                // reply reports the original tier.
+                if tier > 0 && self.heat_allows_promotion(&updated) {
+                    if let Some(up) = self.promote_target(tier) {
+                        updated.tier = up;
+                        self.ledger.transfer(tier as usize, up as usize);
+                    }
                 }
+                self.store.insert((ns, slot), updated);
                 ServerReply {
                     msg: Some(ServerMsg::ReadResp {
                         req,
-                        version,
+                        version: meta.version,
                         free_pages: self.free_pages(),
                     }),
                     tier,
@@ -275,42 +431,65 @@ impl VmdServer {
                 req,
                 ..
             } => {
-                let tier = match self.store.get(&(ns, slot)) {
-                    // Overwrite in place — but a slot stranded on the disk
-                    // tier while memory was full is promoted to DRAM as
-                    // soon as the lease has headroom again.
-                    Some((_, Tier::Disk)) if self.mem_used < self.effective_mem() => {
-                        self.disk_used -= 1;
-                        self.mem_used += 1;
-                        Tier::Memory
+                let prior = self.store.get(&(ns, slot)).copied();
+                let tier = match prior {
+                    // Overwrite in place — but a slot stranded below the
+                    // head tier while memory was full is promoted as soon
+                    // as a cheaper tier has headroom again.
+                    Some(meta) => {
+                        let mut t = meta.tier;
+                        if t > 0 && self.heat_allows_promotion(&meta) {
+                            if let Some(up) = self.promote_target(t) {
+                                self.ledger.transfer(t as usize, up as usize);
+                                t = up;
+                            }
+                        }
+                        t
                     }
-                    Some((_, t)) => *t,
                     None => {
-                        if self.mem_used < self.effective_mem() {
-                            self.mem_used += 1;
-                            self.note_insert(ns);
-                            Tier::Memory
-                        } else if self.disk_used < self.disk_capacity_pages {
-                            self.disk_used += 1;
-                            self.note_insert(ns);
-                            Tier::Disk
+                        // New write: head tier first, else spill down the
+                        // stack to the cheapest tier with headroom.
+                        let dest = if self.free_in(0) > 0 {
+                            Some(0u8)
                         } else {
-                            // Leased DRAM and disk both full (stale
-                            // availability view at the client): refuse so
-                            // the client re-places.
-                            return ServerReply {
-                                msg: Some(ServerMsg::Nak {
-                                    req,
-                                    err: VmdError::OutOfCapacity { ns, slot },
-                                    free_pages: 0,
-                                }),
-                                tier: Tier::Memory,
-                            };
+                            self.spill_target(0)
+                        };
+                        match dest {
+                            Some(t) => {
+                                self.ledger.add(t as usize);
+                                self.note_insert(ns);
+                                t
+                            }
+                            None => {
+                                // Every tier full (stale availability view
+                                // at the client): refuse so the client
+                                // re-places.
+                                return ServerReply {
+                                    msg: Some(ServerMsg::Nak {
+                                        req,
+                                        err: VmdError::OutOfCapacity { ns, slot },
+                                        free_pages: 0,
+                                        spill_free_pages: 0,
+                                    }),
+                                    tier: 0,
+                                };
+                            }
                         }
                     }
                 };
                 self.touch(ns);
-                self.store.insert((ns, slot), (version, tier));
+                let mut meta = PageMeta {
+                    version,
+                    tier,
+                    heat: prior.map(|m| m.heat).unwrap_or(0),
+                    last: prior.map(|m| m.last).unwrap_or(self.access_clock as u32),
+                };
+                // Only overwrite *hits* accrue heat; the initial store of a
+                // page says nothing about its future access rate.
+                if prior.is_some() {
+                    self.bump_heat(&mut meta, self.access_clock);
+                }
+                self.store.insert((ns, slot), meta);
                 ServerReply {
                     msg: Some(ServerMsg::WriteAck {
                         req,
@@ -320,15 +499,12 @@ impl VmdServer {
                 }
             }
             ClientMsg::Free { ns, slot } => {
-                let tier = if let Some((_, t)) = self.store.remove(&(ns, slot)) {
-                    match t {
-                        Tier::Memory => self.mem_used -= 1,
-                        Tier::Disk => self.disk_used -= 1,
-                    }
+                let tier = if let Some(meta) = self.store.remove(&(ns, slot)) {
+                    self.ledger.remove(meta.tier as usize);
                     self.note_remove(ns);
-                    t
+                    meta.tier
                 } else {
-                    Tier::Memory
+                    0
                 };
                 ServerReply { msg: None, tier }
             }
@@ -341,8 +517,7 @@ impl VmdServer {
     pub fn crash_reset(&mut self) -> u64 {
         let lost = self.stored_pages();
         self.store.clear();
-        self.mem_used = 0;
-        self.disk_used = 0;
+        self.ledger.clear();
         self.ns_last_access.clear();
         self.ns_pages.clear();
         lost
@@ -352,12 +527,10 @@ impl VmdServer {
     /// Returns the number of pages released.
     pub fn purge_namespace(&mut self, ns: NamespaceId) -> u64 {
         let before = self.stored_pages();
-        self.store.retain(|(n, _), (_, tier)| {
+        let ledger = &mut self.ledger;
+        self.store.retain(|(n, _), meta| {
             if *n == ns {
-                match tier {
-                    Tier::Memory => self.mem_used -= 1,
-                    Tier::Disk => self.disk_used -= 1,
-                }
+                ledger.remove(meta.tier as usize);
                 false
             } else {
                 true
@@ -373,6 +546,8 @@ impl VmdServer {
 mod tests {
     use super::*;
     use crate::proto::ClientId;
+    use crate::tier::TierSpec;
+    use agile_sim_core::SimDuration;
 
     fn write(ns: u32, slot: u32, version: u32, req: u64) -> ClientMsg {
         ClientMsg::WriteReq {
@@ -387,10 +562,37 @@ mod tests {
     fn read(ns: u32, slot: u32, req: u64) -> ClientMsg {
         ClientMsg::ReadReq {
             from: ClientId(0),
-            ns: NamespaceId(ns),
+            ns: NamespaceId(1),
             slot,
             req,
         }
+        .retag(ns)
+    }
+
+    // Helper so the `read` constructor above stays one expression.
+    trait Retag {
+        fn retag(self, ns: u32) -> Self;
+    }
+    impl Retag for ClientMsg {
+        fn retag(mut self, new_ns: u32) -> Self {
+            if let ClientMsg::ReadReq { ref mut ns, .. } = self {
+                *ns = NamespaceId(new_ns);
+            }
+            self
+        }
+    }
+
+    /// A three-tier stack: 2 DRAM pages, 2 far-memory pages, 4 SSD pages.
+    fn tiered_server() -> VmdServer {
+        let stack = TierStackConfig::new(
+            &[
+                TierSpec::dram(),
+                TierSpec::far_memory(2, SimDuration::from_micros(2), u64::MAX, 4096),
+                TierSpec::host_ssd(),
+            ],
+            HeatPolicy::default(),
+        );
+        VmdServer::with_tiers(ServerId(0), stack.resolve(2, 4), HeatPolicy::default())
     }
 
     #[test]
@@ -451,13 +653,13 @@ mod tests {
     #[test]
     fn spills_to_disk_when_memory_full() {
         let mut s = VmdServer::new(ServerId(0), 1, 4);
-        assert_eq!(s.handle(write(1, 0, 1, 1)).tier, Tier::Memory);
-        assert_eq!(s.handle(write(1, 1, 1, 2)).tier, Tier::Disk);
+        assert_eq!(s.handle(write(1, 0, 1, 1)).tier, 0);
+        assert_eq!(s.handle(write(1, 1, 1, 2)).tier, 1);
         assert!(s.memory_full());
         assert_eq!(s.disk_pages(), 1);
         // Reads report the tier so the executor can charge device time.
-        assert_eq!(s.handle(read(1, 1, 3)).tier, Tier::Disk);
-        assert_eq!(s.handle(read(1, 0, 4)).tier, Tier::Memory);
+        assert_eq!(s.handle(read(1, 1, 3)).tier, 1);
+        assert_eq!(s.handle(read(1, 0, 4)).tier, 0);
     }
 
     #[test]
@@ -486,6 +688,7 @@ mod tests {
             vec![(NamespaceId(2), 1)],
             "per-namespace accounting follows the purge"
         );
+        assert!(s.ledger_consistent());
     }
 
     #[test]
@@ -501,6 +704,7 @@ mod tests {
                     slot: 99,
                 },
                 free_pages: 10,
+                spill_free_pages: 0,
             })
         );
     }
@@ -544,7 +748,23 @@ mod tests {
             s.availability(),
             ServerMsg::Availability {
                 server: ServerId(3),
-                free_pages: 4
+                free_pages: 4,
+                spill_free_pages: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn availability_reports_spill_headroom() {
+        let mut s = VmdServer::new(ServerId(3), 1, 3);
+        s.handle(write(1, 0, 1, 1));
+        s.handle(write(1, 1, 1, 2)); // spills
+        assert_eq!(
+            s.availability(),
+            ServerMsg::Availability {
+                server: ServerId(3),
+                free_pages: 0,
+                spill_free_pages: 2,
             }
         );
     }
@@ -552,18 +772,18 @@ mod tests {
     #[test]
     fn overwrite_promotes_stranded_disk_page() {
         // Regression: a slot written while memory was full used to stay on
-        // Tier::Disk forever, even after DRAM freed up.
+        // the disk tier forever, even after DRAM freed up.
         let mut s = VmdServer::new(ServerId(0), 1, 4);
         s.handle(write(1, 0, 1, 1)); // fills DRAM
-        assert_eq!(s.handle(write(1, 1, 1, 2)).tier, Tier::Disk);
+        assert_eq!(s.handle(write(1, 1, 1, 2)).tier, 1);
         s.handle(ClientMsg::Free {
             ns: NamespaceId(1),
             slot: 0,
         });
         // Overwrite with DRAM headroom: the page moves up.
-        assert_eq!(s.handle(write(1, 1, 2, 3)).tier, Tier::Memory);
+        assert_eq!(s.handle(write(1, 1, 2, 3)).tier, 0);
         assert_eq!(s.disk_pages(), 0);
-        assert_eq!(s.handle(read(1, 1, 4)).tier, Tier::Memory);
+        assert_eq!(s.handle(read(1, 1, 4)).tier, 0);
     }
 
     #[test]
@@ -576,10 +796,10 @@ mod tests {
             slot: 0,
         });
         // The promoting read itself still pays the disk time…
-        assert_eq!(s.handle(read(1, 1, 3)).tier, Tier::Disk);
+        assert_eq!(s.handle(read(1, 1, 3)).tier, 1);
         // …but the page now lives in DRAM.
         assert_eq!(s.disk_pages(), 0);
-        assert_eq!(s.handle(read(1, 1, 4)).tier, Tier::Memory);
+        assert_eq!(s.handle(read(1, 1, 4)).tier, 0);
     }
 
     #[test]
@@ -595,7 +815,8 @@ mod tests {
             s.availability(),
             ServerMsg::Availability {
                 server: ServerId(0),
-                free_pages: 3
+                free_pages: 3,
+                spill_free_pages: 0,
             }
         );
         // The lease clamps to the raw capacity.
@@ -606,7 +827,7 @@ mod tests {
     fn shrunk_lease_rejects_new_writes() {
         let mut s = VmdServer::new(ServerId(0), 10, 0);
         s.set_lease(1);
-        assert_eq!(s.handle(write(1, 0, 1, 1)).tier, Tier::Memory);
+        assert_eq!(s.handle(write(1, 0, 1, 1)).tier, 0);
         // Raw capacity has room, the lease does not: NAK, not store.
         assert!(matches!(
             s.handle(write(1, 1, 1, 2)).msg,
@@ -681,5 +902,129 @@ mod tests {
                 free_pages: 3,
             }
         );
+    }
+
+    // ----------------------- tier-stack behavior -----------------------
+
+    #[test]
+    fn writes_spill_down_the_stack_in_cost_order() {
+        let mut s = tiered_server();
+        assert_eq!(s.handle(write(1, 0, 1, 1)).tier, 0);
+        assert_eq!(s.handle(write(1, 1, 1, 2)).tier, 0);
+        // DRAM full → far memory (cheapest spill tier) first…
+        assert_eq!(s.handle(write(1, 2, 1, 3)).tier, 1);
+        assert_eq!(s.handle(write(1, 3, 1, 4)).tier, 1);
+        // …then SSD once far memory is full.
+        assert_eq!(s.handle(write(1, 4, 1, 5)).tier, 2);
+        assert_eq!(s.tier_used_pages(0), 2);
+        assert_eq!(s.tier_used_pages(1), 2);
+        assert_eq!(s.tier_used_pages(2), 1);
+        assert_eq!(s.spill_free_pages(), 3);
+        assert!(s.ledger_consistent());
+    }
+
+    #[test]
+    fn promotion_targets_cheapest_cheaper_tier_not_one_level_up() {
+        let mut s = tiered_server();
+        for slot in 0..5 {
+            s.handle(write(1, slot, 1, u64::from(slot)));
+        }
+        // Slot 4 sits on SSD (tier 2). Free a DRAM page: the next hit on
+        // slot 4 must promote straight to DRAM (tier 0), skipping the full
+        // far-memory tier.
+        s.handle(ClientMsg::Free {
+            ns: NamespaceId(1),
+            slot: 0,
+        });
+        assert_eq!(s.handle(read(1, 4, 10)).tier, 2, "read pays SSD time");
+        assert_eq!(s.handle(read(1, 4, 11)).tier, 0, "page now in DRAM");
+        assert!(s.ledger_consistent());
+    }
+
+    #[test]
+    fn heat_policy_gates_promotion_until_threshold() {
+        let stack = TierStackConfig::new(
+            &[
+                TierSpec::dram(),
+                TierSpec::far_memory(4, SimDuration::from_micros(2), u64::MAX, 4096),
+            ],
+            HeatPolicy::heat_driven(),
+        );
+        let mut s = VmdServer::with_tiers(ServerId(0), stack.resolve(1, 0), stack.heat);
+        s.handle(write(1, 0, 1, 1)); // DRAM
+        s.handle(write(1, 1, 1, 2)); // far memory
+        s.handle(ClientMsg::Free {
+            ns: NamespaceId(1),
+            slot: 0,
+        });
+        // First hit: heat 16 < 24 — stays put despite DRAM headroom.
+        assert_eq!(s.handle(read(1, 1, 3)).tier, 1);
+        assert_eq!(s.handle(read(1, 1, 4)).tier, 1, "second hit crosses 24");
+        // Heat reached 28 on that hit → promoted; third hit served from DRAM.
+        assert_eq!(s.handle(read(1, 1, 5)).tier, 0);
+        assert!(s.ledger_consistent());
+    }
+
+    #[test]
+    fn heat_reclaim_orders_coldest_pages_first() {
+        let stack = TierStackConfig::new(
+            &[TierSpec::dram(), TierSpec::host_ssd()],
+            HeatPolicy::heat_driven(),
+        );
+        let mut s = VmdServer::with_tiers(ServerId(0), stack.resolve(10, 10), stack.heat);
+        for slot in 0..3 {
+            s.handle(write(1, slot, 1, u64::from(slot)));
+        }
+        // Heat up slot 1 hard, slot 2 a little.
+        for req in 10..15 {
+            s.handle(read(1, 1, req));
+        }
+        s.handle(read(1, 2, 20));
+        let victims = s.reclaim_victims(3);
+        assert_eq!(victims[0], (NamespaceId(1), 0), "never-read page coldest");
+        assert_eq!(victims[2], (NamespaceId(1), 1), "hottest page last");
+    }
+
+    #[test]
+    fn best_demotion_cost_tracks_next_spill_tier() {
+        let mut s = tiered_server();
+        let far_cost = s.tiers[1].read_cost;
+        assert_eq!(s.best_demotion_cost(), Some(far_cost));
+        for slot in 0..4 {
+            s.handle(write(1, slot, 1, u64::from(slot)));
+        }
+        // Far memory full → next demotion lands on SSD.
+        assert_eq!(s.best_demotion_cost(), Some(crate::tier::NOMINAL_SSD_READ));
+    }
+
+    /// Satellite-1 regression: a purge racing a demotion pipeline must
+    /// leave the ledger consistent with the store — the historical raw
+    /// counters could drift (and wrap) because each path adjusted them
+    /// independently.
+    #[test]
+    fn purge_racing_demotion_keeps_ledger_consistent() {
+        let mut s = VmdServer::new(ServerId(0), 4, 4);
+        for slot in 0..4 {
+            s.handle(write(1, slot, 1, u64::from(slot)));
+        }
+        s.handle(write(2, 0, 1, 10));
+        s.set_lease(1);
+        let demoted = s.demote_victims(8);
+        assert!(!demoted.is_empty());
+        // Purge the namespace mid-pipeline, then replay the stale frees a
+        // crashed client might still emit for already-purged slots.
+        s.purge_namespace(NamespaceId(1));
+        assert!(s.ledger_consistent());
+        for slot in 0..4 {
+            s.handle(ClientMsg::Free {
+                ns: NamespaceId(1),
+                slot,
+            });
+        }
+        assert!(s.ledger_consistent(), "stale frees must not underflow");
+        assert_eq!(s.stored_pages(), 1);
+        assert_eq!(s.pages_per_namespace(), vec![(NamespaceId(2), 1)]);
+        s.crash_reset();
+        assert!(s.ledger_consistent());
     }
 }

@@ -106,6 +106,39 @@ fn chaos_runs_are_deterministic() {
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
 }
 
+/// A four-deep heat-driven stack whose tiny DRAM head keeps demotions
+/// streaming across tier boundaries for the whole run. The crash lands
+/// mid-migration — interrupting in-flight demotions at tier boundaries —
+/// and must lose nothing with `k = 2`: the in-run content check is
+/// armed, `chaos::run` asserts every server's tier ledger still
+/// reconciles after recovery, and the report is deterministic.
+#[test]
+fn vmd_crash_mid_demotion_on_tiered_stack_loses_nothing() {
+    use agile::vmd::{HeatPolicy, TierCapacity, TierSpec, TierStackConfig};
+    let mut dram = TierSpec::dram();
+    dram.capacity = TierCapacity::Pages(1024);
+    let mut zswap = TierSpec::zswap(
+        1,
+        4,
+        SimDuration::from_micros(3),
+        SimDuration::from_micros(5),
+    );
+    zswap.capacity = TierCapacity::Pages(2048);
+    let mut ssd = TierSpec::host_ssd();
+    ssd.capacity = TierCapacity::Pages(1 << 20);
+    let tiers = TierStackConfig::new(&[dram, zswap, ssd], HeatPolicy::heat_driven());
+
+    let tiered = ChaosScenarioConfig { tiers, ..cfg(2) };
+    let r = chaos::run(&tiered);
+    assert!(r.finished, "migration did not complete: {r:?}");
+    assert_eq!(r.slots_lost, 0, "replicated slots lost: {r:?}");
+    assert_eq!(r.lost_reads, 0, "reads served stale data: {r:?}");
+    assert_eq!(r.pages_lost_on_conn_drop, 0, "{r:?}");
+    assert!(r.slots_repaired > 0, "nothing re-replicated: {r:?}");
+    let again = chaos::run(&ChaosScenarioConfig { tiers, ..cfg(2) });
+    assert_eq!(format!("{r:?}"), format!("{again:?}"));
+}
+
 /// A generated schedule is itself deterministic in the seed, and distinct
 /// fault streams move independently.
 #[test]

@@ -172,3 +172,68 @@ fn reclaim_racing_server_crash_loses_nothing() {
     assert_eq!(r.report, again.report);
     assert_eq!(r.trace_jsonl, again.trace_jsonl);
 }
+
+/// Cost-aware reclaim: with a heat-driven stack whose spill tier is far
+/// cheaper than a network round trip (CXL-like far memory at ~2 µs vs a
+/// ~170 µs relocation), the reclaim pump must demote locally even though
+/// remote headroom exists — and still lose nothing, deterministically.
+/// The legacy stack under the identical ramp relocates instead.
+#[test]
+fn cheap_spill_tier_flips_reclaim_from_relocate_to_demote() {
+    use agile::sim::SimDuration;
+    use agile::vmd::{HeatPolicy, TierSpec, TierStackConfig};
+    let legacy = pressure::run(&PressureConfig {
+        rebalance: false,
+        ..cfg(42)
+    });
+    assert!(legacy.converged);
+    assert!(
+        legacy.counters.pages_relocated > 0,
+        "legacy ramp did not relocate:\n{}",
+        legacy.report
+    );
+
+    let far = TierSpec::far_memory(1 << 22, SimDuration::from_micros(2), 16 << 30, 4096);
+    let tiers = TierStackConfig::new(&[TierSpec::dram(), far], HeatPolicy::heat_driven());
+    let tiered = pressure::run(&PressureConfig {
+        rebalance: false,
+        tiers,
+        ..cfg(42)
+    });
+    assert!(
+        tiered.converged,
+        "tiered pool never quiesced:\n{}",
+        tiered.report
+    );
+    assert_eq!(tiered.lost_placements, 0, "{}", tiered.report);
+    assert_eq!(
+        tiered.directory_replicas, tiered.stored_pages,
+        "directory and stores disagree:\n{}",
+        tiered.report
+    );
+    assert!(
+        tiered.counters.pages_demoted > legacy.counters.pages_demoted,
+        "cheap spill tier did not shift reclaim toward demotion: \
+         tiered demoted={} relocated={}, legacy demoted={} relocated={}\n{}",
+        tiered.counters.pages_demoted,
+        tiered.counters.pages_relocated,
+        legacy.counters.pages_demoted,
+        legacy.counters.pages_relocated,
+        tiered.report
+    );
+    assert!(
+        tiered.counters.pages_relocated < legacy.counters.pages_relocated,
+        "demote-first reclaim should need fewer relocations: {} vs {}\n{}",
+        tiered.counters.pages_relocated,
+        legacy.counters.pages_relocated,
+        tiered.report
+    );
+    // Determinism holds for tiered stacks too.
+    let again = pressure::run(&PressureConfig {
+        rebalance: false,
+        tiers,
+        ..cfg(42)
+    });
+    assert_eq!(tiered.report, again.report);
+    assert_eq!(tiered.trace_jsonl, again.trace_jsonl);
+}
