@@ -69,6 +69,12 @@ pub struct ClusterConfig {
     pub pml_headroom_num: u64,
     /// PML reservation headroom denominator.
     pub pml_headroom_den: u64,
+    /// Serialize reads served by `Fixed`-backed spill tiers (zswap/CXL-like
+    /// far memory) through a per-(server, tier) queue: a second concurrent
+    /// read waits for the first to finish instead of overlapping for free.
+    /// Off by default — the legacy unqueued model replays all historical
+    /// traces byte-identically.
+    pub vmd_fixed_tier_queueing: bool,
     /// Master seed for all RNG streams.
     pub seed: u64,
 }
@@ -93,6 +99,7 @@ impl Default for ClusterConfig {
             pml_window: 3,
             pml_headroom_num: 5,
             pml_headroom_den: 4,
+            vmd_fixed_tier_queueing: false,
             seed: 42,
         }
     }

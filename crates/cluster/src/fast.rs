@@ -14,7 +14,7 @@
 use agile_sim_core::{FastEvent, Simulation};
 
 use crate::world::World;
-use crate::{chaosctl, guest, netdrv, poolctl, sched, vmdio, wlctl, wssctl};
+use crate::{chaosctl, clonectl, guest, netdrv, poolctl, sched, vmdio, wlctl, wssctl};
 
 /// `Timer.kind`: advance op `a` (generation `b`) — a parked op waking.
 pub const K_STEP_OP: u32 = 0;
@@ -36,6 +36,10 @@ pub const K_SCHED_TICK: u32 = 7;
 pub const K_POOL_TICK: u32 = 8;
 /// `Timer.kind`: one temporal-workload-driver tick (signal polling).
 pub const K_WORKLOAD_TICK: u32 = 9;
+/// `Timer.kind`: one elastic-clone-controller tick (seal / spawn / reap).
+pub const K_CLONE_TICK: u32 = 10;
+/// `Timer.kind`: one paced hydration pump step for clone `a`.
+pub const K_CLONE_HYDRATE: u32 = 11;
 
 /// Route one fast event to its handler. Installed via
 /// [`Simulation::set_fast_handler`].
@@ -54,6 +58,8 @@ pub fn dispatch(sim: &mut Simulation<World>, ev: FastEvent) {
             K_SCHED_TICK => sched::tick(sim),
             K_POOL_TICK => poolctl::tick(sim),
             K_WORKLOAD_TICK => wlctl::tick(sim),
+            K_CLONE_TICK => clonectl::tick(sim),
+            K_CLONE_HYDRATE => clonectl::hydrate_tick(sim, a as usize),
             other => panic!("unknown fast timer kind {other}"),
         },
     }

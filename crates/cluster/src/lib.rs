@@ -21,11 +21,14 @@
 //!   placement, ping-pong guard, admission control.
 //! * [`poolctl`] — the elastic pool manager: contribution leases sized
 //!   from donor-host demand, paced reclaim, skew-aware rebalancing.
+//! * [`clonectl`] — rapid scale-out: copy-on-write namespace forks and
+//!   memory-streaming VM cloning off a sealed gold image.
 //! * [`scenario`] — ready-made reproductions of Figures 4–10 and
 //!   Tables I–III.
 
 pub mod build;
 pub mod chaosctl;
+pub mod clonectl;
 pub mod config;
 pub mod fast;
 pub mod guest;

@@ -322,7 +322,9 @@ fn reclaim(sim: &mut Simulation<World>) {
                 let skip = {
                     let w = sim.state();
                     let p = w.pool.as_ref().expect("pool armed");
-                    p.moves.contains_key(&(ns, slot)) || namespace_migrating(w, ns)
+                    p.moves.contains_key(&(ns, slot))
+                        || namespace_migrating(w, ns)
+                        || namespace_forked(w, ns)
                 };
                 if skip {
                     continue;
@@ -438,6 +440,7 @@ fn rebalance(sim: &mut Simulation<World>) {
             // and relocating a migrating VM's namespace is unsafe (its
             // driving client is about to move hosts).
             namespace_migrating(w, ns)
+                || namespace_forked(w, ns)
                 || w.vmd.directory.borrow().replicas(ns, slot).contains(sid_to)
         };
         if skip {
@@ -581,6 +584,19 @@ pub fn reclaim_backlog(w: &World) -> bool {
         .servers
         .iter()
         .any(|e| e.alive && e.server.over_lease_pages() > 0)
+}
+
+/// The namespace participates in a fork (sealed master or live clone):
+/// its placements carry refcounted shares whose retention rules relocation
+/// must not second-guess, so the pump pins them in place. Shared master
+/// pages are already excluded server-side (`reclaim_victims` skips pages
+/// with a nonzero fork refcount); this guard also covers clone overlays
+/// and owner-freed placements. Forks exist only when the clone controller
+/// ran, so legacy pool runs never take this branch's directory borrow
+/// beyond two cheap map lookups.
+fn namespace_forked(w: &World, ns: NamespaceId) -> bool {
+    let dir = w.vmd.directory.borrow();
+    dir.is_sealed(ns) || dir.parent_of(ns).is_some()
 }
 
 /// The namespace belongs to a VM whose migration is still in flight: its

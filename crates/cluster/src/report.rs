@@ -159,6 +159,14 @@ pub fn metrics_registry(world: &World) -> agile_trace::MetricsRegistry {
         reg.set_counter("wl.ticks", wl.counters.ticks);
         reg.set_counter("wl.actions", wl.counters.actions);
     }
+    if let Some(c) = &world.clone {
+        reg.set_counter("clone.forks", c.counters.forks);
+        reg.set_counter("clone.spawned", c.counters.spawned);
+        reg.set_counter("clone.ready", c.counters.ready);
+        reg.set_counter("clone.torn_down", c.counters.torn_down);
+        reg.set_counter("clone.cow_breaks", c.counters.cow_breaks);
+        reg.set_counter("clone.hydrated_pages", c.counters.hydrated_pages);
+    }
     if let Some(p) = &world.pool {
         reg.set_counter("pool.leases_shrunk", p.counters.leases_shrunk);
         reg.set_counter("pool.leases_grown", p.counters.leases_grown);

@@ -19,6 +19,7 @@ pub mod diurnal;
 pub mod estimators;
 pub mod multihost;
 pub mod pressure;
+pub mod scaleout;
 pub mod single_vm;
 pub mod sysbench;
 pub mod tiers;

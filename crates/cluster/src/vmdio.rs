@@ -13,6 +13,28 @@ use crate::{guest, migrate};
 pub fn flush_client(sim: &mut Simulation<World>, client_idx: usize) {
     let now = sim.now();
     let page_size = sim.state().cfg.page_size;
+    // Copy-on-write breaks queued by the sans-IO client: trace them and
+    // feed the clone controller's counter. One empty-queue branch on the
+    // hot path; nonempty only after a namespace fork.
+    if sim.state().vmd.clients[client_idx]
+        .client
+        .borrow()
+        .has_cow_breaks()
+    {
+        let breaks: Vec<(agile_vmd::NamespaceId, u32)> = sim.state().vmd.clients[client_idx]
+            .client
+            .borrow_mut()
+            .drain_cow_breaks()
+            .collect();
+        let w = sim.state_mut();
+        if let Some(c) = w.clone.as_mut() {
+            c.counters.cow_breaks += breaks.len() as u64;
+        }
+        for (ns, slot) in breaks {
+            w.trace
+                .record(now, agile_trace::TraceEvent::CowBreak { ns: ns.0, slot });
+        }
+    }
     loop {
         let batch: Vec<(ServerId, ClientMsg)> = {
             let w = sim.state_mut();
@@ -91,7 +113,25 @@ pub fn on_server_recv(
                 }
             }
             TierBacking::Fixed { read, write } => match msg {
-                ClientMsg::ReadReq { .. } => now + read,
+                ClientMsg::ReadReq { .. } => {
+                    if sim.state().cfg.vmd_fixed_tier_queueing {
+                        // Far-memory/CXL-like tiers have one transfer
+                        // engine, not infinite parallelism: serialize
+                        // concurrent reads through a per-(server, tier)
+                        // busy-until horizon.
+                        let w = sim.state_mut();
+                        let busy = w
+                            .fixed_tier_busy
+                            .entry((server_idx, tier))
+                            .or_insert(agile_sim_core::SimTime::ZERO);
+                        let start = if *busy > now { *busy } else { now };
+                        let done = start + read;
+                        *busy = done;
+                        done
+                    } else {
+                        now + read
+                    }
+                }
                 _ => now + write,
             },
         };
@@ -296,6 +336,7 @@ pub fn resolve_swap_completion(sim: &mut Simulation<World>, req: u64) {
             migrate::complete_migration_swapin(sim, mig, batch, pfn)
         }
         SwapReqCtx::EvictionWrite => {}
+        SwapReqCtx::CloneHydrate { vm, pfn } => crate::clonectl::complete_hydrate(sim, vm, pfn),
     }
 }
 

@@ -377,6 +377,14 @@ pub enum SwapReqCtx {
     },
     /// An eviction write-back; nothing to do on completion.
     EvictionWrite,
+    /// One page of a clone's background hydration stream (the clone
+    /// controller's paced pump reading the forked gold image).
+    CloneHydrate {
+        /// VM index of the clone.
+        vm: usize,
+        /// Page being hydrated.
+        pfn: u32,
+    },
 }
 
 /// A VMD endpoint (client or server) placement.
@@ -495,6 +503,15 @@ pub struct World {
     /// `None` costs nothing; a driver whose signals are all constant
     /// installs zero events.
     pub wldrv: Option<crate::wlctl::WlExec>,
+    /// Elastic clone controller, if armed
+    /// ([`crate::clonectl::arm_cloning`]). `None` costs nothing: no fork
+    /// is ever issued and legacy traces replay byte-identically.
+    pub clone: Option<crate::clonectl::CloneExec>,
+    /// Busy-until horizon per `(server, tier)` for `Fixed`-backed tier
+    /// reads, used only when
+    /// [`ClusterConfig::vmd_fixed_tier_queueing`](crate::config::ClusterConfig::vmd_fixed_tier_queueing)
+    /// is set. Empty (and never touched) under the legacy unqueued model.
+    pub fixed_tier_busy: HashMap<(usize, u8), agile_sim_core::SimTime>,
     /// Simulated-time trace sink. Disabled by default: `record` is an
     /// inlined early-return and the sink owns no buffer, so untraced
     /// runs pay nothing on the event hot paths.
@@ -537,6 +554,8 @@ impl World {
             sched: None,
             pool: None,
             wldrv: None,
+            clone: None,
+            fixed_tier_busy: HashMap::new(),
             trace: agile_trace::Tracer::disabled(),
             wss_counters: WssCounters::default(),
             fault_hist: None,

@@ -327,6 +327,46 @@ pub enum TraceEvent {
         /// (the naive fallback).
         clamped: bool,
     },
+    /// A VMD namespace was forked: `clone` now shares `master`'s pages
+    /// read-only (copy-on-write scale-out, §IV extension).
+    NsFork {
+        /// The sealed master namespace.
+        master: u32,
+        /// The new clone namespace.
+        clone: u32,
+    },
+    /// A clone's first write to a shared page broke the share: the clone
+    /// dropped its reference and wrote a private overlay copy.
+    CowBreak {
+        /// The clone namespace whose write broke the share.
+        ns: u32,
+        /// Slot within the namespace.
+        slot: u32,
+    },
+    /// The clone controller spawned a VM from a forked namespace.
+    CloneSpawn {
+        /// Clone index within the controller.
+        clone: u32,
+        /// VM slot index of the spawned clone.
+        vm: u32,
+        /// Destination host index.
+        host: u32,
+    },
+    /// A spawned clone served its first request (time-to-ready).
+    CloneReady {
+        /// Clone index within the controller.
+        clone: u32,
+        /// VM slot index.
+        vm: u32,
+    },
+    /// The clone controller tore a clone down (trough): its namespace was
+    /// purged and every shared-page reference dropped.
+    CloneTeardown {
+        /// Clone index within the controller.
+        clone: u32,
+        /// VM slot index.
+        vm: u32,
+    },
 }
 
 impl TraceEvent {
@@ -353,6 +393,11 @@ impl TraceEvent {
             TraceEvent::PoolRebalance { .. } => "pool_rebalance",
             TraceEvent::SchedDecision { .. } => "sched_decision",
             TraceEvent::SchedDefer { .. } => "sched_defer",
+            TraceEvent::NsFork { .. } => "ns_fork",
+            TraceEvent::CowBreak { .. } => "cow_break",
+            TraceEvent::CloneSpawn { .. } => "clone_spawn",
+            TraceEvent::CloneReady { .. } => "clone_ready",
+            TraceEvent::CloneTeardown { .. } => "clone_teardown",
         }
     }
 
@@ -503,6 +548,18 @@ impl TraceEvent {
                     out,
                     ",\"vm\":{vm},\"src\":{src},\"fire_t_ns\":{fire_t_ns},\"clamped\":{clamped}"
                 );
+            }
+            TraceEvent::NsFork { master, clone } => {
+                let _ = write!(out, ",\"master\":{master},\"clone\":{clone}");
+            }
+            TraceEvent::CowBreak { ns, slot } => {
+                let _ = write!(out, ",\"ns\":{ns},\"slot\":{slot}");
+            }
+            TraceEvent::CloneSpawn { clone, vm, host } => {
+                let _ = write!(out, ",\"clone\":{clone},\"vm\":{vm},\"host\":{host}");
+            }
+            TraceEvent::CloneReady { clone, vm } | TraceEvent::CloneTeardown { clone, vm } => {
+                let _ = write!(out, ",\"clone\":{clone},\"vm\":{vm}");
             }
         }
     }
@@ -795,6 +852,61 @@ mod tests {
             lines.next().unwrap(),
             "{\"t_ns\":3000000000,\"ev\":\"pool_rebalance\",\"from\":1,\"to\":0,\"pages\":32}"
         );
+    }
+
+    #[test]
+    fn clone_events_render_stably() {
+        let mut t = Tracer::with_capacity(8);
+        t.record(
+            SimTime::from_secs(1),
+            TraceEvent::NsFork {
+                master: 0,
+                clone: 7,
+            },
+        );
+        t.record(
+            SimTime::from_secs(2),
+            TraceEvent::CowBreak { ns: 7, slot: 42 },
+        );
+        t.record(
+            SimTime::from_secs(3),
+            TraceEvent::CloneSpawn {
+                clone: 0,
+                vm: 3,
+                host: 2,
+            },
+        );
+        t.record(
+            SimTime::from_secs(4),
+            TraceEvent::CloneReady { clone: 0, vm: 3 },
+        );
+        t.record(
+            SimTime::from_secs(5),
+            TraceEvent::CloneTeardown { clone: 0, vm: 3 },
+        );
+        let out = t.to_jsonl();
+        let mut lines = out.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"t_ns\":1000000000,\"ev\":\"ns_fork\",\"master\":0,\"clone\":7}"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"t_ns\":2000000000,\"ev\":\"cow_break\",\"ns\":7,\"slot\":42}"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"t_ns\":3000000000,\"ev\":\"clone_spawn\",\"clone\":0,\"vm\":3,\"host\":2}"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"t_ns\":4000000000,\"ev\":\"clone_ready\",\"clone\":0,\"vm\":3}"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"t_ns\":5000000000,\"ev\":\"clone_teardown\",\"clone\":0,\"vm\":3}"
+        );
+        assert_eq!(t.count_named("cow_break"), 1);
     }
 
     #[test]

@@ -222,6 +222,11 @@ pub struct VmdClient {
     /// Replies for requests no longer pending (duplicate delivery after a
     /// crash-time failover re-issue) — dropped, counted.
     stale_msgs: u64,
+    /// Copy-on-write breaks `(clone ns, slot)` performed by writes to
+    /// still-shared fork slots, queued for the executor to drain (trace
+    /// events and counters) — the break happens deep inside the sans-IO
+    /// write path where the executor cannot see it.
+    cow_breaks: VecDeque<(NamespaceId, u32)>,
 }
 
 impl VmdClient {
@@ -249,6 +254,7 @@ impl VmdClient {
             next_internal: INTERNAL_REQ_BASE,
             lost_slots: BTreeSet::new(),
             stale_msgs: 0,
+            cow_breaks: VecDeque::new(),
         }
     }
 
@@ -300,6 +306,15 @@ impl VmdClient {
         self.pending_reads.len() + self.pending_writes.len()
     }
 
+    /// Issued-but-unacked writes still held in the writeback buffer. Zero
+    /// means every write this client issued has landed at its replicas —
+    /// the quiescence condition the clone controller's master-sealing step
+    /// waits for before broadcasting a fork (an in-flight write racing the
+    /// `NsFork` broadcast would store with a stale refcount).
+    pub fn unacked_writes(&self) -> usize {
+        self.writeback.len()
+    }
+
     /// Slots observed lost (every replica gone), sorted.
     pub fn lost_slots(&self) -> impl Iterator<Item = (NamespaceId, u32)> + '_ {
         self.lost_slots.iter().copied()
@@ -328,20 +343,24 @@ impl VmdClient {
 
     /// Issue a page read. Prefers the writeback buffer, then the first
     /// non-suspect replica in directory order; if no live replica holds
-    /// the slot the read fails as typed data.
+    /// the slot the read fails as typed data. A clone namespace's
+    /// still-shared slot resolves through its fork parent: the request
+    /// goes out under the master namespace, against the master's
+    /// placements (the clone has no copy of its own until first write).
     pub fn read(&mut self, dir: &VmdDirectory, ns: NamespaceId, slot: u32, req: u64) -> ReadIssue {
         if let Some(&(version, _)) = self.writeback.get(&(ns, slot)) {
             return ReadIssue::Local { version };
         }
-        let set = dir.replicas(ns, slot);
+        let target = dir.resolve(ns, slot);
+        let set = dir.replicas(target, slot);
         let Some((attempt, server)) = self.first_live_replica(&set, 0) else {
-            self.lost_slots.insert((ns, slot));
-            return ReadIssue::Failed(VmdError::LostSlot { ns, slot });
+            self.lost_slots.insert((target, slot));
+            return ReadIssue::Failed(VmdError::LostSlot { ns: target, slot });
         };
         self.pending_reads.insert(
             req,
             PendingRead {
-                ns,
+                ns: target,
                 slot,
                 server,
                 attempt,
@@ -352,7 +371,7 @@ impl VmdClient {
             server,
             ClientMsg::ReadReq {
                 from: self.id,
-                ns,
+                ns: target,
                 slot,
                 req,
             },
@@ -372,7 +391,11 @@ impl VmdClient {
 
     /// Issue a page write. First write of a slot chooses (and records) a
     /// replica set with load-aware round-robin; overwrites go to the
-    /// slot's existing replicas.
+    /// slot's existing replicas. A clone namespace's first write to a
+    /// still-shared slot breaks the share (copy-on-write): the clone
+    /// drops its reference to the master page (`DropRef` to each master
+    /// replica) and the write proceeds as a fresh private-overlay
+    /// placement under the clone namespace.
     pub fn write(
         &mut self,
         dir: &mut VmdDirectory,
@@ -381,6 +404,25 @@ impl VmdClient {
         version: u32,
         req: u64,
     ) {
+        if dir.is_shared(ns, slot) {
+            if let Some(out) = dir.drop_share(ns, slot) {
+                for &server in out.replicas.as_slice() {
+                    if out.released {
+                        if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
+                            info.free_pages += 1;
+                        }
+                    }
+                    self.outbox.push_back((
+                        server,
+                        ClientMsg::DropRef {
+                            ns: out.master,
+                            slot,
+                        },
+                    ));
+                }
+                self.cow_breaks.push_back((ns, slot));
+            }
+        }
         let mut set = dir.replicas(ns, slot);
         if set.is_empty() {
             let want = self.replication.min(self.servers.len()).max(1);
@@ -407,6 +449,7 @@ impl VmdClient {
                 *valid = false;
             }
         }
+        let rc = dir.shared_rc(ns, slot);
         for (i, &server) in set.as_slice().iter().enumerate() {
             let (wreq, role) = if i == 0 {
                 (req, WriteRole::Primary)
@@ -431,13 +474,49 @@ impl VmdClient {
                     slot,
                     version,
                     req: wreq,
+                    rc,
                 },
             ));
         }
     }
 
     /// Free a slot: tells every replica and forgets the placement.
+    ///
+    /// Fork-aware: a clone freeing a still-shared slot merely drops its
+    /// reference (`DropRef`, no placement of its own to forget); a master
+    /// freeing a slot that clones still share defers the release — the
+    /// placement is retained in the directory, the servers mark the page
+    /// owner-freed, and the last clone's `DropRef` releases it for real.
     pub fn free(&mut self, dir: &mut VmdDirectory, ns: NamespaceId, slot: u32) {
+        if dir.is_shared(ns, slot) {
+            if let Some(out) = dir.drop_share(ns, slot) {
+                for &server in out.replicas.as_slice() {
+                    if out.released {
+                        if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
+                            info.free_pages += 1;
+                        }
+                    }
+                    self.outbox.push_back((
+                        server,
+                        ClientMsg::DropRef {
+                            ns: out.master,
+                            slot,
+                        },
+                    ));
+                }
+            }
+            return;
+        }
+        if let Some(set) = dir.owner_free_slot(ns, slot) {
+            // Deferred release: no free-capacity credit — the page stays
+            // resident on every replica until the last sharer drops it.
+            self.writeback.remove(&(ns, slot));
+            for &server in set.as_slice() {
+                self.outbox
+                    .push_back((server, ClientMsg::Free { ns, slot }));
+            }
+            return;
+        }
         self.writeback.remove(&(ns, slot));
         if !self.relocating.is_empty() {
             if let Some(valid) = self.relocating.get_mut(&(ns, slot)) {
@@ -730,6 +809,7 @@ impl VmdClient {
         }
         self.pending_writes
             .insert(req, PendingWrite { server, ..pw });
+        let rc = dir.shared_rc(pw.ns, pw.slot);
         self.outbox.push_back((
             server,
             ClientMsg::WriteReq {
@@ -738,6 +818,7 @@ impl VmdClient {
                 slot: pw.slot,
                 version: pw.version,
                 req,
+                rc,
             },
         ));
         None
@@ -850,6 +931,10 @@ impl VmdClient {
                 role: WriteRole::Replica,
             },
         );
+        // Repair copies of a forked master's page must carry the exact
+        // current fork refcount, or a later master purge would release a
+        // page clones still reference.
+        let rc = dir.shared_rc(ns, slot);
         self.outbox.push_back((
             server,
             ClientMsg::WriteReq {
@@ -858,6 +943,7 @@ impl VmdClient {
                 slot,
                 version,
                 req,
+                rc,
             },
         ));
     }
@@ -959,6 +1045,9 @@ impl VmdClient {
                 role: WriteRole::Relocate { from },
             },
         );
+        // Relocated copies of a forked master's page carry the current
+        // fork refcount so the moved copy's mirror stays exact.
+        let rc = dir.shared_rc(ns, slot);
         self.outbox.push_back((
             dest,
             ClientMsg::WriteReq {
@@ -967,6 +1056,7 @@ impl VmdClient {
                 slot,
                 version,
                 req,
+                rc,
             },
         ));
         true
@@ -1023,7 +1113,34 @@ impl VmdClient {
     /// drain — but flip invalid, so [`VmdClient::relocate_write`] abandons
     /// the move and [`VmdClient::finish_relocation`] frees the copy at the
     /// destination instead of re-installing it in the directory.
+    ///
+    /// Fork-aware in both directions. Purging a *clone* first drops every
+    /// still-shared master reference (`DropRef` fan-out; the master's
+    /// placements are untouched), then releases the clone's private
+    /// overlay through the legacy path, then retires the fork bookkeeping.
+    /// Purging a *master* with live clones retains the shared placements:
+    /// the directory keeps them (owner-freed), the servers defer the
+    /// `Free`s, and no free-capacity credit is taken for retained pages.
     pub fn purge_namespace(&mut self, dir: &mut VmdDirectory, ns: NamespaceId) -> usize {
+        let is_clone = dir.parent_of(ns).is_some();
+        for slot in dir.shared_slots(ns) {
+            if let Some(out) = dir.drop_share(ns, slot) {
+                for &server in out.replicas.as_slice() {
+                    if out.released {
+                        if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
+                            info.free_pages += 1;
+                        }
+                    }
+                    self.outbox.push_back((
+                        server,
+                        ClientMsg::DropRef {
+                            ns: out.master,
+                            slot,
+                        },
+                    ));
+                }
+            }
+        }
         self.writeback.retain(|&(n, _), _| n != ns);
         for (&(n, _), valid) in self.relocating.iter_mut() {
             if n == ns {
@@ -1034,13 +1151,48 @@ impl VmdClient {
         let placements = dir.purge_namespace(ns);
         let count = placements.len();
         for (slot, server) in placements {
-            if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
-                info.free_pages += 1;
+            // Placements retained for clones (shared, now owner-freed) stay
+            // resident server-side: send the deferred Free, skip the credit.
+            let retained = dir.shared_rc(ns, slot) > 0;
+            if !retained {
+                if let Some(info) = self.servers.iter_mut().find(|i| i.id == server) {
+                    info.free_pages += 1;
+                }
             }
             self.outbox
                 .push_back((server, ClientMsg::Free { ns, slot }));
         }
+        if is_clone {
+            dir.release_clone(ns);
+        }
         count
+    }
+
+    /// Fork `master` into a new copy-on-write clone namespace: the clone
+    /// shares every slot the master currently has placed, read-only, and
+    /// an `NsFork` is queued to each server holding at least one of the
+    /// master's pages so the per-page refcount mirrors bump in lockstep
+    /// with the directory. Returns the clone namespace id.
+    pub fn fork_namespace(&mut self, dir: &mut VmdDirectory, master: NamespaceId) -> NamespaceId {
+        let servers = dir.fork_servers(master);
+        let clone = dir.fork_namespace(master);
+        for server in servers {
+            self.outbox
+                .push_back((server, ClientMsg::NsFork { master }));
+        }
+        clone
+    }
+
+    /// Drain the copy-on-write breaks recorded since the last drain
+    /// (clone namespace, slot), in write order — the executor turns these
+    /// into trace events and counters.
+    pub fn drain_cow_breaks(&mut self) -> impl Iterator<Item = (NamespaceId, u32)> + '_ {
+        self.cow_breaks.drain(..)
+    }
+
+    /// True when copy-on-write breaks await draining.
+    pub fn has_cow_breaks(&self) -> bool {
+        !self.cow_breaks.is_empty()
     }
 
     /// Next non-member, non-suspect server in ring order *with free leased
@@ -1881,5 +2033,214 @@ mod tests {
         assert_eq!(frees.len(), 1);
         assert_eq!(frees[0].0, ServerId(2), "orphan copy released");
         assert_eq!(c.relocations_inflight(), 0);
+    }
+
+    // ---- namespace forks (copy-on-write cloning) ----
+
+    use crate::server::VmdServer;
+    use std::collections::BTreeMap;
+
+    /// Real servers behind the sans-IO client: drain the outbox into each
+    /// server's `handle` and feed replies back until quiescent.
+    fn pump(c: &mut VmdClient, servers: &mut BTreeMap<ServerId, VmdServer>) {
+        loop {
+            let msgs: Vec<(ServerId, ClientMsg)> = c.drain_outbox().collect();
+            if msgs.is_empty() {
+                break;
+            }
+            for (sid, msg) in msgs {
+                let reply = servers.get_mut(&sid).expect("known server").handle(msg);
+                if let Some(m) = reply.msg {
+                    c.on_server_msg(sid, m);
+                }
+            }
+        }
+    }
+
+    fn one_server(free: u64) -> BTreeMap<ServerId, VmdServer> {
+        let mut m = BTreeMap::new();
+        m.insert(ServerId(0), VmdServer::new(ServerId(0), free, 0));
+        m
+    }
+
+    #[test]
+    fn fork_read_resolves_through_master() {
+        let (mut c, mut d) = setup(&[10]);
+        let mut servers = one_server(10);
+        let master = d.create_namespace();
+        c.write(&mut d, master, 0, 7, 1);
+        pump(&mut c, &mut servers);
+        let clone = c.fork_namespace(&mut d, master);
+        pump(&mut c, &mut servers);
+        assert_eq!(
+            servers[&ServerId(0)].page_rc(master, 0),
+            Some(1),
+            "NsFork bumped the server-side mirror"
+        );
+        // The clone's read goes out under the master namespace.
+        assert!(matches!(c.read(&d, clone, 0, 2), ReadIssue::Sent));
+        let (_, msg) = c.drain_outbox().next().expect("read issued");
+        assert!(matches!(msg, ClientMsg::ReadReq { ns, slot: 0, .. } if ns == master));
+        let comp = servers
+            .get_mut(&ServerId(0))
+            .unwrap()
+            .handle(msg)
+            .msg
+            .and_then(|m| c.on_server_msg(ServerId(0), m));
+        assert!(
+            matches!(comp, Some(VmdCompletion::ReadDone { version: 7, .. })),
+            "clone served the master's gold page: {comp:?}"
+        );
+    }
+
+    #[test]
+    fn cow_break_on_first_clone_write() {
+        let (mut c, mut d) = setup(&[10]);
+        let mut servers = one_server(10);
+        let master = d.create_namespace();
+        c.write(&mut d, master, 0, 7, 1);
+        pump(&mut c, &mut servers);
+        let clone = c.fork_namespace(&mut d, master);
+        pump(&mut c, &mut servers);
+        c.write(&mut d, clone, 0, 9, 2);
+        let breaks: Vec<_> = c.drain_cow_breaks().collect();
+        assert_eq!(breaks, vec![(clone, 0)]);
+        let msgs: Vec<(ServerId, ClientMsg)> = c.drain_outbox().collect();
+        assert!(
+            matches!(msgs[0].1, ClientMsg::DropRef { ns, slot: 0 } if ns == master),
+            "share dropped before the overlay write: {:?}",
+            msgs[0].1
+        );
+        assert!(matches!(msgs[1].1, ClientMsg::WriteReq { ns, rc: 0, .. } if ns == clone));
+        for (sid, m) in msgs {
+            let reply = servers.get_mut(&sid).unwrap().handle(m);
+            if let Some(r) = reply.msg {
+                c.on_server_msg(sid, r);
+            }
+        }
+        let s = &servers[&ServerId(0)];
+        assert_eq!(s.page_rc(master, 0), Some(0), "master page back to rc 0");
+        assert_eq!(s.page_rc(clone, 0), Some(0), "private overlay placed");
+        assert!(s.ledger_consistent());
+        assert!(!d.is_shared(clone, 0));
+        // Subsequent clone reads stay private.
+        assert_eq!(d.resolve(clone, 0), clone);
+    }
+
+    #[test]
+    fn purging_clone_never_drops_master_or_sibling_pages() {
+        let (mut c, mut d) = setup(&[10]);
+        let mut servers = one_server(10);
+        let master = d.create_namespace();
+        c.write(&mut d, master, 0, 7, 1);
+        c.write(&mut d, master, 1, 8, 2);
+        pump(&mut c, &mut servers);
+        let c1 = c.fork_namespace(&mut d, master);
+        let c2 = c.fork_namespace(&mut d, master);
+        pump(&mut c, &mut servers);
+        assert_eq!(servers[&ServerId(0)].page_rc(master, 0), Some(2));
+        // Purge one clone: master pages and the sibling's view survive.
+        c.purge_namespace(&mut d, c1);
+        pump(&mut c, &mut servers);
+        let s = &servers[&ServerId(0)];
+        assert_eq!(s.stored_pages(), 2, "no master page dropped");
+        assert_eq!(s.page_rc(master, 0), Some(1));
+        assert_eq!(s.page_rc(master, 1), Some(1));
+        assert!(s.ledger_consistent());
+        assert!(matches!(c.read(&d, c2, 0, 10), ReadIssue::Sent));
+        c.drain_outbox().for_each(drop);
+        assert_eq!(d.clone_count(master), 1);
+    }
+
+    #[test]
+    fn purging_master_defers_release_until_last_clone_drops() {
+        let (mut c, mut d) = setup(&[10]);
+        let mut servers = one_server(10);
+        let master = d.create_namespace();
+        c.write(&mut d, master, 0, 7, 1);
+        pump(&mut c, &mut servers);
+        let clone = c.fork_namespace(&mut d, master);
+        pump(&mut c, &mut servers);
+        // Master goes away (scale-in of the original, or in-place
+        // upgrade): the shared page must survive for the clone.
+        c.purge_namespace(&mut d, master);
+        pump(&mut c, &mut servers);
+        {
+            let s = &servers[&ServerId(0)];
+            assert_eq!(s.stored_pages(), 1, "deferred release kept the page");
+            assert_eq!(s.owner_freed_pages(), 1);
+            assert!(s.ledger_consistent());
+        }
+        assert!(
+            matches!(c.read(&d, clone, 0, 5), ReadIssue::Sent),
+            "clone still resolves the retained master placement"
+        );
+        pump(&mut c, &mut servers);
+        // Last sharer gone: now the page is really released.
+        c.purge_namespace(&mut d, clone);
+        pump(&mut c, &mut servers);
+        let s = &servers[&ServerId(0)];
+        assert_eq!(s.stored_pages(), 0, "last DropRef released the page");
+        assert_eq!(s.free_pages(), 10);
+        assert!(s.ledger_consistent());
+        assert!(!d.is_sealed(master));
+    }
+
+    #[test]
+    fn clone_free_and_owner_free_commute() {
+        // Order A: owner frees first (defer), clone drops second (release).
+        let (mut c, mut d) = setup(&[10]);
+        let mut servers = one_server(10);
+        let master = d.create_namespace();
+        c.write(&mut d, master, 0, 7, 1);
+        pump(&mut c, &mut servers);
+        let clone = c.fork_namespace(&mut d, master);
+        pump(&mut c, &mut servers);
+        c.free(&mut d, master, 0);
+        pump(&mut c, &mut servers);
+        assert_eq!(servers[&ServerId(0)].stored_pages(), 1);
+        c.free(&mut d, clone, 0);
+        pump(&mut c, &mut servers);
+        assert_eq!(servers[&ServerId(0)].stored_pages(), 0);
+        assert!(servers[&ServerId(0)].ledger_consistent());
+
+        // Order B: clone drops first (page stays, unshared), owner frees
+        // second (normal release).
+        let (mut c, mut d) = setup(&[10]);
+        let mut servers = one_server(10);
+        let master = d.create_namespace();
+        c.write(&mut d, master, 0, 7, 1);
+        pump(&mut c, &mut servers);
+        let clone = c.fork_namespace(&mut d, master);
+        pump(&mut c, &mut servers);
+        c.free(&mut d, clone, 0);
+        pump(&mut c, &mut servers);
+        assert_eq!(servers[&ServerId(0)].stored_pages(), 1);
+        assert_eq!(servers[&ServerId(0)].page_rc(master, 0), Some(0));
+        c.free(&mut d, master, 0);
+        pump(&mut c, &mut servers);
+        assert_eq!(servers[&ServerId(0)].stored_pages(), 0);
+        assert!(servers[&ServerId(0)].ledger_consistent());
+    }
+
+    #[test]
+    fn repair_copies_carry_the_fork_refcount() {
+        let (mut c, mut d) = setup(&[10, 10, 10]);
+        c.set_replication(2);
+        let master = d.create_namespace();
+        c.write(&mut d, master, 0, 7, 1);
+        c.drain_outbox().for_each(drop);
+        let _c1 = c.fork_namespace(&mut d, master);
+        let _c2 = c.fork_namespace(&mut d, master);
+        c.drain_outbox().for_each(drop);
+        // One replica died; the repair re-copy must carry rc = 2 so the
+        // fresh server's mirror is exact from the first byte.
+        d.remove_replica(master, 0, ServerId(1));
+        c.repair_write(&mut d, master, 0, 7);
+        let (_, msg) = c.drain_outbox().next().expect("repair write");
+        assert!(
+            matches!(msg, ClientMsg::WriteReq { rc: 2, .. }),
+            "repair write lost the refcount: {msg:?}"
+        );
     }
 }

@@ -14,7 +14,7 @@
 //! O(slots-in-namespace) instead of a full-map scan, and a per-server
 //! index makes crash-time replica enumeration O(slots-on-server).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use crate::proto::{NamespaceId, ServerId};
 
@@ -115,6 +115,48 @@ impl ReplicaSet {
     }
 }
 
+/// Fork bookkeeping for one *master* namespace (a namespace with at least
+/// one copy-on-write clone forked from it). Forking seals the master: its
+/// placed pages become a frozen gold image shared read-only by every
+/// clone, and each shared slot carries a per-page reference count — the
+/// number of clones still resolving reads through the master's copy.
+#[derive(Clone, Debug, Default)]
+struct ForkState {
+    /// Live clone namespaces forked from this master (deterministic order).
+    children: BTreeSet<NamespaceId>,
+    /// Per-slot count of clones still sharing the master's copy. A slot
+    /// absent from this map is unshared (every clone broke or dropped it).
+    rc: HashMap<u32, u16>,
+    /// Slots the owner freed/purged while still shared: the placement is
+    /// retained so clones keep resolving, and the last
+    /// [`VmdDirectory::drop_share`] releases it for real.
+    owner_freed: HashSet<u32>,
+}
+
+/// Fork bookkeeping for one *clone* namespace.
+#[derive(Clone, Debug)]
+struct CloneState {
+    /// The sealed master this clone was forked from.
+    parent: NamespaceId,
+    /// Slots still shared with the master (reads resolve through the
+    /// parent). First write — or an explicit drop — removes a slot here.
+    shared: BTreeSet<u32>,
+}
+
+/// Outcome of dropping one clone's share of a master slot.
+#[derive(Clone, Copy, Debug)]
+pub struct DropOutcome {
+    /// The master namespace that owned the shared page.
+    pub master: NamespaceId,
+    /// The master slot's replicas at drop time ([`crate::ClientMsg::DropRef`]
+    /// targets).
+    pub replicas: ReplicaSet,
+    /// True when this was the last sharer of an owner-freed slot: the
+    /// placement has been forgotten here, and the servers release the page
+    /// when the `DropRef` reaches them.
+    pub released: bool,
+}
+
 /// Cluster-wide namespace metadata.
 #[derive(Clone, Debug, Default)]
 pub struct VmdDirectory {
@@ -125,6 +167,11 @@ pub struct VmdDirectory {
     /// Per-server slot index: crash-time replica enumeration touches only
     /// the crashed server's slots.
     server_slots: HashMap<ServerId, HashSet<(NamespaceId, u32)>>,
+    /// Fork state of each master namespace with live clones or retained
+    /// owner-freed shared pages.
+    forks: HashMap<NamespaceId, ForkState>,
+    /// Fork state of each live clone namespace.
+    clones: HashMap<NamespaceId, CloneState>,
     next_ns: u32,
 }
 
@@ -266,13 +313,200 @@ impl VmdDirectory {
         set
     }
 
+    /// Fork a copy-on-write clone namespace off `master`. Every slot the
+    /// master has placed becomes shared: the clone resolves reads through
+    /// the master's placements until its first write to the slot breaks
+    /// the share ([`VmdDirectory::drop_share`]). The master is sealed for
+    /// as long as any clone shares at least one of its pages. A clone
+    /// cannot itself be forked.
+    pub fn fork_namespace(&mut self, master: NamespaceId) -> NamespaceId {
+        assert!(
+            !self.clones.contains_key(&master),
+            "cannot fork a clone namespace"
+        );
+        let clone = self.create_namespace();
+        let shared: BTreeSet<u32> = self
+            .ns_slots
+            .get(&master)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        let fork = self.forks.entry(master).or_default();
+        fork.children.insert(clone);
+        for &slot in &shared {
+            *fork.rc.entry(slot).or_insert(0) += 1;
+        }
+        self.clones.insert(
+            clone,
+            CloneState {
+                parent: master,
+                shared,
+            },
+        );
+        clone
+    }
+
+    /// The master namespace `ns` was forked from, if it is a clone.
+    pub fn parent_of(&self, ns: NamespaceId) -> Option<NamespaceId> {
+        self.clones.get(&ns).map(|c| c.parent)
+    }
+
+    /// True while `ns` is a sealed master: at least one clone still shares
+    /// pages with it (or holds it open through owner-freed retained pages).
+    pub fn is_sealed(&self, ns: NamespaceId) -> bool {
+        self.forks
+            .get(&ns)
+            .is_some_and(|f| !f.children.is_empty() || !f.rc.is_empty())
+    }
+
+    /// Number of live clones forked from `ns`.
+    pub fn clone_count(&self, ns: NamespaceId) -> usize {
+        self.forks.get(&ns).map_or(0, |f| f.children.len())
+    }
+
+    /// True when the clone `ns` still shares `slot` with its master.
+    pub fn is_shared(&self, ns: NamespaceId, slot: u32) -> bool {
+        self.clones
+            .get(&ns)
+            .is_some_and(|c| c.shared.contains(&slot))
+    }
+
+    /// The namespace a read of `(ns, slot)` must be served under: the
+    /// parent for a still-shared clone slot, `ns` itself otherwise.
+    pub fn resolve(&self, ns: NamespaceId, slot: u32) -> NamespaceId {
+        match self.clones.get(&ns) {
+            Some(c) if c.shared.contains(&slot) => c.parent,
+            _ => ns,
+        }
+    }
+
+    /// Fork reference count of a master's slot (0 when unshared).
+    pub fn shared_rc(&self, master: NamespaceId, slot: u32) -> u16 {
+        self.forks
+            .get(&master)
+            .and_then(|f| f.rc.get(&slot).copied())
+            .unwrap_or(0)
+    }
+
+    /// The clone's still-shared slots, sorted.
+    pub fn shared_slots(&self, clone: NamespaceId) -> Vec<u32> {
+        self.clones
+            .get(&clone)
+            .map(|c| c.shared.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Servers holding at least one of the master's placed pages, sorted
+    /// and deduplicated ([`crate::ClientMsg::NsFork`] broadcast targets).
+    pub fn fork_servers(&self, master: NamespaceId) -> Vec<ServerId> {
+        let mut out: Vec<ServerId> = Vec::new();
+        if let Some(slots) = self.ns_slots.get(&master) {
+            for &slot in slots {
+                for &srv in self.replicas(master, slot).as_slice() {
+                    out.push(srv);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Drop the clone's share of one master slot (copy-on-write break,
+    /// clone purge, or guest slot discard). Returns `None` when the slot
+    /// was not shared; otherwise the master, its current replicas (the
+    /// caller sends each a [`crate::ClientMsg::DropRef`]), and whether the
+    /// last reference to an owner-freed page was just released (the
+    /// placement is forgotten here; the servers free on the `DropRef`).
+    pub fn drop_share(&mut self, clone: NamespaceId, slot: u32) -> Option<DropOutcome> {
+        let c = self.clones.get_mut(&clone)?;
+        if !c.shared.remove(&slot) {
+            return None;
+        }
+        let master = c.parent;
+        let replicas = self.replicas(master, slot);
+        let fork = self
+            .forks
+            .get_mut(&master)
+            .expect("clone without fork state");
+        let rc = fork.rc.get_mut(&slot).expect("shared slot without rc");
+        *rc -= 1;
+        let mut released = false;
+        if *rc == 0 {
+            fork.rc.remove(&slot);
+            if fork.owner_freed.remove(&slot) {
+                // The owner already freed it: this DropRef releases the
+                // retained placement for real.
+                self.forget(master, slot);
+                released = true;
+            }
+        }
+        Some(DropOutcome {
+            master,
+            replicas,
+            released,
+        })
+    }
+
+    /// The owner frees one of its own slots while clones still share it:
+    /// retain the placement (marked owner-freed) and return the replicas
+    /// so the caller can send each a deferred [`crate::ClientMsg::Free`].
+    /// Returns `None` when the slot is unshared (free it normally).
+    pub fn owner_free_slot(&mut self, ns: NamespaceId, slot: u32) -> Option<ReplicaSet> {
+        let fork = self.forks.get_mut(&ns)?;
+        if !fork.rc.contains_key(&slot) {
+            return None;
+        }
+        fork.owner_freed.insert(slot);
+        Some(self.replicas(ns, slot))
+    }
+
+    /// Release a purged clone's fork bookkeeping. Call after every shared
+    /// slot went through [`VmdDirectory::drop_share`] and the clone's own
+    /// overlay slots were purged. Unseals the master when this was the
+    /// last clone and no owner-freed pages remain retained.
+    pub fn release_clone(&mut self, clone: NamespaceId) {
+        let Some(c) = self.clones.remove(&clone) else {
+            return;
+        };
+        debug_assert!(c.shared.is_empty(), "release_clone with live shares");
+        if let Some(fork) = self.forks.get_mut(&c.parent) {
+            fork.children.remove(&clone);
+            if fork.children.is_empty() && fork.rc.is_empty() {
+                self.forks.remove(&c.parent);
+            }
+        }
+    }
+
     /// Remove every slot of a namespace; returns `(slot, server)` pairs
     /// (one per replica, sorted) so the caller can notify the servers.
     /// O(slots-in-namespace) via the per-namespace index.
+    ///
+    /// Fork-aware: purging a sealed master *retains* the placements of
+    /// slots still shared by clones (marked owner-freed — the servers
+    /// defer the release when the owner's `Free` arrives, and the last
+    /// clone's [`VmdDirectory::drop_share`] forgets them for real), so a
+    /// master purge never drops a page a sibling still reads. The shared
+    /// placements are still listed in the result: the owner's `Free` must
+    /// reach every holder to set the server-side owner-freed mark.
     pub fn purge_namespace(&mut self, ns: NamespaceId) -> Vec<(u32, ServerId)> {
+        let shared: HashSet<u32> = self
+            .forks
+            .get(&ns)
+            .map(|f| f.rc.keys().copied().collect())
+            .unwrap_or_default();
         let slots = self.ns_slots.remove(&ns).unwrap_or_default();
         let mut out: Vec<(u32, ServerId)> = Vec::with_capacity(slots.len());
+        let mut retained: HashSet<u32> = HashSet::new();
         for slot in slots {
+            if shared.contains(&slot) {
+                // Still referenced by a clone: keep the placement and both
+                // secondary indices; just mark it owner-freed.
+                for &srv in self.replicas(ns, slot).as_slice() {
+                    out.push((slot, srv));
+                }
+                retained.insert(slot);
+                continue;
+            }
             if let Some(set) = self.placement.remove(&(ns, slot)) {
                 for &srv in set.as_slice() {
                     out.push((slot, srv));
@@ -281,6 +515,11 @@ impl VmdDirectory {
                     }
                 }
             }
+        }
+        if !retained.is_empty() {
+            let fork = self.forks.get_mut(&ns).expect("shared without fork");
+            fork.owner_freed.extend(retained.iter().copied());
+            self.ns_slots.insert(ns, retained);
         }
         out.sort_unstable();
         out

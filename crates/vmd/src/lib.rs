@@ -35,7 +35,7 @@ pub mod tier;
 
 pub use backend::VmdSwapDevice;
 pub use client::{ReadIssue, VmdClient, VmdCompletion};
-pub use directory::{ReplicaSet, VmdDirectory, MAX_REPLICAS};
+pub use directory::{DropOutcome, ReplicaSet, VmdDirectory, MAX_REPLICAS};
 pub use pool::{LeaseConfig, LeaseController, PoolPlanner, ReclaimTarget, ServerLoad};
 pub use proto::{
     ClientId, ClientMsg, NamespaceId, ServerId, ServerMsg, VmdError, MSG_HEADER_BYTES,

@@ -77,12 +77,40 @@ pub enum ClientMsg {
         version: u32,
         /// Client-chosen request id, echoed in the ack.
         req: u64,
+        /// Fork reference count the stored copy must carry: the number of
+        /// clone namespaces still sharing this master page. Zero for every
+        /// ordinary write; nonzero only when repair or relocation re-copies
+        /// a forked master's page, so the new copy lands with the exact
+        /// count instead of losing it (the directory is authoritative, the
+        /// header field keeps every server's mirror exact).
+        rc: u16,
     },
-    /// Release a slot (namespace deletion / slot free).
+    /// Release a slot (namespace deletion / slot free). A server holding
+    /// the page with a nonzero fork refcount defers the release: it marks
+    /// the page owner-freed and drops it only when the last
+    /// [`ClientMsg::DropRef`] arrives.
     Free {
         /// Namespace.
         ns: NamespaceId,
         /// Slot to release.
+        slot: u32,
+    },
+    /// A namespace was forked ([`crate::VmdDirectory::fork_namespace`]):
+    /// bump the fork refcount of every page this server stores under the
+    /// master namespace. Broadcast to each server holding at least one of
+    /// the master's pages at fork time.
+    NsFork {
+        /// The sealed master namespace whose pages gained a sharer.
+        master: NamespaceId,
+    },
+    /// A clone namespace stopped sharing one master page (copy-on-write
+    /// break, clone purge, or slot discard): decrement the page's fork
+    /// refcount. A count reaching zero on an owner-freed page releases the
+    /// page for real.
+    DropRef {
+        /// The master namespace that owns the shared page.
+        ns: NamespaceId,
+        /// Slot within the master namespace.
         slot: u32,
     },
 }
@@ -91,7 +119,10 @@ impl ClientMsg {
     /// Bytes this message occupies on the wire, given the page size.
     pub fn wire_bytes(&self, page_size: u64) -> u64 {
         match self {
-            ClientMsg::ReadReq { .. } | ClientMsg::Free { .. } => MSG_HEADER_BYTES,
+            ClientMsg::ReadReq { .. }
+            | ClientMsg::Free { .. }
+            | ClientMsg::NsFork { .. }
+            | ClientMsg::DropRef { .. } => MSG_HEADER_BYTES,
             ClientMsg::WriteReq { .. } => MSG_HEADER_BYTES + page_size,
         }
     }
@@ -188,8 +219,18 @@ mod tests {
             slot: 2,
             version: 1,
             req: 3,
+            rc: 0,
         };
         assert_eq!(wr.wire_bytes(4096), 4160);
+        let fork = ClientMsg::NsFork {
+            master: NamespaceId(1),
+        };
+        assert_eq!(fork.wire_bytes(4096), 64);
+        let dropref = ClientMsg::DropRef {
+            ns: NamespaceId(1),
+            slot: 2,
+        };
+        assert_eq!(dropref.wire_bytes(4096), 64);
         let resp = ServerMsg::ReadResp {
             req: 3,
             version: 1,

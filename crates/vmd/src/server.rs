@@ -48,6 +48,15 @@ struct PageMeta {
     heat: u16,
     /// Truncated access-clock value of the last touch (heat age base).
     last: u32,
+    /// Fork reference count: clone namespaces still sharing this page
+    /// (it belongs to a sealed master's gold image while nonzero). Bumped
+    /// by [`ClientMsg::NsFork`], carried exactly on repair/relocation
+    /// copies via [`ClientMsg::WriteReq::rc`], dropped by
+    /// [`ClientMsg::DropRef`].
+    rc: u16,
+    /// The owning namespace freed this page while clones still shared it:
+    /// the release is deferred until `rc` reaches zero.
+    owner_freed: bool,
 }
 
 /// One intermediate host's VMD server state.
@@ -211,11 +220,33 @@ impl VmdServer {
         self.ledger.used(0) >= self.effective_mem()
     }
 
-    /// Consistency check: the ledger matches a recount of the store.
-    /// Cheap enough for tests and debug audits; not on any hot path.
+    /// Consistency check: the ledger matches a recount of the store, the
+    /// per-namespace counts sum to the store size, and the fork-refcount
+    /// invariant holds — an owner-freed page is *only* retained while a
+    /// clone still references it (`rc > 0`); the moment the last DropRef
+    /// lands the page must be gone. Cheap enough for tests and debug
+    /// audits; not on any hot path.
     pub fn ledger_consistent(&self) -> bool {
         self.ledger.matches(self.store.values().map(|m| m.tier))
             && self.ns_pages.values().sum::<u64>() == self.store.len() as u64
+            && self.store.values().all(|m| !m.owner_freed || m.rc > 0)
+    }
+
+    /// Pages currently carrying a fork reference count (shared gold-image
+    /// pages), across all tiers.
+    pub fn shared_pages(&self) -> u64 {
+        self.store.values().filter(|m| m.rc > 0).count() as u64
+    }
+
+    /// Retained pages whose owner already freed them (held alive only by
+    /// clone references).
+    pub fn owner_freed_pages(&self) -> u64 {
+        self.store.values().filter(|m| m.owner_freed).count() as u64
+    }
+
+    /// Fork reference count of a stored page (`None` when absent).
+    pub fn page_rc(&self, ns: NamespaceId, slot: u32) -> Option<u16> {
+        self.store.get(&(ns, slot)).map(|m| m.rc)
     }
 
     /// Build the periodic availability report.
@@ -310,6 +341,13 @@ impl VmdServer {
     /// ties break to the lower namespace id), slots ascending within a
     /// namespace. Heat policy: coldest page first by decayed heat, ties
     /// by (namespace, slot).
+    ///
+    /// Fork-aware: pages carrying a fork reference count are pinned
+    /// (skipped). Relocation is driven by the owning namespace's client —
+    /// which may already be gone for an owner-freed page — and every
+    /// clone's demand-read path depends on the gold image staying where
+    /// the fork found it, so shared pages stay put until the last
+    /// reference drops.
     pub fn reclaim_victims(&self, max: usize) -> Vec<(NamespaceId, u32)> {
         if max == 0 || self.ledger.used(0) == 0 {
             return Vec::new();
@@ -319,7 +357,7 @@ impl VmdServer {
             let mut pages: Vec<(u16, u32, u32)> = self
                 .store
                 .iter()
-                .filter(|(_, m)| m.tier == 0)
+                .filter(|(_, m)| m.tier == 0 && m.rc == 0)
                 .map(|(&(ns, slot), m)| {
                     let age = clock.wrapping_sub(m.last);
                     (self.heat.decayed(m.heat, age), ns.0, slot)
@@ -334,7 +372,7 @@ impl VmdServer {
         }
         let mut by_ns: HashMap<NamespaceId, Vec<u32>> = HashMap::new();
         for (&(ns, slot), meta) in &self.store {
-            if meta.tier == 0 {
+            if meta.tier == 0 && meta.rc == 0 {
                 by_ns.entry(ns).or_default().push(slot);
             }
         }
@@ -429,6 +467,7 @@ impl VmdServer {
                 slot,
                 version,
                 req,
+                rc,
                 ..
             } => {
                 let prior = self.store.get(&(ns, slot)).copied();
@@ -478,11 +517,20 @@ impl VmdServer {
                     }
                 };
                 self.touch(ns);
+                debug_assert!(
+                    prior.is_none_or(|m| !m.owner_freed),
+                    "overwrite of an owner-freed shared page"
+                );
                 let mut meta = PageMeta {
                     version,
                     tier,
                     heat: prior.map(|m| m.heat).unwrap_or(0),
                     last: prior.map(|m| m.last).unwrap_or(self.access_clock as u32),
+                    // A fresh copy (repair/relocation of a shared master
+                    // page) lands with the exact count from the header; an
+                    // overwrite keeps the count this server already tracks.
+                    rc: prior.map(|m| m.rc).unwrap_or(rc),
+                    owner_freed: prior.map(|m| m.owner_freed).unwrap_or(false),
                 };
                 // Only overwrite *hits* accrue heat; the initial store of a
                 // page says nothing about its future access rate.
@@ -499,6 +547,15 @@ impl VmdServer {
                 }
             }
             ClientMsg::Free { ns, slot } => {
+                // A page still referenced by clone namespaces defers its
+                // release: mark it owner-freed; the last DropRef frees it.
+                if let Some(meta) = self.store.get_mut(&(ns, slot)) {
+                    if meta.rc > 0 {
+                        meta.owner_freed = true;
+                        let tier = meta.tier;
+                        return ServerReply { msg: None, tier };
+                    }
+                }
                 let tier = if let Some(meta) = self.store.remove(&(ns, slot)) {
                     self.ledger.remove(meta.tier as usize);
                     self.note_remove(ns);
@@ -507,6 +564,33 @@ impl VmdServer {
                     0
                 };
                 ServerReply { msg: None, tier }
+            }
+            ClientMsg::NsFork { master } => {
+                // A clone now shares every page of the master's gold image
+                // this server holds. Order-independent value updates only —
+                // safe over the hash map.
+                for ((ns, _), meta) in self.store.iter_mut() {
+                    if *ns == master {
+                        meta.rc += 1;
+                    }
+                }
+                ServerReply { msg: None, tier: 0 }
+            }
+            ClientMsg::DropRef { ns, slot } => {
+                let mut freed_tier = 0;
+                if let Some(meta) = self.store.get_mut(&(ns, slot)) {
+                    meta.rc = meta.rc.saturating_sub(1);
+                    if meta.rc == 0 && meta.owner_freed {
+                        let meta = self.store.remove(&(ns, slot)).expect("present above");
+                        self.ledger.remove(meta.tier as usize);
+                        self.note_remove(ns);
+                        freed_tier = meta.tier;
+                    }
+                }
+                ServerReply {
+                    msg: None,
+                    tier: freed_tier,
+                }
             }
         }
     }
@@ -524,20 +608,31 @@ impl VmdServer {
     }
 
     /// Drop every slot of a namespace (the VM was destroyed, not migrated).
-    /// Returns the number of pages released.
+    /// Returns the number of pages released. Fork-aware: pages still
+    /// referenced by clone namespaces are retained (marked owner-freed)
+    /// and released by their last [`ClientMsg::DropRef`] instead.
     pub fn purge_namespace(&mut self, ns: NamespaceId) -> u64 {
         let before = self.stored_pages();
         let ledger = &mut self.ledger;
+        let mut retained = 0u64;
         self.store.retain(|(n, _), meta| {
-            if *n == ns {
-                ledger.remove(meta.tier as usize);
-                false
-            } else {
-                true
+            if *n != ns {
+                return true;
             }
+            if meta.rc > 0 {
+                meta.owner_freed = true;
+                retained += 1;
+                return true;
+            }
+            ledger.remove(meta.tier as usize);
+            false
         });
-        self.ns_pages.remove(&ns);
-        self.ns_last_access.remove(&ns);
+        if retained > 0 {
+            self.ns_pages.insert(ns, retained);
+        } else {
+            self.ns_pages.remove(&ns);
+            self.ns_last_access.remove(&ns);
+        }
         before - self.stored_pages()
     }
 }
@@ -556,6 +651,7 @@ mod tests {
             slot,
             version,
             req,
+            rc: 0,
         }
     }
 
